@@ -1,0 +1,117 @@
+// Command dasbench regenerates the paper's evaluation: every figure and
+// table of §IV plus the ablations described in DESIGN.md. By default it
+// runs the paper-mirroring configuration (24–60 GB datasets scaled 1 GB →
+// 1 MiB, 24–60 nodes); -quick runs a reduced sweep for smoke tests.
+//
+// Usage:
+//
+//	dasbench                  # everything, text tables
+//	dasbench -exp fig12       # one experiment
+//	dasbench -exp ablations   # the four ablations
+//	dasbench -csv             # machine-readable output
+//	dasbench -quick           # reduced sizes/nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hpcio/das/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, ablations")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
+	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
+	nodes := flag.Int("nodes", 0, "override the default node count")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg.Nodes = 8
+		cfg.SizesGB = []int{2, 4}
+		cfg.NodeSweep = []int{8, 16}
+	}
+	if *nodes != 0 {
+		cfg.Nodes = *nodes
+	}
+
+	if err := run(cfg, strings.ToLower(*exp), *csv, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "dasbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, exp string, csv, chart bool) error {
+	emit := func(r *experiments.Result) {
+		if csv {
+			fmt.Printf("# %s\n%s\n", r.ID, r.CSV())
+			return
+		}
+		fmt.Println(r.Table())
+		if chart {
+			fmt.Println(r.Chart(48))
+		}
+	}
+	single := map[string]func() (*experiments.Result, error){
+		"fig10":                      cfg.Fig10,
+		"fig11":                      cfg.Fig11,
+		"fig12":                      cfg.Fig12,
+		"fig13":                      cfg.Fig13,
+		"fig14":                      cfg.Fig14,
+		"ablation-group-size":        cfg.AblationGroupSize,
+		"ablation-predictor":         cfg.AblationPredictor,
+		"ablation-reconfig":          cfg.AblationReconfig,
+		"ablation-halo-fetch":        cfg.AblationHaloFetch,
+		"ablation-multitenant":       cfg.AblationMultiTenant,
+		"ablation-deployment":        cfg.AblationDeployment,
+		"ablation-compute-intensity": cfg.AblationComputeIntensity,
+		"ablation-strip-size":        cfg.AblationStripSize,
+		"ablation-mapreduce":         cfg.AblationMapReduce,
+	}
+	switch exp {
+	case "tablei":
+		fmt.Println(experiments.TableI())
+		return nil
+	case "ablations":
+		results, err := cfg.Ablations()
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			emit(r)
+		}
+		return nil
+	case "all":
+		fmt.Println(experiments.TableI())
+		results, err := cfg.All()
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			emit(r)
+		}
+		results, err = cfg.Ablations()
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			emit(r)
+		}
+		return nil
+	default:
+		f, ok := single[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		r, err := f()
+		if err != nil {
+			return err
+		}
+		emit(r)
+		return nil
+	}
+}

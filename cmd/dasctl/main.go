@@ -1,0 +1,99 @@
+// Command dasctl inspects DAS data distributions: given a file and system
+// geometry it prints the strip→server placement under the round-robin,
+// grouped, and grouped-replicated policies, the replica sets, capacity
+// overhead, and the dependent-strip fetch plan an active storage server
+// would execute for a named operator.
+//
+// Usage:
+//
+//	dasctl -servers 12 -strips 24                        # placement maps
+//	dasctl -servers 12 -op flow-routing -width 8192 \
+//	       -size 25165824                                # fetch plan summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/predict"
+)
+
+func main() {
+	servers := flag.Int("servers", 4, "number of storage servers (D)")
+	strips := flag.Int64("strips", 16, "strips to display in placement maps")
+	groupSize := flag.Int("r", 4, "strips per group for the improved distribution")
+	halo := flag.Int("halo", 1, "boundary strips replicated per group side")
+	stripSize := flag.Int64("strip-size", 64*1024, "strip size in bytes")
+	op := flag.String("op", "", "operator whose fetch plan to analyze (e.g. flow-routing)")
+	width := flag.Int("width", 8192, "raster width in elements")
+	size := flag.Int64("size", 0, "file size in bytes (required with -op)")
+	flag.Parse()
+
+	if err := run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size); err != nil {
+		fmt.Fprintln(os.Stderr, "dasctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(servers int, strips int64, r, halo int, stripSize int64, op string, width int, size int64) error {
+	if servers <= 0 || strips <= 0 {
+		return fmt.Errorf("servers and strips must be positive")
+	}
+	layouts := []layout.Layout{
+		layout.NewRoundRobin(servers),
+		layout.NewGrouped(servers, r),
+		layout.NewGroupedReplicated(servers, r, halo),
+	}
+	for _, lay := range layouts {
+		fmt.Printf("%s  (capacity overhead %.2f)\n", lay.Name(), layout.OverheadRatio(lay))
+		for s := int64(0); s < strips; s++ {
+			reps := lay.Replicas(s)
+			if len(reps) == 0 {
+				fmt.Printf("  strip %3d → server %d\n", s, lay.Primary(s))
+			} else {
+				fmt.Printf("  strip %3d → server %d  (replicas %v)\n", s, lay.Primary(s), reps)
+			}
+		}
+		fmt.Println()
+	}
+
+	if op == "" {
+		return nil
+	}
+	if size <= 0 {
+		return fmt.Errorf("-op requires -size")
+	}
+	k, ok := kernels.Default().Lookup(op)
+	if !ok {
+		return fmt.Errorf("unknown operator %q (known: %v)", op, kernels.Default().Names())
+	}
+	pat := kernels.Pattern(k)
+	fmt.Printf("operator %s, dependence record:\n%s\n", op, pat.String())
+
+	params := predict.Params{
+		ElemSize: grid.ElemSize, StripSize: stripSize, FileSize: size,
+		Width: width, OutputFactor: 1,
+	}
+	for _, lay := range layouts {
+		d, err := predict.Decide(pat, params, lay)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-40s offload=%v  strip fetches=%d (%d bytes)  %s\n",
+			lay.Name(), d.Offload, d.Analysis.StripFetches, d.Analysis.StripFetchBytes, d.Reason)
+	}
+	rec, ok, err := predict.RecommendLayout(pat, params, servers, 0.5)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Printf("recommended: %s (overhead %.2f)\n", rec.Name(), layout.OverheadRatio(rec))
+	} else {
+		fmt.Println("recommended: keep round-robin (pattern has no dependence)")
+	}
+	return nil
+}

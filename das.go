@@ -1,0 +1,190 @@
+// Package das is a library-level reproduction of "Dynamic Active Storage
+// for High Performance I/O" (Chen & Chen, ICPP 2012): an active storage
+// architecture for parallel file systems that understands the data
+// dependence of offloaded operations.
+//
+// The paper's observation is that offloading a stencil-style kernel (flow
+// routing, flow accumulation, Gaussian filtering — anything that reads a
+// neighborhood around each element) to storage servers backfires under
+// the default round-robin striping: the neighbors of elements near strip
+// boundaries live on other servers, so "active" storage generates more
+// traffic than it avoids. DAS fixes this with three mechanisms, all
+// implemented here:
+//
+//   - Kernel Features: per-operator dependence patterns expressed as
+//     signed element offsets (features package, §III-B record format).
+//   - A bandwidth prediction core that locates every dependent element
+//     under the file's actual layout and accepts an offload request only
+//     when it beats normal I/O (Eqs. (1)–(5), (11)–(13), (17)).
+//   - An improved data distribution that groups r successive strips per
+//     server and replicates group-boundary strips to the adjacent
+//     servers, making dependence local at a capacity cost of 2·halo/r.
+//
+// Because the paper's platform was a 60-node Lustre allocation, this
+// reproduction runs on a deterministic discrete-event simulation of a
+// cluster — compute nodes, storage nodes with disks, NIC-level network
+// contention, and a PVFS2-like striped parallel file system — while the
+// kernels process real bytes: every scheme's output is verified against a
+// sequential reference. See DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for measured-vs-paper results.
+//
+// # Quick start
+//
+//	sys, _ := das.NewSystem(das.DefaultClusterConfig())
+//	dem := das.Terrain(8192, 384, 42)
+//	lay, _ := sys.PlanLayout("flow-routing", dem.W, das.ElemSize, 64<<10, dem.SizeBytes(), 0)
+//	sys.IngestGrid("dem", dem, lay, 64<<10)
+//	rep, _ := sys.Execute(das.Request{
+//		Op: "flow-routing", Input: "dem", Output: "dirs", Scheme: das.DAS,
+//	})
+//	fmt.Println(rep.ExecTime, rep.Offloaded)
+//
+// The cmd/ tools expose the same machinery from the command line:
+// dasbench regenerates every figure and table of the paper's evaluation,
+// dasadvise runs the prediction core standalone, dasctl prints placement
+// maps and fetch plans, and dasgen writes workload rasters.
+package das
+
+import (
+	"github.com/hpcio/das/internal/cluster"
+	"github.com/hpcio/das/internal/core"
+	"github.com/hpcio/das/internal/experiments"
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/predict"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/workload"
+)
+
+// System is a deployed DAS platform: simulated cluster, parallel file
+// system, active storage service, and the kernel/feature registries.
+type System = core.System
+
+// Request submits one operation to a System; Report is its outcome.
+type (
+	Request = core.Request
+	Report  = core.Report
+)
+
+// Scheme selects the execution strategy of a Request.
+type Scheme = core.Scheme
+
+// The paper's three evaluation schemes.
+const (
+	// TS is Traditional Storage: data moves to compute nodes.
+	TS = core.TS
+	// NAS is Normal Active Storage: blind offloading over round-robin
+	// placement, as existing active storage systems behave.
+	NAS = core.NAS
+	// DAS is Dynamic Active Storage: dependence-aware layout plus the
+	// accept/reject prediction core.
+	DAS = core.DAS
+)
+
+// ClusterConfig parameterizes the simulated platform.
+type ClusterConfig = cluster.Config
+
+// ElemSize is the on-disk size of one raster element (bytes).
+const ElemSize = grid.ElemSize
+
+// DefaultStripSize is the PVFS2 default strip size the paper quotes.
+const DefaultStripSize = 64 * 1024
+
+// NewSystem builds a platform with the paper's kernels registered.
+func NewSystem(cfg ClusterConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// DefaultClusterConfig returns the calibrated simulation cost model.
+func DefaultClusterConfig() ClusterConfig { return cluster.Default() }
+
+// Grid is a dense row-major raster of float64 cells.
+type Grid = grid.Grid
+
+// NewGrid allocates a zero raster.
+func NewGrid(w, h int) *Grid { return grid.New(w, h) }
+
+// Terrain generates a synthetic digital elevation model; Image generates
+// a speckled intensity raster. Both are deterministic in the seed.
+func Terrain(w, h int, seed uint64) *Grid { return workload.Terrain(w, h, seed) }
+
+// Image generates a speckled intensity raster for the filtering kernels.
+func Image(w, h int, seed uint64, speckleFrac float64) *Grid {
+	return workload.Image(w, h, seed, speckleFrac)
+}
+
+// Layout maps a file's strips onto storage servers.
+type Layout = layout.Layout
+
+// RoundRobin is the parallel file system's default placement.
+func RoundRobin(servers int) Layout { return layout.NewRoundRobin(servers) }
+
+// GroupedReplicated is the paper's improved distribution: r successive
+// strips per server with halo boundary strips replicated to neighbors.
+func GroupedReplicated(servers, r, halo int) Layout {
+	return layout.NewGroupedReplicated(servers, r, halo)
+}
+
+// Kernel is one offloadable analysis operation; Pattern extracts its
+// dependence record.
+type Kernel = kernels.Kernel
+
+// Pattern returns a kernel's Kernel Features record.
+func Pattern(k Kernel) features.Pattern { return kernels.Pattern(k) }
+
+// ApplyKernel runs a kernel sequentially over a whole raster — the
+// reference every distributed scheme must match byte for byte.
+func ApplyKernel(k Kernel, g *Grid) *Grid { return kernels.Apply(k, g) }
+
+// Accumulate computes full basin-wide flow accumulation over a direction
+// raster (the global companion to the local flow-accumulation kernel).
+func Accumulate(dirs *Grid) *Grid { return kernels.Accumulate(dirs) }
+
+// DefaultKernels returns a registry with the paper's kernels:
+// flow-routing, flow-accumulation, gaussian-filter, median-filter.
+func DefaultKernels() *kernels.Registry { return kernels.Default() }
+
+// Makespan returns the completion time of the slowest report in a batch
+// produced by System.ExecuteConcurrent.
+func Makespan(reports []Report) sim.Time { return core.Makespan(reports) }
+
+// Reducer is a data-reducing scan (stats, histogram): the dependence-free
+// workload classic active storage was built for. ReduceRequest submits
+// one; ReduceReport is its outcome.
+type (
+	Reducer       = kernels.Reducer
+	ReduceRequest = core.ReduceRequest
+	ReduceReport  = core.ReduceReport
+)
+
+// ReduceAll runs a reducer sequentially over a whole raster — the
+// reference distributed reductions must reproduce.
+func ReduceAll(r Reducer, g *Grid) []float64 { return kernels.ReduceAll(r, g) }
+
+// Mean and StdDev interpret a "stats" aggregate.
+func Mean(agg []float64) float64   { return kernels.Mean(agg) }
+func StdDev(agg []float64) float64 { return kernels.StdDev(agg) }
+
+// PredictParams parameterizes a standalone prediction; Decision is the
+// prediction core's verdict.
+type (
+	PredictParams = predict.Params
+	Decision      = predict.Decision
+)
+
+// Decide runs the bandwidth prediction core against a concrete layout.
+func Decide(pat features.Pattern, p PredictParams, lay Layout) (Decision, error) {
+	return predict.Decide(pat, p, lay)
+}
+
+// Eq17 is the paper's closed-form locality criterion for stride patterns.
+func Eq17(stride, elemSize, stripSize int64, r, d int) bool {
+	return predict.Eq17(stride, elemSize, stripSize, r, d)
+}
+
+// ExperimentConfig parameterizes the evaluation sweeps; the zero-config
+// entry point is DefaultExperiments.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperiments mirrors the paper's §IV setup (1 GB → 1 MiB scale).
+func DefaultExperiments() ExperimentConfig { return experiments.Default() }

@@ -1,0 +1,138 @@
+package das_test
+
+import (
+	"fmt"
+	"testing"
+
+	das "github.com/hpcio/das"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys, err := das.NewSystem(das.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	dem := das.Terrain(512, 96, 42)
+	lay, err := sys.PlanLayout("flow-routing", dem.W, das.ElemSize, 4096, dem.SizeBytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestGrid("dem", dem, lay, 4096); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Execute(das.Request{Op: "flow-routing", Input: "dem", Output: "dirs", Scheme: das.DAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Offloaded || rep.Stats.RemoteFetches != 0 {
+		t.Errorf("expected free local offload: %+v", rep)
+	}
+	got, err := sys.FetchGrid("dirs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := das.DefaultKernels().Lookup("flow-routing")
+	if !ok {
+		t.Fatal("flow-routing missing from default registry")
+	}
+	if !got.Equal(das.ApplyKernel(k, dem)) {
+		t.Error("public API run differs from sequential reference")
+	}
+}
+
+func TestPublicReduceAPI(t *testing.T) {
+	sys, err := das.NewSystem(das.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	img := das.Image(512, 64, 7, 0.02)
+	if _, err := sys.IngestGrid("img", img, das.RoundRobin(sys.FS.Servers()), 4096); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Reduce(das.ReduceRequest{Op: "stats", Input: "img", Scheme: das.DAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Offloaded {
+		t.Error("reduction not offloaded")
+	}
+	red, _ := sys.Reducers.Lookup("stats")
+	want := das.ReduceAll(red, img)
+	// Partials merge in server order, so the float sum can differ from the
+	// sequential order in the last bits.
+	if d := das.Mean(rep.Result) - das.Mean(want); d > 1e-9 || d < -1e-9 {
+		t.Errorf("mean %v != %v", das.Mean(rep.Result), das.Mean(want))
+	}
+	if das.StdDev(rep.Result) <= 0 {
+		t.Error("stddev should be positive for a speckled image")
+	}
+}
+
+func TestPipelinePublicAPI(t *testing.T) {
+	sys, err := das.NewSystem(das.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	dem := das.Terrain(512, 96, 9)
+	lay, err := sys.PlanLayout("flow-routing", dem.W, das.ElemSize, 4096, dem.SizeBytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestGrid("dem", dem, lay, 4096); err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{"flow-routing", "flow-accumulation"}
+	reports, err := sys.ExecutePipeline(das.DAS, "dem", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || !reports[1].Offloaded {
+		t.Errorf("pipeline reports: %+v", reports)
+	}
+}
+
+// ExampleEq17 demonstrates the paper's closed-form locality criterion for
+// stride patterns: a stride of exactly D strip-groups lands every
+// dependence on its element's own server.
+func ExampleEq17() {
+	const (
+		elemSize  = 8
+		stripSize = 64 * 1024
+		r         = 1
+		servers   = 12
+	)
+	elemsPerStrip := int64(stripSize / elemSize)
+	for _, stride := range []int64{elemsPerStrip, servers * elemsPerStrip} {
+		fmt.Printf("stride %d elements: local=%v\n",
+			stride, das.Eq17(stride, elemSize, stripSize, r, servers))
+	}
+	// Output:
+	// stride 8192 elements: local=false
+	// stride 98304 elements: local=true
+}
+
+// ExampleDecide runs the bandwidth prediction core standalone: the same
+// 8-neighbor operator is rejected under round-robin placement and
+// accepted under the improved distribution.
+func ExampleDecide() {
+	k, _ := das.DefaultKernels().Lookup("flow-routing")
+	params := das.PredictParams{
+		ElemSize:     das.ElemSize,
+		StripSize:    das.DefaultStripSize,
+		FileSize:     24 << 20,
+		Width:        8192,
+		OutputFactor: 1,
+	}
+	rr, _ := das.Decide(das.Pattern(k), params, das.RoundRobin(12))
+	improved, _ := das.Decide(das.Pattern(k), params, das.GroupedReplicated(12, 8, 2))
+	fmt.Printf("round-robin: offload=%v\n", rr.Offload)
+	fmt.Printf("improved:    offload=%v (local=%v)\n",
+		improved.Offload, improved.Analysis.LocalByLayout)
+	// Output:
+	// round-robin: offload=false
+	// improved:    offload=true (local=true)
+}

@@ -1,0 +1,56 @@
+// Scan statistics: the classic active storage workload. Reductions have
+// an empty dependence pattern — the "desired situation" the paper's
+// introduction describes — so offloading them is pure win: every storage
+// server folds its local strips and only a 40-byte partial aggregate
+// crosses the network, versus the whole raster under Traditional Storage.
+// The DAS prediction core accepts such requests unconditionally (Σ aj = 0).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	das "github.com/hpcio/das"
+	"github.com/hpcio/das/internal/metrics"
+)
+
+func main() {
+	dem := das.Terrain(8192, 384, 21)
+	fmt.Printf("raster: %dx%d, %.1f MiB\n\n", dem.W, dem.H, float64(dem.SizeBytes())/(1<<20))
+
+	for _, scheme := range []das.Scheme{das.TS, das.DAS} {
+		sys, err := das.NewSystem(das.DefaultClusterConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.IngestGrid("dem", dem, das.RoundRobin(sys.FS.Servers()), das.DefaultStripSize); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Reduce(das.ReduceRequest{Op: "stats", Input: "dem", Scheme: scheme})
+		if err != nil {
+			log.Fatal(err)
+		}
+		toClient := rep.Traffic[metrics.ServerToClient]
+		fmt.Printf("%s: %v  offloaded=%v  bytes to compute nodes: %s\n",
+			scheme, rep.ExecTime, rep.Offloaded, fmtBytes(toClient))
+		fmt.Printf("   mean elevation %.2f, σ %.2f, range [%.2f, %.2f]\n\n",
+			das.Mean(rep.Result), das.StdDev(rep.Result), rep.Result[3], rep.Result[4])
+		sys.Close()
+	}
+
+	fmt.Println("Same aggregate either way — but offloading moves five numbers")
+	fmt.Println("per server instead of the raster. No dependence, no catch: this")
+	fmt.Println("is the workload active storage was invented for, and the DAS")
+	fmt.Println("prediction core recognizes it without any layout change.")
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,82 @@
+// Terrain analysis: the paper's motivating GIS pipeline. Flow-routing
+// produces an intermediate direction raster which flow-accumulation then
+// consumes with the same 8-neighbor dependence (§I). Under DAS the
+// intermediate is written in the same improved distribution as its input,
+// so the successor operation offloads with zero dependent-data movement —
+// the "successive operations" payoff the paper argues for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	das "github.com/hpcio/das"
+	"github.com/hpcio/das/internal/metrics"
+)
+
+func main() {
+	dem := das.Terrain(8192, 192, 7)
+	fmt.Printf("terrain: %dx%d, %.1f MiB\n\n", dem.W, dem.H, float64(dem.SizeBytes())/(1<<20))
+
+	sys, err := das.NewSystem(das.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lay, err := sys.PlanLayout("flow-routing", dem.W, das.ElemSize, das.DefaultStripSize, dem.SizeBytes(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DAS arranged layout: %s\n", lay.Name())
+	if _, err := sys.IngestGrid("dem", dem, lay, das.DefaultStripSize); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: flow routing, offloaded to the storage servers.
+	r1, err := sys.Execute(das.Request{Op: "flow-routing", Input: "dem", Output: "dirs", Scheme: das.DAS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow-routing:      %v offloaded=%v fetches=%d server↔server=%s\n",
+		r1.ExecTime, r1.Offloaded, r1.Stats.RemoteFetches,
+		fmtBytes(r1.Traffic[metrics.ServerToServer]))
+
+	// Stage 2: the successor consumes the intermediate in place.
+	r2, err := sys.Execute(das.Request{Op: "flow-accumulation", Input: "dirs", Output: "acc", Scheme: das.DAS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow-accumulation: %v offloaded=%v fetches=%d reconfigured=%v\n\n",
+		r2.ExecTime, r2.Offloaded, r2.Stats.RemoteFetches, r2.Reconfigured)
+
+	// Pull the direction raster back for a full basin-wide accumulation —
+	// the global analysis that runs client-side on the reduced data.
+	dirs, err := sys.FetchGrid("dirs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	basin := das.Accumulate(dirs)
+	row, col, best := 0, 0, 0.0
+	for r := 0; r < basin.H; r++ {
+		for c := 0; c < basin.W; c++ {
+			if v := basin.At(r, c); v > best {
+				best, row, col = v, r, c
+			}
+		}
+	}
+	fmt.Printf("largest drainage: %.0f cells pass through (%d,%d)\n", best, row, col)
+
+	// Sanity: the offloaded local step must match the sequential kernel.
+	acc, err := sys.FetchGrid("acc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, _ := das.DefaultKernels().Lookup("flow-accumulation")
+	if !acc.Equal(das.ApplyKernel(k, dirs)) {
+		log.Fatal("offloaded accumulation differs from sequential reference")
+	}
+	fmt.Println("offloaded results verified against sequential reference")
+}
+
+func fmtBytes(n int64) string {
+	return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+}

@@ -1,0 +1,3 @@
+module github.com/hpcio/das
+
+go 1.22

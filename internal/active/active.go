@@ -1,0 +1,451 @@
+// Package active implements the active storage layer of the DAS
+// architecture (Fig. 2): an Active Storage Client on the compute side and
+// an AS helper process on every storage server that invokes the processing
+// kernels over the server's local strips through the local I/O API.
+//
+// The layer supports the fetch strategies the paper compares:
+//
+//   - FetchWholeStrips: when an element's dependence window leaves the
+//     server's local holdings, the server requests the whole dependent
+//     strips from their owners — the behaviour of existing ("normal")
+//     active storage systems, whose cost §IV-B1 demonstrates.
+//   - FetchRows: an optimized variant that requests only the byte range
+//     actually needed from each dependent strip (the ablation showing DAS
+//     wins even against a smarter NAS).
+//   - LocalOnly: dependence must resolve from local strips and replicas;
+//     reaching a missing element is an error. This is the mode DAS uses
+//     after the prediction core has verified the layout (Eq. (17) or its
+//     generalization), so any violation is a bug, not a fallback.
+package active
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/predict"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// Port is the mailbox active storage servers listen on.
+const Port = "as"
+
+const headerBytes = 128
+
+// FetchMode selects how a server resolves dependent data it does not hold.
+type FetchMode int
+
+const (
+	// FetchWholeStrips transfers entire dependent strips from their
+	// owners, as existing active storage systems do.
+	FetchWholeStrips FetchMode = iota
+	// FetchRows transfers only the needed byte range of each dependent
+	// strip.
+	FetchRows
+	// LocalOnly forbids remote fetches; dependence must be satisfied by
+	// local strips and replicas.
+	LocalOnly
+)
+
+// String names the mode for reports.
+func (m FetchMode) String() string {
+	switch m {
+	case FetchWholeStrips:
+		return "whole-strips"
+	case FetchRows:
+		return "rows"
+	case LocalOnly:
+		return "local-only"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// execReq asks one server to process its share of an offloaded operation.
+type execReq struct {
+	Op     string
+	Input  string
+	Output string
+	Mode   FetchMode
+}
+
+// Phases breaks one worker's elapsed time into the pipeline stages the
+// paper's analysis talks about. Durations are wall (simulated) time spent
+// blocked in each stage, so queueing on a contended disk or NIC counts
+// toward the stage that waited — exactly the "increased load" effect.
+type Phases struct {
+	LocalRead sim.Time // local strip + replica reads through the disk
+	Fetch     sim.Time // waiting for dependent data from other servers
+	Compute   sim.Time // kernel execution
+	Write     sim.Time // local output writes
+	Forward   sim.Time // waiting for replica forwarding to complete
+}
+
+// Add accumulates another worker's phases.
+func (ph *Phases) Add(o Phases) {
+	ph.LocalRead += o.LocalRead
+	ph.Fetch += o.Fetch
+	ph.Compute += o.Compute
+	ph.Write += o.Write
+	ph.Forward += o.Forward
+}
+
+// MaxWith keeps, per phase, the larger of the two — the critical-path view
+// across workers.
+func (ph *Phases) MaxWith(o Phases) {
+	ph.LocalRead = maxTime(ph.LocalRead, o.LocalRead)
+	ph.Fetch = maxTime(ph.Fetch, o.Fetch)
+	ph.Compute = maxTime(ph.Compute, o.Compute)
+	ph.Write = maxTime(ph.Write, o.Write)
+	ph.Forward = maxTime(ph.Forward, o.Forward)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// execResp reports one server's execution statistics.
+type execResp struct {
+	Err           string
+	Strips        int64 // primary strips processed
+	Elements      int64 // elements produced
+	RemoteFetches int64 // remote strip (or row-range) requests issued
+	RemoteBytes   int64 // bytes fetched from other servers
+	Phases        Phases
+}
+
+// ExecStats aggregates the per-server results of one offloaded operation.
+type ExecStats struct {
+	Servers       int
+	Strips        int64
+	Elements      int64
+	RemoteFetches int64
+	RemoteBytes   int64
+	// PhaseMax holds, per phase, the busiest server's time — the
+	// critical-path decomposition of the operation.
+	PhaseMax Phases
+}
+
+// Service runs the AS helper process on every storage server.
+type Service struct {
+	fs       *pfs.FileSystem
+	registry *kernels.Registry
+	reducers *kernels.ReducerRegistry
+}
+
+// Deploy starts an AS helper daemon on each storage node of an existing
+// file system. A nil reducer registry installs the defaults.
+func Deploy(fs *pfs.FileSystem, registry *kernels.Registry, reducers *kernels.ReducerRegistry) *Service {
+	if reducers == nil {
+		reducers = kernels.DefaultReducers()
+	}
+	svc := &Service{fs: fs, registry: registry, reducers: reducers}
+	for s := 0; s < fs.Servers(); s++ {
+		srv := fs.Server(s)
+		fs.Cluster().Eng.SpawnDaemon(fmt.Sprintf("as-server-%d", s), func(p *sim.Proc) {
+			port := fs.Cluster().Net.Node(srv.NodeID()).Port(Port)
+			reqs := 0
+			for {
+				msg := port.Get(p)
+				reqs++
+				p.Spawn(fmt.Sprintf("as-exec-%d-%d", s, reqs), func(h *sim.Proc) {
+					svc.handle(h, srv, msg)
+				})
+			}
+		})
+	}
+	return svc
+}
+
+func (svc *Service) handle(p *sim.Proc, srv *pfs.Server, msg simnet.Message) {
+	clu := svc.fs.Cluster()
+	switch req := msg.Payload.(type) {
+	case execReq:
+		respond := func(r execResp) {
+			clu.Net.Respond(p, msg, r, headerBytes, clu.ClassBetween(srv.NodeID(), msg.From))
+		}
+		resp, err := svc.exec(p, srv, req)
+		if err != nil {
+			respond(execResp{Err: err.Error()})
+			return
+		}
+		respond(resp)
+	case reduceReq:
+		svc.handleReduce(p, srv, msg)
+	default:
+		clu.Net.Respond(p, msg, execResp{Err: fmt.Sprintf("unknown request %T", msg.Payload)},
+			headerBytes, clu.ClassBetween(srv.NodeID(), msg.From))
+	}
+}
+
+// exec processes every run of consecutive primary strips this server owns:
+// it assembles the run's band (local reads, replica reads, and — depending
+// on the mode — remote fetches), invokes the kernel, and writes the output
+// strips locally, forwarding output replicas as the output layout demands.
+func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, error) {
+	clu := svc.fs.Cluster()
+	in, ok := svc.fs.Meta(req.Input)
+	if !ok {
+		return execResp{}, fmt.Errorf("active: unknown input %q", req.Input)
+	}
+	out, ok := svc.fs.Meta(req.Output)
+	if !ok {
+		return execResp{}, fmt.Errorf("active: unknown output %q", req.Output)
+	}
+	if in.Width == 0 || in.ElemSize == 0 {
+		return execResp{}, fmt.Errorf("active: input %q lacks raster metadata", req.Input)
+	}
+	if out.Size != in.Size || out.StripSize != in.StripSize {
+		return execResp{}, fmt.Errorf("active: output geometry differs from input")
+	}
+	k, ok := svc.registry.Lookup(req.Op)
+	if !ok {
+		return execResp{}, fmt.Errorf("active: unknown operator %q", req.Op)
+	}
+
+	lc := in.Locator()
+	total := in.Size / in.ElemSize
+	maxAbs := kernels.Pattern(k).MaxAbsOffset(in.Width)
+
+	var resp execResp
+	var forwards []*sim.Signal[error]
+	for _, run := range primaryRuns(srv, in) {
+		e0 := run.lo / in.ElemSize
+		e1 := run.hi / in.ElemSize
+		lo, hi := grid.HaloRange(e0, e1, maxAbs, total)
+		band := grid.NewBand(in.Width, total, e0, e1, lo, hi)
+
+		// Assemble the band: all locally held strips (the run plus any
+		// replicas) come in one batched disk pass; missing strips are
+		// fetched from their owners per the request's mode. Only strips
+		// the dependence pattern actually touches are read — a sparse
+		// stride pattern skips the strips between its endpoints.
+		offs := kernels.Pattern(k).Resolve(in.Width)
+		var localSpans []pfs.Span
+		var localLo []int64
+		type remote struct{ strip, needLo, needHi int64 }
+		var remotes []remote
+		for _, t := range predict.NeededStrips(lc, offs, e0, e1, total) {
+			tLo, tHi := in.StripBounds(t)
+			needLo, needHi := lo*in.ElemSize, hi*in.ElemSize
+			if needLo < tLo {
+				needLo = tLo
+			}
+			if needHi > tHi {
+				needHi = tHi
+			}
+			if needHi <= needLo {
+				continue
+			}
+			if srv.Holds(req.Input, t) {
+				localSpans = append(localSpans, pfs.Span{Strip: t, Lo: needLo - tLo, Hi: needHi - tLo})
+				localLo = append(localLo, needLo)
+			} else {
+				remotes = append(remotes, remote{strip: t, needLo: needLo, needHi: needHi})
+			}
+		}
+		if len(localSpans) > 0 {
+			t0 := p.Now()
+			chunks, err := srv.LocalReadMany(p, req.Input, localSpans)
+			if err != nil {
+				return execResp{}, err
+			}
+			resp.Phases.LocalRead += p.Now() - t0
+			clu.Trace.Record(t0, p.Now()-t0, actor(srv), "local-read",
+				fmt.Sprintf("%d spans for strips %d-%d of %s", len(localSpans), run.first, run.last, req.Input))
+			for i, chunk := range chunks {
+				band.Fill(localLo[i]/in.ElemSize, grid.FloatsFromBytes(chunk))
+			}
+		}
+		// Dependent-strip fetches for one run go out concurrently (the
+		// requests target distinct owners); the run still cannot compute
+		// until every response arrives, and the amplified traffic still
+		// serializes on the NICs and disks it crosses.
+		type fetched struct {
+			data  []byte
+			gotLo int64
+			err   error
+		}
+		fetchStart := p.Now()
+		fetchSigs := make([]*sim.Signal[fetched], len(remotes))
+		for i, rm := range remotes {
+			rm := rm
+			sig := sim.NewSignal[fetched](clu.Eng, fmt.Sprintf("as-fetch-%d-%d", srv.Index(), rm.strip))
+			fetchSigs[i] = sig
+			p.Spawn(fmt.Sprintf("as-fetch-%d-%d", srv.Index(), rm.strip), func(f *sim.Proc) {
+				data, gotLo, err := svc.fetchRemote(f, srv, in, req.Mode, rm.strip, rm.needLo, rm.needHi)
+				sig.Fire(fetched{data: data, gotLo: gotLo, err: err})
+			})
+		}
+		for _, got := range sim.WaitAll(p, fetchSigs) {
+			if got.err != nil {
+				return execResp{}, got.err
+			}
+			resp.RemoteFetches++
+			resp.RemoteBytes += int64(len(got.data))
+			band.Fill(got.gotLo/in.ElemSize, grid.FloatsFromBytes(got.data))
+		}
+		resp.Phases.Fetch += p.Now() - fetchStart
+		if len(remotes) > 0 {
+			clu.Trace.Record(fetchStart, p.Now()-fetchStart, actor(srv), "fetch",
+				fmt.Sprintf("%d dependent strips for strips %d-%d (%s)", len(remotes), run.first, run.last, req.Mode))
+		}
+
+		// Run the kernel: real computation on real bytes, plus the
+		// simulated CPU cost of processing the run's elements.
+		outVals := make([]float64, e1-e0)
+		k.ApplyBand(band, outVals)
+		computeStart := p.Now()
+		p.Sleep(clu.ComputeTime(e1-e0, k.Weight()))
+		resp.Phases.Compute += p.Now() - computeStart
+		clu.Trace.Record(computeStart, p.Now()-computeStart, actor(srv), "compute",
+			fmt.Sprintf("%s over %d elements", req.Op, e1-e0))
+		resp.Elements += e1 - e0
+
+		// Write the run's output strips locally in one batched disk pass.
+		// Replica copies demanded by the output layout are pushed lazily
+		// on a child process, overlapping replication with the next run's
+		// disk and compute work; the exec completes only after every
+		// forward has been acknowledged.
+		outBytes := grid.FloatsToBytes(outVals)
+		strips := make([]int64, 0, run.last-run.first+1)
+		chunks := make([][]byte, 0, run.last-run.first+1)
+		for t := run.first; t <= run.last; t++ {
+			tLo, tHi := out.StripBounds(t)
+			strips = append(strips, t)
+			chunks = append(chunks, outBytes[tLo-run.lo:tHi-run.lo])
+		}
+		writeStart := p.Now()
+		if err := srv.LocalWriteMany(p, req.Output, strips, chunks, false); err != nil {
+			return execResp{}, err
+		}
+		resp.Phases.Write += p.Now() - writeStart
+		clu.Trace.Record(writeStart, p.Now()-writeStart, actor(srv), "write",
+			fmt.Sprintf("%d output strips of %s", len(strips), req.Output))
+		done := sim.NewSignal[error](clu.Eng, fmt.Sprintf("as-forward-%d-%d", srv.Index(), run.first))
+		forwards = append(forwards, done)
+		p.Spawn(fmt.Sprintf("as-forward-%d-%d", srv.Index(), run.first), func(f *sim.Proc) {
+			done.Fire(srv.ForwardReplicas(f, req.Output, strips, chunks))
+		})
+		resp.Strips += int64(len(strips))
+	}
+	forwardStart := p.Now()
+	for _, err := range sim.WaitAll(p, forwards) {
+		if err != nil {
+			return execResp{}, err
+		}
+	}
+	resp.Phases.Forward += p.Now() - forwardStart
+	if len(forwards) > 0 {
+		clu.Trace.Record(forwardStart, p.Now()-forwardStart, actor(srv), "forward-wait",
+			fmt.Sprintf("%d replica batches of %s", len(forwards), req.Output))
+	}
+	return resp, nil
+}
+
+// fetchRemote resolves a byte range of a strip this server does not hold.
+func (svc *Service) fetchRemote(p *sim.Proc, srv *pfs.Server, in *pfs.FileMeta, mode FetchMode, t, needLo, needHi int64) (data []byte, gotLo int64, err error) {
+	if mode == LocalOnly {
+		return nil, 0, fmt.Errorf("active: server %d needs strip %d of %q but mode is local-only (layout violates the locality the predictor verified)",
+			srv.Index(), t, in.Name)
+	}
+	owner := in.Layout.Primary(t)
+	tLo, _ := in.StripBounds(t)
+	switch mode {
+	case FetchWholeStrips:
+		data, err = svc.fs.ReadStripFrom(p, srv.NodeID(), owner, in.Name, t, 0, 0)
+		return data, tLo, err
+	case FetchRows:
+		data, err = svc.fs.ReadStripFrom(p, srv.NodeID(), owner, in.Name, t, needLo-tLo, needHi-tLo)
+		return data, needLo, err
+	default:
+		return nil, 0, fmt.Errorf("active: unsupported fetch mode %v", mode)
+	}
+}
+
+// actor names a storage server for trace events.
+func actor(srv *pfs.Server) string { return fmt.Sprintf("server-%d", srv.Index()) }
+
+// stripRun is a maximal run of consecutive strips whose primary is one
+// server, with its byte range [lo, hi).
+type stripRun struct {
+	first, last int64
+	lo, hi      int64
+}
+
+// primaryRuns enumerates the server's primary strips as consecutive runs:
+// single strips under round-robin, whole groups under the improved
+// distribution. Processing per run reads shared halo data once instead of
+// once per strip.
+func primaryRuns(srv *pfs.Server, m *pfs.FileMeta) []stripRun {
+	var runs []stripRun
+	strips := m.Strips()
+	for s := int64(0); s < strips; s++ {
+		if m.Layout.Primary(s) != srv.Index() {
+			continue
+		}
+		lo, hi := m.StripBounds(s)
+		if n := len(runs); n > 0 && runs[n-1].last == s-1 {
+			runs[n-1].last = s
+			runs[n-1].hi = hi
+			continue
+		}
+		runs = append(runs, stripRun{first: s, last: s, lo: lo, hi: hi})
+	}
+	return runs
+}
+
+// Client is the Active Storage Client from Fig. 2, bound to a compute
+// node: it dispatches offloaded operations to every storage server and
+// aggregates their statistics.
+type Client struct {
+	fs     *pfs.FileSystem
+	nodeID int
+}
+
+// NewClient binds an active storage client to a node.
+func NewClient(fs *pfs.FileSystem, nodeID int) *Client {
+	return &Client{fs: fs, nodeID: nodeID}
+}
+
+// Exec offloads op over input, producing output (which must already be
+// created with the same geometry). It returns once every server has
+// finished its share.
+func (c *Client) Exec(p *sim.Proc, op, input, output string, mode FetchMode) (ExecStats, error) {
+	clu := c.fs.Cluster()
+	sigs := make([]*sim.Signal[execResp], 0, c.fs.Servers())
+	for s := 0; s < c.fs.Servers(); s++ {
+		s := s
+		done := sim.NewSignal[execResp](clu.Eng, fmt.Sprintf("as-exec:%s:%d", op, s))
+		sigs = append(sigs, done)
+		p.Spawn(fmt.Sprintf("as-dispatch-%s-%d", op, s), func(d *sim.Proc) {
+			resp := clu.Net.Call(d, simnet.Message{
+				From:    c.nodeID,
+				To:      clu.StorageID(s),
+				Port:    Port,
+				Size:    headerBytes,
+				Class:   clu.ClassBetween(c.nodeID, clu.StorageID(s)),
+				Payload: execReq{Op: op, Input: input, Output: output, Mode: mode},
+			})
+			done.Fire(resp.Payload.(execResp))
+		})
+	}
+	var stats ExecStats
+	for _, r := range sim.WaitAll(p, sigs) {
+		if r.Err != "" {
+			return ExecStats{}, fmt.Errorf("active: %s", r.Err)
+		}
+		stats.Servers++
+		stats.Strips += r.Strips
+		stats.Elements += r.Elements
+		stats.RemoteFetches += r.RemoteFetches
+		stats.RemoteBytes += r.RemoteBytes
+		stats.PhaseMax.MaxWith(r.Phases)
+	}
+	return stats, nil
+}

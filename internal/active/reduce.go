@@ -1,0 +1,138 @@
+package active
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// reduceReq asks one server to fold its local strips of a file into a
+// partial aggregate.
+type reduceReq struct {
+	Op    string
+	Input string
+}
+
+// reduceResp carries one server's partial aggregate.
+type reduceResp struct {
+	Err      string
+	Partial  []float64
+	Elements int64
+}
+
+// ReduceStats aggregates a distributed reduction's execution.
+type ReduceStats struct {
+	Servers  int
+	Elements int64
+	// ReturnBytes is what actually crossed from servers to the client —
+	// the whole point of offloading a reduction.
+	ReturnBytes int64
+}
+
+// handleReduce folds every primary run of this server through the reducer
+// and responds with the merged partial. Reductions have no dependence, so
+// assembly needs no halo and no remote fetches.
+func (svc *Service) handleReduce(p *sim.Proc, srv *pfs.Server, msg simnet.Message) {
+	clu := svc.fs.Cluster()
+	req := msg.Payload.(reduceReq)
+	respond := func(r reduceResp, size int64) {
+		clu.Net.Respond(p, msg, r, size, clu.ClassBetween(srv.NodeID(), msg.From))
+	}
+	red, ok := svc.reducers.Lookup(req.Op)
+	if !ok {
+		respond(reduceResp{Err: fmt.Sprintf("active: unknown reducer %q", req.Op)}, headerBytes)
+		return
+	}
+	in, ok := svc.fs.Meta(req.Input)
+	if !ok {
+		respond(reduceResp{Err: fmt.Sprintf("active: unknown input %q", req.Input)}, headerBytes)
+		return
+	}
+	if in.Width == 0 || in.ElemSize == 0 {
+		respond(reduceResp{Err: fmt.Sprintf("active: input %q lacks raster metadata", req.Input)}, headerBytes)
+		return
+	}
+	total := in.Size / in.ElemSize
+	var partials [][]float64
+	var elements int64
+	for _, run := range primaryRuns(srv, in) {
+		e0, e1 := run.lo/in.ElemSize, run.hi/in.ElemSize
+		spans := make([]pfs.Span, 0, run.last-run.first+1)
+		for t := run.first; t <= run.last; t++ {
+			spans = append(spans, pfs.Span{Strip: t})
+		}
+		chunks, err := srv.LocalReadMany(p, req.Input, spans)
+		if err != nil {
+			respond(reduceResp{Err: err.Error()}, headerBytes)
+			return
+		}
+		band := grid.NewBand(in.Width, total, e0, e1, e0, e1)
+		off := e0
+		for _, chunk := range chunks {
+			vals := grid.FloatsFromBytes(chunk)
+			band.Fill(off, vals)
+			off += int64(len(vals))
+		}
+		partials = append(partials, red.ReduceBand(band))
+		p.Sleep(clu.ComputeTime(e1-e0, red.Weight()))
+		elements += e1 - e0
+	}
+	partial := red.Merge(partials)
+	respond(reduceResp{Partial: partial, Elements: elements},
+		headerBytes+int64(len(partial))*grid.ElemSize)
+}
+
+// ExecReduce offloads a reduction: every server folds its local strips and
+// returns only its partial aggregate; the client merges them. The returned
+// slice is the full aggregate (identical to kernels.ReduceAll on the whole
+// raster).
+func (c *Client) ExecReduce(p *sim.Proc, red kernels.Reducer, input string) ([]float64, ReduceStats, error) {
+	clu := c.fs.Cluster()
+	sigs := make([]*sim.Signal[reduceResp], 0, c.fs.Servers())
+	for s := 0; s < c.fs.Servers(); s++ {
+		s := s
+		done := sim.NewSignal[reduceResp](clu.Eng, fmt.Sprintf("as-reduce:%s:%d", red.Name(), s))
+		sigs = append(sigs, done)
+		p.Spawn(fmt.Sprintf("as-reduce-dispatch-%s-%d", red.Name(), s), func(d *sim.Proc) {
+			resp := clu.Net.Call(d, simnet.Message{
+				From:    c.nodeID,
+				To:      clu.StorageID(s),
+				Port:    Port,
+				Size:    headerBytes,
+				Class:   clu.ClassBetween(c.nodeID, clu.StorageID(s)),
+				Payload: reduceReq{Op: red.Name(), Input: input},
+			})
+			done.Fire(resp.Payload.(reduceResp))
+		})
+	}
+	var stats ReduceStats
+	var partials [][]float64
+	for _, resp := range sim.WaitAll(p, sigs) {
+		if resp.Err != "" {
+			return nil, ReduceStats{}, fmt.Errorf("active: %s", resp.Err)
+		}
+		// Guard against a client reducer parameterized differently from
+		// the server-side registration of the same name (e.g. histograms
+		// with different bin counts): merging mismatched partials would
+		// silently corrupt the aggregate.
+		if len(resp.Partial) != red.PartialLen() {
+			return nil, ReduceStats{}, fmt.Errorf(
+				"active: reducer %q returned %d-element partials, client expects %d (parameter mismatch with the server registration)",
+				red.Name(), len(resp.Partial), red.PartialLen())
+		}
+		stats.Servers++
+		stats.Elements += resp.Elements
+		stats.ReturnBytes += int64(len(resp.Partial)) * grid.ElemSize
+		if resp.Elements > 0 {
+			partials = append(partials, resp.Partial)
+		}
+	}
+	if len(partials) == 0 {
+		return nil, ReduceStats{}, fmt.Errorf("active: no server held data for %q", input)
+	}
+	return red.Merge(partials), stats, nil
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/sim"
+)
+
+func TestNodeIDPartitioning(t *testing.T) {
+	cfg := Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 3, 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ComputeID(0) != 0 || c.ComputeID(2) != 2 {
+		t.Error("compute ids must start at 0")
+	}
+	if c.StorageID(0) != 3 || c.StorageID(3) != 6 {
+		t.Error("storage ids must follow compute ids")
+	}
+	if c.IsStorage(2) || !c.IsStorage(3) || !c.IsStorage(6) || c.IsStorage(7) {
+		t.Error("IsStorage boundaries wrong")
+	}
+}
+
+func TestIndexRangePanics(t *testing.T) {
+	c, _ := New(Default())
+	for name, fn := range map[string]func(){
+		"compute -1":   func() { c.ComputeID(-1) },
+		"compute over": func() { c.ComputeID(c.Cfg.ComputeNodes) },
+		"storage -1":   func() { c.StorageID(-1) },
+		"storage over": func() { c.StorageID(c.Cfg.StorageNodes) },
+		"no disk":      func() { c.Disk(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEveryStorageNodeHasADisk(t *testing.T) {
+	c, _ := New(Default())
+	for s := 0; s < c.Cfg.StorageNodes; s++ {
+		if c.Disk(c.StorageID(s)) == nil {
+			t.Fatalf("storage %d missing disk", s)
+		}
+	}
+}
+
+func TestComputeTimeScalesWithWeight(t *testing.T) {
+	c, _ := New(Default())
+	base := c.ComputeTime(1000, 1.0)
+	if base != sim.Time(1000*c.Cfg.ComputeNsPerElem) {
+		t.Errorf("base compute time %v", base)
+	}
+	if c.ComputeTime(1000, 2.5) != sim.Time(2.5*float64(base)) {
+		t.Error("weight not applied")
+	}
+}
+
+func TestClassBetween(t *testing.T) {
+	cfg := Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 2, 2
+	c, _ := New(cfg)
+	cases := []struct {
+		from, to int
+		want     metrics.TrafficClass
+	}{
+		{0, 2, metrics.ClientToServer},
+		{2, 0, metrics.ServerToClient},
+		{2, 3, metrics.ServerToServer},
+		{0, 1, metrics.ClientToServer}, // client-to-client folds into the client class
+	}
+	for _, cse := range cases {
+		if got := c.ClassBetween(cse.from, cse.to); got != cse.want {
+			t.Errorf("ClassBetween(%d,%d) = %v, want %v", cse.from, cse.to, got, cse.want)
+		}
+	}
+}
+
+func TestUtilizationSnapshotAndDeltas(t *testing.T) {
+	cfg := Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 1, 2
+	c, _ := New(cfg)
+	before := c.UtilizationSnapshot()
+	c.Eng.Spawn("load", func(p *sim.Proc) {
+		// Busy server 1's disk for a known duration; leave server 0 idle.
+		c.Disk(c.StorageID(1)).Read(p, int64(cfg.Disk.ReadBytesPerSec)) // ≈1s
+	})
+	if err := c.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delta := c.UtilizationSnapshot().Sub(before)
+	if delta.Disk[0] != 0 {
+		t.Errorf("idle server accrued disk time %v", delta.Disk[0])
+	}
+	if delta.Disk[1] <= 0 {
+		t.Error("loaded server shows no disk time")
+	}
+	if got := delta.MaxDisk(); got != delta.Disk[1] {
+		t.Errorf("MaxDisk = %v, want %v", got, delta.Disk[1])
+	}
+	if delta.MaxEgress() != 0 || delta.MaxIngress() != 0 {
+		t.Error("no network activity expected")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.ComputeNodes = 0 },
+		func(c *Config) { c.StorageNodes = -1 },
+		func(c *Config) { c.Net.BytesPerSec = 0 },
+		func(c *Config) { c.ComputeNsPerElem = -5 },
+	}
+	for i, mutate := range bad {
+		cfg := Default()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/metrics"
+)
+
+func TestCollocatedNodeIdentity(t *testing.T) {
+	cfg := Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 4, 4
+	cfg.Collocated = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if c.ComputeID(i) != c.StorageID(i) {
+			t.Errorf("node %d: compute id %d != storage id %d", i, c.ComputeID(i), c.StorageID(i))
+		}
+		if !c.IsStorage(i) {
+			t.Errorf("node %d not a storage node", i)
+		}
+		if c.Disk(i) == nil {
+			t.Errorf("node %d missing disk", i)
+		}
+	}
+	if c.IsStorage(4) {
+		t.Error("node 4 should not exist")
+	}
+	if cfg.TotalNodes() != 4 {
+		t.Errorf("TotalNodes = %d, want 4", cfg.TotalNodes())
+	}
+}
+
+func TestCollocatedRequiresEqualSets(t *testing.T) {
+	cfg := Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 3, 4
+	cfg.Collocated = true
+	if _, err := New(cfg); err == nil {
+		t.Error("unequal collocated sets accepted")
+	}
+}
+
+func TestCollocatedTrafficClassesCollapse(t *testing.T) {
+	cfg := Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 4, 4
+	cfg.Collocated = true
+	c, _ := New(cfg)
+	// Every node is a server, so every remote transfer is server↔server.
+	if got := c.ClassBetween(0, 1); got != metrics.ServerToServer {
+		t.Errorf("ClassBetween = %v, want server↔server", got)
+	}
+}
+
+func TestSeparatedTotalNodes(t *testing.T) {
+	cfg := Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 3, 5
+	if cfg.TotalNodes() != 8 {
+		t.Errorf("TotalNodes = %d, want 8", cfg.TotalNodes())
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/cluster"
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/workload"
+)
+
+func collocatedConfig() cluster.Config {
+	cfg := cluster.Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 4, 4
+	cfg.Collocated = true
+	return cfg
+}
+
+// newCollocatedSystem mirrors newSystem for the second deployment model.
+func newCollocatedSystem(t *testing.T, scheme Scheme, g *grid.Grid) *System {
+	t.Helper()
+	s, err := NewSystem(collocatedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lay layout.Layout = layout.NewRoundRobin(s.FS.Servers())
+	if scheme == DAS {
+		lay, err = s.PlanLayout("flow-routing", g.W, grid.ElemSize, testStrip, g.SizeBytes(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.IngestGrid("in", g, lay, testStrip); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCollocatedSchemesStayCorrect runs the three schemes on the
+// collocated deployment (§III-A's second model): outputs must still match
+// the sequential reference exactly.
+func TestCollocatedSchemesStayCorrect(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	want := kernels.Apply(kernels.FlowRouting{}, g)
+	for _, scheme := range []Scheme{TS, NAS, DAS} {
+		s := newCollocatedSystem(t, scheme, g)
+		rep, err := s.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		got, err := s.FetchGrid("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%v collocated output differs from reference", scheme)
+		}
+		if rep.ExecTime <= 0 {
+			t.Errorf("%v: no exec time", scheme)
+		}
+	}
+}
+
+// TestCollocationGivesTSFreeLocalReads checks the physical effect of the
+// second model: a TS worker collocated with a storage server reads its
+// node-local strips over loopback, so total network bytes drop versus the
+// separated deployment at equal server count.
+func TestCollocationGivesTSFreeLocalReads(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+
+	sep := newSystem(t, TS, g) // 4 compute + 4 storage, separated
+	sepRep, err := sep.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: TS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := newCollocatedSystem(t, TS, g) // 4 nodes, each both roles
+	colRep, err := col.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: TS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepNet := sepRep.Traffic[metrics.ClientToServer] + sepRep.Traffic[metrics.ServerToClient] + sepRep.Traffic[metrics.ServerToServer]
+	colNet := colRep.Traffic[metrics.ClientToServer] + colRep.Traffic[metrics.ServerToClient] + colRep.Traffic[metrics.ServerToServer]
+	if colNet >= sepNet {
+		t.Errorf("collocated TS moved %d network bytes, separated %d — collocation should save the local share", colNet, sepNet)
+	}
+	// With D=4 servers and contiguous per-worker blocks over round-robin
+	// strips, roughly 1/4 of reads are node-local; require a visible dent.
+	if float64(colNet) > 0.95*float64(sepNet) {
+		t.Errorf("collocation saved under 5%%: %d vs %d", colNet, sepNet)
+	}
+}
+
+// TestCollocatedDASStillWins: dependence-aware layout helps in either
+// deployment model.
+func TestCollocatedDASStillWins(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	times := make(map[Scheme]float64)
+	for _, scheme := range []Scheme{TS, NAS, DAS} {
+		s := newCollocatedSystem(t, scheme, g)
+		rep, err := s.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[scheme] = rep.ExecTime.Seconds()
+	}
+	if !(times[DAS] < times[TS] && times[DAS] < times[NAS]) {
+		t.Errorf("collocated: DAS=%.4f TS=%.4f NAS=%.4f, want DAS fastest",
+			times[DAS], times[TS], times[NAS])
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/workload"
+)
+
+// newMultiSystem ingests n rasters ("in0".."in{n-1}") under the layout the
+// scheme expects.
+func newMultiSystem(t *testing.T, scheme Scheme, n int) (*System, []*workloadGrid) {
+	t.Helper()
+	s, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grids := make([]*workloadGrid, n)
+	for i := 0; i < n; i++ {
+		g := workload.Terrain(testW, testH, uint64(100+i))
+		var lay layout.Layout = layout.NewRoundRobin(s.FS.Servers())
+		if scheme == DAS {
+			lay, err = s.PlanLayout("flow-routing", g.W, grid.ElemSize, testStrip, g.SizeBytes(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		name := fmt.Sprintf("in%d", i)
+		if _, err := s.IngestGrid(name, g, lay, testStrip); err != nil {
+			t.Fatal(err)
+		}
+		grids[i] = &workloadGrid{name: name, g: g}
+	}
+	return s, grids
+}
+
+type workloadGrid struct {
+	name string
+	g    *grid.Grid
+}
+
+func TestConcurrentBatchCorrectness(t *testing.T) {
+	const n = 3
+	s, grids := newMultiSystem(t, DAS, n)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Op: "flow-routing", Input: grids[i].name,
+			Output: fmt.Sprintf("out%d", i), Scheme: DAS,
+		}
+	}
+	reports, err := s.ExecuteConcurrent(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if !rep.Offloaded {
+			t.Errorf("job %d not offloaded", i)
+		}
+		if rep.ExecTime <= 0 {
+			t.Errorf("job %d has no exec time", i)
+		}
+		got, err := s.FetchGrid(fmt.Sprintf("out%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(kernels.Apply(kernels.FlowRouting{}, grids[i].g)) {
+			t.Errorf("job %d output differs from reference", i)
+		}
+	}
+	if Makespan(reports) < reports[0].ExecTime {
+		t.Error("makespan below a member's exec time")
+	}
+}
+
+func TestConcurrentContentionSlowsJobs(t *testing.T) {
+	// One job alone must be at least as fast as the same job co-running
+	// with three others on the same servers.
+	solo, grids := newMultiSystem(t, TS, 1)
+	soloReports, err := solo.ExecuteConcurrent([]Request{
+		{Op: "flow-routing", Input: grids[0].name, Output: "o", Scheme: TS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, cgrids := newMultiSystem(t, TS, 4)
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		reqs[i] = Request{Op: "flow-routing", Input: cgrids[i].name, Output: fmt.Sprintf("o%d", i), Scheme: TS}
+	}
+	crowdReports, err := crowd.ExecuteConcurrent(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Makespan(crowdReports) <= soloReports[0].ExecTime {
+		t.Errorf("4-way contention makespan %v not above solo %v",
+			Makespan(crowdReports), soloReports[0].ExecTime)
+	}
+}
+
+func TestConcurrentDASFleetBeatsTSAndNAS(t *testing.T) {
+	// The multi-tenant payoff: a fleet of DAS jobs finishes before the
+	// same fleet under TS, which finishes before it under NAS.
+	const n = 4
+	makespan := make(map[Scheme]float64)
+	for _, scheme := range []Scheme{TS, NAS, DAS} {
+		s, grids := newMultiSystem(t, scheme, n)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{Op: "flow-routing", Input: grids[i].name,
+				Output: fmt.Sprintf("out%d", i), Scheme: scheme}
+		}
+		reports, err := s.ExecuteConcurrent(reqs)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		makespan[scheme] = Makespan(reports).Seconds()
+	}
+	if !(makespan[DAS] < makespan[TS] && makespan[TS] < makespan[NAS]) {
+		t.Errorf("fleet makespans: DAS=%.4f TS=%.4f NAS=%.4f, want DAS < TS < NAS",
+			makespan[DAS], makespan[TS], makespan[NAS])
+	}
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	s, grids := newMultiSystem(t, TS, 1)
+	if _, err := s.ExecuteConcurrent(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := s.ExecuteConcurrent([]Request{
+		{Op: "flow-routing", Input: "nope", Output: "o", Scheme: TS},
+	}); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := s.ExecuteConcurrent([]Request{
+		{Op: "flow-routing", Input: grids[0].name, Output: "o", Scheme: DAS, Reconfigure: true},
+	}); err == nil {
+		t.Error("reconfiguration in a batch accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/workload"
+)
+
+func TestExecutePipelineNamesAndResults(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	s := newSystem(t, DAS, g)
+	ops := []string{"flow-routing", "flow-accumulation"}
+	reports, err := s.ExecutePipeline(DAS, "in", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for i, rep := range reports {
+		if !rep.Offloaded {
+			t.Errorf("stage %d not offloaded", i+1)
+		}
+		if rep.Stats.RemoteFetches != 0 {
+			t.Errorf("stage %d fetched %d strips", i+1, rep.Stats.RemoteFetches)
+		}
+	}
+	out := PipelineOutput("in", ops)
+	got, err := s.FetchGrid(out)
+	if err != nil {
+		t.Fatalf("final output %q: %v", out, err)
+	}
+	want := kernels.Apply(kernels.FlowAccumulation{}, kernels.Apply(kernels.FlowRouting{}, g))
+	if !got.Equal(want) {
+		t.Error("pipeline output differs from sequential composition")
+	}
+}
+
+func TestExecutePipelineEmptyAndFailing(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	s := newSystem(t, TS, g)
+	if _, err := s.ExecutePipeline(TS, "in", nil); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	reports, err := s.ExecutePipeline(TS, "in", []string{"flow-routing", "no-such-op"})
+	if err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+	if len(reports) != 1 {
+		t.Errorf("expected the completed first stage to be reported, got %d", len(reports))
+	}
+}
+
+// TestWorkflowLayoutServesMixedPatterns plans one layout for a workflow
+// whose stages have different dependence patterns (8-neighbor routing and
+// a 1-D blur) and verifies both stages offload with zero fetches.
+func TestWorkflowLayoutServesMixedPatterns(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	s, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Registry.Register(kernels.HorizontalBlur{Radius: 2})
+	s.Features = s.Registry.Features()
+	ops := []string{"flow-routing", "horizontal-blur"}
+	lay, err := s.PlanLayoutForWorkflow(ops, g.W, 8, testStrip, g.SizeBytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IngestGrid("in", g, lay, testStrip); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := s.ExecutePipeline(DAS, "in", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if !rep.Offloaded || rep.Stats.RemoteFetches != 0 {
+			t.Errorf("stage %d: offloaded=%v fetches=%d", i, rep.Offloaded, rep.Stats.RemoteFetches)
+		}
+	}
+	want := kernels.Apply(kernels.HorizontalBlur{Radius: 2}, kernels.Apply(kernels.FlowRouting{}, g))
+	got, err := s.FetchGrid(PipelineOutput("in", ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("mixed-pattern pipeline differs from sequential composition")
+	}
+}
+
+func TestPlanLayoutForWorkflowValidation(t *testing.T) {
+	s, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlanLayoutForWorkflow(nil, testW, 8, testStrip, 1<<20, 0); err == nil {
+		t.Error("empty workflow accepted")
+	}
+	if _, err := s.PlanLayoutForWorkflow([]string{"nope"}, testW, 8, testStrip, 1<<20, 0); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+// TestLoadFeaturesOverridesPattern exercises the file-based Kernel
+// Features component in both directions: a conservative over-declaration
+// (wider reach than the kernel) is safe and simply sizes a bigger halo,
+// while an under-declaration is caught at execution time — the server,
+// which knows the kernel's real dependence, refuses to fabricate missing
+// data.
+func TestLoadFeaturesOverridesPattern(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+
+	// Over-declare: claim ±(2W+1) reach for flow-routing. The planner must
+	// size the halo for the declared pattern, and execution still works
+	// (the kernel reads less than declared).
+	over, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := over.LoadFeatures(strings.NewReader(
+		"Name:flow-routing\nDependence: -2*imgWidth-1, -1, 1, 2*imgWidth+1\n"))
+	if err != nil || n != 1 {
+		t.Fatalf("LoadFeatures: n=%d err=%v", n, err)
+	}
+	lay, err := over.PlanLayout("flow-routing", g.W, grid.ElemSize, testStrip, g.SizeBytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, ok := lay.(layout.GroupedReplicated)
+	if !ok {
+		t.Fatalf("planned layout %T", lay)
+	}
+	// ±(2W+1) elements = 2 strips + 1 element at this geometry → halo 3.
+	if gl.Halo != 3 {
+		t.Errorf("halo = %d, want 3 for the over-declared reach", gl.Halo)
+	}
+	if _, err := over.IngestGrid("in", g, lay, testStrip); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := over.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Offloaded || rep.Stats.RemoteFetches != 0 {
+		t.Errorf("over-declared run: %+v", rep)
+	}
+	want := kernels.Apply(kernels.FlowRouting{}, g)
+	got, err := over.FetchGrid("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("over-declared run produced wrong output")
+	}
+
+	// Under-declare: claim flow-routing is independent. The predictor then
+	// wrongly accepts a round-robin offload, and the server must fail
+	// loudly rather than compute with missing data.
+	under, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := under.LoadFeatures(strings.NewReader("Name:flow-routing\nDependence: 0\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := under.IngestGrid("in", g, layout.NewRoundRobin(under.FS.Servers()), testStrip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := under.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS}); err == nil {
+		t.Error("under-declared dependence executed silently")
+	}
+
+	// Malformed databases are rejected cleanly.
+	if _, err := under.LoadFeatures(strings.NewReader("Dependence: before name\n")); err == nil {
+		t.Error("malformed database accepted")
+	}
+}
+
+// TestPhaseBreakdownExplainsSchemes checks the per-phase decomposition
+// tells the paper's story: NAS's critical path is dominated by waiting
+// for dependent data; DAS never fetches; TS's cost sits in moving the
+// raster between clients and servers.
+func TestPhaseBreakdownExplainsSchemes(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	phases := make(map[Scheme]Report)
+	for _, scheme := range []Scheme{TS, NAS, DAS} {
+		s := newSystem(t, scheme, g)
+		rep, err := s.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases[scheme] = rep
+	}
+	nas := phases[NAS].Stats.PhaseMax
+	das := phases[DAS].Stats.PhaseMax
+	ts := phases[TS].Stats.PhaseMax
+	if das.Fetch != 0 {
+		t.Errorf("DAS fetch phase %v, want 0 (all dependence local)", das.Fetch)
+	}
+	if nas.Fetch <= das.LocalRead {
+		t.Errorf("NAS fetch phase %v suspiciously small", nas.Fetch)
+	}
+	if nas.Fetch <= nas.Compute {
+		t.Errorf("NAS fetch %v should dominate compute %v at this geometry", nas.Fetch, nas.Compute)
+	}
+	if ts.Fetch == 0 || ts.Write == 0 {
+		t.Errorf("TS must spend time reading (%v) and writing back (%v)", ts.Fetch, ts.Write)
+	}
+	if das.Compute == 0 || nas.Compute == 0 || ts.Compute == 0 {
+		t.Error("every scheme computes")
+	}
+}
+
+// TestNASLoadsServersMoreThanDAS verifies the paper's load argument: the
+// busiest storage server's NIC time under NAS far exceeds DAS's, because
+// NAS servers both compute and serve their neighbors' dependent strips.
+func TestNASLoadsServersMoreThanDAS(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+
+	nasSys := newSystem(t, NAS, g)
+	nasRep, err := nasSys.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: NAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dasSys := newSystem(t, DAS, g)
+	dasRep, err := dasSys.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nasEgress := nasRep.ServerLoad.MaxEgress()
+	dasEgress := dasRep.ServerLoad.MaxEgress()
+	if nasEgress <= 2*dasEgress {
+		t.Errorf("NAS max server egress %v not well above DAS %v", nasEgress, dasEgress)
+	}
+	if nasRep.ServerLoad.MaxDisk() <= dasRep.ServerLoad.MaxDisk() {
+		t.Errorf("NAS max server disk %v not above DAS %v (serving amplifies reads)",
+			nasRep.ServerLoad.MaxDisk(), dasRep.ServerLoad.MaxDisk())
+	}
+}

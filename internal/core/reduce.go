@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/active"
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/predict"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// ReduceRequest submits a data-reducing scan (stats, histogram) over a
+// raster file.
+type ReduceRequest struct {
+	Op     string
+	Input  string
+	Scheme Scheme
+}
+
+// ReduceReport is the outcome of one reduction.
+type ReduceReport struct {
+	Scheme    Scheme
+	Op        string
+	Offloaded bool
+	Decision  *predict.Decision
+	Result    []float64
+	ExecTime  sim.Time
+	Stats     active.ReduceStats
+	Traffic   map[metrics.TrafficClass]int64
+}
+
+// Reduce runs a reduction under the selected scheme. Reductions are the
+// dependence-free workload classic active storage was built for: under
+// NAS and DAS every server folds its local strips and only the partial
+// aggregates cross the network; under TS the raster itself does. The DAS
+// scheme still consults the prediction core — which accepts trivially,
+// since an empty dependence pattern has Σ aj = 0 and a near-zero output
+// factor.
+func (s *System) Reduce(req ReduceRequest) (ReduceReport, error) {
+	m, ok := s.FS.Meta(req.Input)
+	if !ok {
+		return ReduceReport{}, fmt.Errorf("core: unknown input %q", req.Input)
+	}
+	if m.Width == 0 || m.ElemSize == 0 {
+		return ReduceReport{}, fmt.Errorf("core: input %q lacks raster metadata", req.Input)
+	}
+	red, ok := s.Reducers.Lookup(req.Op)
+	if !ok {
+		return ReduceReport{}, fmt.Errorf("core: unknown reducer %q", req.Op)
+	}
+	before := s.Clu.Traffic.Snapshot()
+	rep := ReduceReport{Scheme: req.Scheme, Op: req.Op}
+	var err error
+	switch req.Scheme {
+	case TS:
+		err = s.reduceTS(&rep, red, m)
+	case NAS:
+		err = s.reduceActive(&rep, red, m)
+	case DAS:
+		// The workflow still runs: pattern (empty), prediction, accept.
+		pat := features.Pattern{Name: red.Name()}
+		params := predictParams(m)
+		params.OutputFactor = float64(red.PartialLen()*grid.ElemSize) / float64(m.Size)
+		decision, derr := predict.Decide(pat, params, m.Layout)
+		if derr != nil {
+			return ReduceReport{}, derr
+		}
+		rep.Decision = &decision
+		if decision.Offload {
+			err = s.reduceActive(&rep, red, m)
+		} else {
+			err = s.reduceTS(&rep, red, m)
+		}
+	default:
+		err = fmt.Errorf("core: unknown scheme %v", req.Scheme)
+	}
+	if err != nil {
+		return ReduceReport{}, err
+	}
+	after := s.Clu.Traffic.Snapshot()
+	rep.Traffic = make(map[metrics.TrafficClass]int64, len(after))
+	for c, b := range after {
+		rep.Traffic[c] = b - before[c]
+	}
+	return rep, nil
+}
+
+// reduceActive offloads the fold to the storage servers.
+func (s *System) reduceActive(rep *ReduceReport, red kernels.Reducer, in *pfs.FileMeta) error {
+	var err error
+	rep.Offloaded = true
+	rep.ExecTime, err = s.run("reduce-"+red.Name(), func(p *sim.Proc) error {
+		s.startup(p)
+		result, stats, err := active.NewClient(s.FS, s.Clu.ComputeID(0)).ExecReduce(p, red, in.Name)
+		rep.Result, rep.Stats = result, stats
+		return err
+	})
+	return err
+}
+
+// reduceTS reads the raster to the compute nodes and folds there: each
+// worker reduces a contiguous strip block, then ships its partial to the
+// coordinating client, which merges.
+func (s *System) reduceTS(rep *ReduceReport, red kernels.Reducer, in *pfs.FileMeta) error {
+	strips := in.Strips()
+	workers := s.Clu.Cfg.ComputeNodes
+	perWorker := (strips + int64(workers) - 1) / int64(workers)
+	total := in.Size / in.ElemSize
+	partialBytes := int64(red.PartialLen()) * grid.ElemSize
+
+	var err error
+	rep.ExecTime, err = s.run("reduce-ts-"+red.Name(), func(p *sim.Proc) error {
+		gather := sim.NewMailbox[reducePartial](s.Clu.Eng, "reduce-gather")
+		launched := 0
+		for w := 0; w < workers; w++ {
+			w := w
+			first := int64(w) * perWorker
+			last := first + perWorker - 1
+			if last >= strips {
+				last = strips - 1
+			}
+			if first > last {
+				continue
+			}
+			launched++
+			p.Spawn(fmt.Sprintf("reduce-ts-worker-%d", w), func(c *sim.Proc) {
+				partial, elements, werr := s.reduceWorker(c, red, in, first, last, total, w)
+				if werr != nil {
+					gather.Put(reducePartial{err: werr})
+					return
+				}
+				// Ship the partial to the coordinator (compute node 0);
+				// workers on node 0 hand it over locally for free.
+				s.Clu.Net.Send(c, simnet.Message{
+					From: s.Clu.ComputeID(w), To: s.Clu.ComputeID(0), Port: "reduce-sink",
+					Size: partialBytes, Class: metrics.ClientToServer,
+				})
+				gather.Put(reducePartial{vals: partial, elements: elements})
+			})
+		}
+		var partials [][]float64
+		for i := 0; i < launched; i++ {
+			got := gather.Get(p)
+			if got.err != nil {
+				return got.err
+			}
+			partials = append(partials, got.vals)
+			rep.Stats.Elements += got.elements
+			rep.Stats.Servers++
+		}
+		rep.Result = red.Merge(partials)
+		return nil
+	})
+	return err
+}
+
+type reducePartial struct {
+	vals     []float64
+	elements int64
+	err      error
+}
+
+func (s *System) reduceWorker(p *sim.Proc, red kernels.Reducer, in *pfs.FileMeta, first, last, total int64, w int) ([]float64, int64, error) {
+	s.startup(p)
+	client := s.FS.NewClient(s.Clu.ComputeID(w))
+	byteLo, _ := in.StripBounds(first)
+	_, byteHi := in.StripBounds(last)
+	data, err := client.Read(p, in.Name, byteLo, byteHi-byteLo)
+	if err != nil {
+		return nil, 0, err
+	}
+	e0, e1 := byteLo/in.ElemSize, byteHi/in.ElemSize
+	band := grid.NewBand(in.Width, total, e0, e1, e0, e1)
+	band.Fill(e0, grid.FloatsFromBytes(data))
+	partial := red.ReduceBand(band)
+	p.Sleep(s.Clu.ComputeTime(e1-e0, red.Weight()))
+	return partial, e1 - e0, nil
+}

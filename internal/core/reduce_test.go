@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/workload"
+)
+
+func TestReduceSchemesAgreeWithSequential(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	want := kernels.ReduceAll(kernels.Stats{}, g)
+	for _, scheme := range []Scheme{TS, NAS, DAS} {
+		s := newSystem(t, scheme, g)
+		rep, err := s.Reduce(ReduceRequest{Op: "stats", Input: "in", Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if rep.Result[kernels.StatCount] != want[kernels.StatCount] ||
+			rep.Result[kernels.StatMin] != want[kernels.StatMin] ||
+			rep.Result[kernels.StatMax] != want[kernels.StatMax] ||
+			math.Abs(rep.Result[kernels.StatSum]-want[kernels.StatSum]) > 1e-6 {
+			t.Errorf("%v: aggregate %v, want %v", scheme, rep.Result, want)
+		}
+		if rep.Stats.Elements != g.Len() {
+			t.Errorf("%v: folded %d elements, want %d", scheme, rep.Stats.Elements, g.Len())
+		}
+	}
+}
+
+func TestReduceOffloadAvoidsBulkTraffic(t *testing.T) {
+	// Large enough (4 MiB) that data movement, not job startup, dominates.
+	g := workload.Terrain(1024, 512, 5)
+
+	ts := newSystem(t, TS, g)
+	tsRep, err := ts.Reduce(ReduceRequest{Op: "stats", Input: "in", Scheme: TS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	das := newSystem(t, DAS, g)
+	dasRep, err := das.Reduce(ReduceRequest{Op: "stats", Input: "in", Scheme: DAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dasRep.Offloaded {
+		t.Fatal("DAS did not offload a dependence-free reduction")
+	}
+	if dasRep.Decision == nil || !dasRep.Decision.Offload {
+		t.Errorf("decision: %+v", dasRep.Decision)
+	}
+	// TS hauls the raster to the clients; the offloaded fold returns only
+	// tiny partials.
+	if tsRep.Traffic[metrics.ServerToClient] < g.SizeBytes() {
+		t.Errorf("TS moved %d bytes to clients, want ≥ raster size", tsRep.Traffic[metrics.ServerToClient])
+	}
+	if dasRep.Traffic[metrics.ServerToClient] > 64*1024 {
+		t.Errorf("offloaded reduction moved %d bytes to clients", dasRep.Traffic[metrics.ServerToClient])
+	}
+	if dasRep.ExecTime >= tsRep.ExecTime {
+		t.Errorf("offloaded reduction %v not faster than TS %v", dasRep.ExecTime, tsRep.ExecTime)
+	}
+	// The classic active storage win: comfortably faster even with the
+	// fixed startup cost both schemes share.
+	if tsRep.ExecTime.Seconds()/dasRep.ExecTime.Seconds() < 1.3 {
+		t.Errorf("reduction speedup only %.2fx", tsRep.ExecTime.Seconds()/dasRep.ExecTime.Seconds())
+	}
+}
+
+func TestReduceHistogramAcrossSchemes(t *testing.T) {
+	g := workload.Image(testW, testH, 3, 0.1)
+	h := kernels.Histogram{Bins: 32, Lo: 0, Hi: 256}
+	want := kernels.ReduceAll(h, g)
+	for _, scheme := range []Scheme{TS, DAS} {
+		s := newSystem(t, scheme, g)
+		rep, err := s.Reduce(ReduceRequest{Op: "histogram", Input: "in", Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		for i := range want {
+			if rep.Result[i] != want[i] {
+				t.Fatalf("%v: bin %d = %v, want %v", scheme, i, rep.Result[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	g := workload.Ramp(testW, testH)
+	s := newSystem(t, TS, g)
+	if _, err := s.Reduce(ReduceRequest{Op: "stats", Input: "nope", Scheme: TS}); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := s.Reduce(ReduceRequest{Op: "nope", Input: "in", Scheme: TS}); err == nil {
+		t.Error("unknown reducer accepted")
+	}
+	if _, err := s.Reduce(ReduceRequest{Op: "stats", Input: "in", Scheme: Scheme(9)}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/active"
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/predict"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// startup charges the per-run job-launch overhead on every participating
+// node's worker process.
+func (s *System) startup(p *sim.Proc) { p.Sleep(s.Clu.Cfg.Startup) }
+
+// runTS executes the operation under Traditional Storage: compute nodes
+// read contiguous blocks of the input (plus halo), run the kernel locally,
+// and write the output strips back to the servers.
+func (s *System) runTS(rep *Report, req Request, in *pfs.FileMeta) error {
+	job, err := s.tsJob(rep, req, in)
+	if err != nil {
+		return err
+	}
+	rep.ExecTime, err = s.run("ts-"+req.Op, job)
+	return err
+}
+
+// tsJob prepares the TS execution as a job function that can run either
+// standalone (runTS) or alongside other jobs (ExecuteConcurrent). Output
+// creation happens at preparation time, so concurrent jobs fail fast on
+// name collisions.
+func (s *System) tsJob(rep *Report, req Request, in *pfs.FileMeta) (func(p *sim.Proc) error, error) {
+	k, _ := s.Registry.Lookup(req.Op)
+	out, err := s.FS.Create(req.Output, in.Size, in.Layout, pfs.CreateOptions{
+		StripSize: in.StripSize, Width: in.Width, Height: in.Height, ElemSize: in.ElemSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := in.Size / in.ElemSize
+	maxAbs := kernels.Pattern(k).MaxAbsOffset(in.Width)
+	strips := in.Strips()
+	workers := s.Clu.Cfg.ComputeNodes
+	perWorker := (strips + int64(workers) - 1) / int64(workers)
+
+	return func(p *sim.Proc) error {
+		type workerResult struct {
+			phases active.Phases
+			err    error
+		}
+		sigs := make([]*sim.Signal[workerResult], 0, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			first := int64(w) * perWorker
+			last := first + perWorker - 1
+			if last >= strips {
+				last = strips - 1
+			}
+			if first > last {
+				continue
+			}
+			done := sim.NewSignal[workerResult](s.Clu.Eng, fmt.Sprintf("ts-worker-%s-%d", req.Output, w))
+			sigs = append(sigs, done)
+			p.Spawn(fmt.Sprintf("ts-worker-%s-%d", req.Output, w), func(c *sim.Proc) {
+				ph, err := s.tsWorker(c, k, in, out, first, last, maxAbs, total, w)
+				done.Fire(workerResult{phases: ph, err: err})
+			})
+		}
+		for _, r := range sim.WaitAll(p, sigs) {
+			if r.err != nil {
+				return r.err
+			}
+			rep.Stats.Servers++
+			rep.Stats.PhaseMax.MaxWith(r.phases)
+		}
+		return nil
+	}, nil
+}
+
+// tsWorker processes strips [first, last] of the input on compute node w,
+// returning its per-phase time decomposition. Under TS the "Fetch" phase
+// is the client's read of the input from the storage servers and "Write"
+// is the output write-back — the client↔server traffic DAS eliminates.
+func (s *System) tsWorker(p *sim.Proc, k kernels.Kernel, in, out *pfs.FileMeta, first, last, maxAbs, total int64, w int) (active.Phases, error) {
+	var phases active.Phases
+	s.startup(p)
+	client := s.FS.NewClient(s.Clu.ComputeID(w))
+	byteLo, _ := in.StripBounds(first)
+	_, byteHi := in.StripBounds(last)
+	e0, e1 := byteLo/in.ElemSize, byteHi/in.ElemSize
+	lo, hi := grid.HaloRange(e0, e1, maxAbs, total)
+
+	readStart := p.Now()
+	data, err := client.Read(p, in.Name, lo*in.ElemSize, (hi-lo)*in.ElemSize)
+	if err != nil {
+		return phases, err
+	}
+	phases.Fetch = p.Now() - readStart
+	s.Clu.Trace.Record(readStart, phases.Fetch, tsActor(w), "read",
+		fmt.Sprintf("%d bytes of %s", (hi-lo)*in.ElemSize, in.Name))
+	band := grid.NewBand(in.Width, total, e0, e1, lo, hi)
+	band.Fill(lo, grid.FloatsFromBytes(data))
+
+	outVals := make([]float64, e1-e0)
+	k.ApplyBand(band, outVals)
+	computeStart := p.Now()
+	p.Sleep(s.Clu.ComputeTime(e1-e0, k.Weight()))
+	phases.Compute = p.Now() - computeStart
+	s.Clu.Trace.Record(computeStart, phases.Compute, tsActor(w), "compute",
+		fmt.Sprintf("%s over %d elements", k.Name(), e1-e0))
+
+	// Write the output back, batching the strips bound for each server.
+	outBytes := grid.FloatsToBytes(outVals)
+	type batch struct {
+		strips []int64
+		chunks [][]byte
+	}
+	batches := make(map[int]*batch)
+	var order []int
+	for t := first; t <= last; t++ {
+		tLo, tHi := out.StripBounds(t)
+		srv := out.Layout.Primary(t)
+		b, ok := batches[srv]
+		if !ok {
+			b = &batch{}
+			batches[srv] = b
+			order = append(order, srv)
+		}
+		b.strips = append(b.strips, t)
+		b.chunks = append(b.chunks, outBytes[tLo-byteLo:tHi-byteLo])
+	}
+	sigs := make([]*sim.Signal[error], 0, len(order))
+	for _, srv := range order {
+		srv := srv
+		b := batches[srv]
+		done := sim.NewSignal[error](s.Clu.Eng, fmt.Sprintf("ts-out-srv%d", srv))
+		sigs = append(sigs, done)
+		p.Spawn(fmt.Sprintf("ts-write-srv%d", srv), func(wp *sim.Proc) {
+			done.Fire(s.FS.WriteStripsTo(wp, client.NodeID(), srv, out.Name, b.strips, b.chunks, true))
+		})
+	}
+	writeStart := p.Now()
+	for _, e := range sim.WaitAll(p, sigs) {
+		if e != nil {
+			return phases, e
+		}
+	}
+	phases.Write = p.Now() - writeStart
+	s.Clu.Trace.Record(writeStart, phases.Write, tsActor(w), "write-back",
+		fmt.Sprintf("strips %d-%d of %s", first, last, out.Name))
+	return phases, nil
+}
+
+// tsActor names a TS compute worker for trace events.
+func tsActor(w int) string { return fmt.Sprintf("ts-worker-%d", w) }
+
+// runNAS executes the operation as existing active storage systems do:
+// offload unconditionally, each server processing its local strips and
+// fetching dependent strips from its peers.
+func (s *System) runNAS(rep *Report, req Request, in *pfs.FileMeta) error {
+	job, err := s.offloadJob(rep, req, in, req.NASFetchMode)
+	if err != nil {
+		return err
+	}
+	rep.Offloaded = true
+	rep.ExecTime, err = s.run("nas-"+req.Op, job)
+	return err
+}
+
+// offloadJob prepares an active storage execution (used by both NAS and
+// accepted DAS requests) as a composable job function.
+func (s *System) offloadJob(rep *Report, req Request, in *pfs.FileMeta, mode active.FetchMode) (func(p *sim.Proc) error, error) {
+	if _, err := s.FS.Create(req.Output, in.Size, in.Layout, pfs.CreateOptions{
+		StripSize: in.StripSize, Width: in.Width, Height: in.Height, ElemSize: in.ElemSize,
+	}); err != nil {
+		return nil, err
+	}
+	return func(p *sim.Proc) error {
+		s.startup(p)
+		stats, err := active.NewClient(s.FS, s.Clu.ComputeID(0)).
+			Exec(p, req.Op, req.Input, req.Output, mode)
+		rep.Stats = stats
+		return err
+	}, nil
+}
+
+// runDAS executes the full dynamic workflow of Fig. 3.
+func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
+	// 1. Get the data dependence pattern from the kernel features.
+	pat, ok := s.Features.Lookup(req.Op)
+	if !ok {
+		return fmt.Errorf("core: no kernel features for %q", req.Op)
+	}
+	params := predictParams(in)
+
+	// 2–3. Get the file distribution; if the workload allows
+	// redistribution, find a reasonable distribution and reconfigure.
+	targetLay := in.Layout
+	if req.Reconfigure {
+		planned, err := s.PlanLayout(req.Op, in.Width, in.ElemSize, in.StripSize, in.Size, req.MaxOverhead)
+		if err != nil {
+			return err
+		}
+		if planned.Name() != in.Layout.Name() {
+			// Only migrate when the prediction says the migrated layout
+			// would be accepted; otherwise the migration cost buys nothing.
+			if d, err := predict.Decide(pat, params, planned); err != nil {
+				return err
+			} else if d.Offload {
+				rt, err := s.run("das-reconfig-"+req.Input, func(p *sim.Proc) error {
+					return s.FS.NewClient(s.Clu.ComputeID(0)).Reconfigure(p, req.Input, planned)
+				})
+				if err != nil {
+					return err
+				}
+				rep.Reconfigured, rep.ReconfigTime = true, rt
+				targetLay = planned
+			}
+		}
+	}
+
+	// 4. Predict the bandwidth cost against the (possibly new) layout.
+	decision, err := predict.Decide(pat, params, targetLay)
+	if err != nil {
+		return err
+	}
+	rep.Decision = &decision
+
+	// 5. Accept or reject.
+	if !decision.Offload && !req.DisablePrediction {
+		// Rejected: serve as normal I/O (TS path), as the workflow chart
+		// prescribes.
+		if err := s.runTS(rep, req, in); err != nil {
+			return err
+		}
+		rep.ExecTime += rep.ReconfigTime
+		rep.Offloaded = false
+		return nil
+	}
+
+	mode := active.LocalOnly
+	if !decision.Analysis.LocalByLayout {
+		// Accepted on cost grounds without full locality (possible when
+		// prediction is disabled or dependence is cheap): fall back to
+		// fetching what is missing.
+		mode = active.FetchWholeStrips
+	}
+	job, err := s.offloadJob(rep, req, in, mode)
+	if err != nil {
+		return err
+	}
+	execTime, err := s.run("das-"+req.Op, job)
+	if err != nil {
+		return err
+	}
+	rep.Offloaded = true
+	rep.ExecTime = execTime + rep.ReconfigTime
+	return nil
+}

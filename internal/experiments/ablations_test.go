@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationGroupSize(t *testing.T) {
+	c := quick()
+	r, err := c.AblationGroupSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := r.Xs()
+	if len(xs) < 3 {
+		t.Fatalf("too few group sizes swept: %v", xs)
+	}
+	// Capacity overhead must fall as r grows (2·halo/r).
+	for i := 1; i < len(xs); i++ {
+		prev, _ := r.Value("capacity_overhead", xs[i-1])
+		cur, _ := r.Value("capacity_overhead", xs[i])
+		if cur >= prev {
+			t.Errorf("overhead did not fall: r=%v→%v gives %.3f→%.3f", xs[i-1], xs[i], prev, cur)
+		}
+	}
+	// Execution stays sane (offloaded, locality) at every r: no value
+	// should be wildly above the smallest.
+	var minV, maxV float64
+	for i, x := range xs {
+		v, ok := r.Value("das_exec_seconds", x)
+		if !ok || v <= 0 {
+			t.Fatalf("missing exec time at r=%v", x)
+		}
+		if i == 0 || v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV > 2*minV {
+		t.Errorf("exec time varies too widely across r: %.4f..%.4f", minV, maxV)
+	}
+}
+
+func TestAblationPredictorRejectionPays(t *testing.T) {
+	c := quick()
+	r, err := c.AblationPredictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, _ := r.Value("das_predicted", 0)
+	blind, _ := r.Value("das_blind_offload", 1)
+	ts, _ := r.Value("ts", 2)
+	if predicted <= 0 || blind <= 0 || ts <= 0 {
+		t.Fatalf("missing values: %v %v %v", predicted, blind, ts)
+	}
+	// The predictor must avoid the blind offload's penalty...
+	if predicted >= blind {
+		t.Errorf("prediction did not help: predicted %.4f vs blind %.4f", predicted, blind)
+	}
+	// ...by tracking TS (within 10%: same path, plus decision overhead).
+	if predicted > ts*1.1 {
+		t.Errorf("predicted DAS %.4f strays from TS %.4f", predicted, ts)
+	}
+	for _, n := range r.Notes {
+		if n == "WARNING: predictor accepted the hostile pattern" {
+			t.Error(n)
+		}
+	}
+}
+
+func TestAblationReconfigAmortizes(t *testing.T) {
+	c := quick()
+	r, err := c.AblationReconfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, _ := r.Value("preplaced", 0)
+	first, _ := r.Value("reconfigured_first_op", 1)
+	cost, _ := r.Value("reconfig_cost_alone", 2)
+	successor, _ := r.Value("successor_op", 3)
+	if pre <= 0 || first <= 0 || cost <= 0 || successor <= 0 {
+		t.Fatalf("missing values: %v %v %v %v", pre, first, cost, successor)
+	}
+	// The first migrated run pays the migration on top of execution.
+	if first <= pre {
+		t.Errorf("migration appears free: first %.4f vs preplaced %.4f", first, pre)
+	}
+	if first < cost {
+		t.Errorf("first op %.4f below its own reconfig cost %.4f", first, cost)
+	}
+	// The successor runs at pre-placed speed (same layout, no migration):
+	// allow 25% slack for differing input values.
+	if successor > pre*1.25 {
+		t.Errorf("successor %.4f did not amortize (preplaced %.4f)", successor, pre)
+	}
+}
+
+func TestAblationMultiTenantOrdering(t *testing.T) {
+	c := quick()
+	r, err := c.AblationMultiTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series string) float64 {
+		for _, row := range r.Rows {
+			if row.Series == series {
+				return row.Value
+			}
+		}
+		t.Fatalf("missing series %s", series)
+		return 0
+	}
+	nas, das, ts := get("NAS_makespan"), get("DAS_makespan"), get("TS_makespan")
+	if !(das < ts && ts < nas) {
+		t.Errorf("fleet makespans DAS=%.4f TS=%.4f NAS=%.4f, want DAS < TS < NAS", das, ts, nas)
+	}
+	// Mean job time can never exceed the makespan.
+	for _, s := range []string{"NAS", "DAS", "TS"} {
+		if get(s+"_mean_job") > get(s+"_makespan") {
+			t.Errorf("%s mean job above makespan", s)
+		}
+	}
+}
+
+func TestAblationHaloFetchOrdering(t *testing.T) {
+	c := quick()
+	r, err := c.AblationHaloFetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, _ := r.Value("nas_whole_strips", 0)
+	rows, _ := r.Value("nas_row_fetch", 1)
+	das, _ := r.Value("das_local_replicas", 2)
+	if whole <= 0 || rows <= 0 || das <= 0 {
+		t.Fatalf("missing values: %v %v %v", whole, rows, das)
+	}
+	if !(das < rows && rows < whole) {
+		t.Errorf("want das < rows < whole, got %.4f / %.4f / %.4f", das, rows, whole)
+	}
+}
+
+func TestAblationDeployment(t *testing.T) {
+	c := quick()
+	r, err := c.AblationDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series string, x float64) float64 {
+		v, ok := r.Value(series, x)
+		if !ok {
+			t.Fatalf("missing %s at %v", series, x)
+		}
+		return v
+	}
+	// DAS wins within each deployment model.
+	for _, suffix := range []string{"_separated", "_collocated"} {
+		nas, das, ts := get("NAS"+suffix, 0), get("DAS"+suffix, 1), get("TS"+suffix, 2)
+		if !(das < ts && das < nas) {
+			t.Errorf("%s: DAS=%.4f TS=%.4f NAS=%.4f, want DAS fastest", suffix, das, ts, nas)
+		}
+	}
+	// Collocation doubles the server count at equal hardware, so DAS gets
+	// faster (more parallel kernels over local data).
+	if get("DAS_collocated", 1) >= get("DAS_separated", 1) {
+		t.Errorf("collocated DAS %.4f not faster than separated %.4f",
+			get("DAS_collocated", 1), get("DAS_separated", 1))
+	}
+}
+
+func TestAblationComputeIntensity(t *testing.T) {
+	c := quick()
+	r, err := c.AblationComputeIntensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := r.Xs()
+	if len(xs) < 4 {
+		t.Fatalf("sweep too short: %v", xs)
+	}
+	// DAS never loses, and its advantage at the I/O-bound end exceeds the
+	// advantage at the compute-bound end.
+	first, _ := r.Value("ts_over_das", xs[0])
+	last, _ := r.Value("ts_over_das", xs[len(xs)-1])
+	if first <= 1 {
+		t.Errorf("I/O-bound speedup %.3f not above 1", first)
+	}
+	if last >= first {
+		t.Errorf("speedup did not shrink with compute cost: %.3f → %.3f", first, last)
+	}
+	// Times grow monotonically with compute cost for both schemes.
+	for _, series := range []string{"das_seconds", "ts_seconds"} {
+		prev := 0.0
+		for _, x := range xs {
+			v, _ := r.Value(series, x)
+			if v <= prev {
+				t.Errorf("%s not increasing at %v ns", series, x)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestAblationStripSize(t *testing.T) {
+	c := quick()
+	r, err := c.AblationStripSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range r.Xs() {
+		nas, ok1 := r.Value("NAS", x)
+		das, ok2 := r.Value("DAS", x)
+		ts, ok3 := r.Value("TS", x)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("missing cells at %v KiB", x)
+		}
+		if !(das < ts && das < nas) {
+			t.Errorf("%v KiB: DAS=%.4f TS=%.4f NAS=%.4f, want DAS fastest", x, das, ts, nas)
+		}
+	}
+}
+
+func TestAblationMapReduce(t *testing.T) {
+	c := quick()
+	r, err := c.AblationMapReduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, ok1 := r.Value("mapreduce", 0)
+	das, ok2 := r.Value("das", 3)
+	nas, ok3 := r.Value("nas", 5)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing series: %+v", r.Rows)
+	}
+	// The §II-C claim: DAS beats MapReduce on its own deployment model.
+	if das >= mr {
+		t.Errorf("DAS %.4f not faster than MapReduce %.4f", das, mr)
+	}
+	// MapReduce is a serious baseline, not a strawman: shuffling each halo
+	// fragment once beats NAS re-fetching dependent strips per consumer.
+	if mr >= nas {
+		t.Errorf("MapReduce %.4f not faster than NAS %.4f (comparator too weak)", mr, nas)
+	}
+	mapS, _ := r.Value("mapreduce_map_s", 1)
+	reduceS, _ := r.Value("mapreduce_reduce_s", 2)
+	if mapS <= 0 || reduceS <= 0 || mapS+reduceS > mr+1e-9 {
+		t.Errorf("phase times map=%.4f reduce=%.4f total=%.4f", mapS, reduceS, mr)
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hpcio/das/internal/core"
+	"github.com/hpcio/das/internal/kernels"
+)
+
+// TableI reproduces Table I: the data analysis kernels and their roles.
+// It is descriptive rather than measured, so it renders directly from the
+// kernel registry.
+func TableI() string {
+	var b strings.Builder
+	b.WriteString("TABLE I — Description of Data Analysis Kernels\n")
+	reg := kernels.Default()
+	for _, name := range []string{"flow-routing", "flow-accumulation", "gaussian-filter"} {
+		k, _ := reg.Lookup(name)
+		fmt.Fprintf(&b, "%-18s  %s\n", k.Name(), k.Description())
+	}
+	return b.String()
+}
+
+// Fig10 reproduces Fig. 10: execution time of the three kernels under NAS
+// and TS as the data size grows, on the default 24-node platform. The
+// paper's point: ignoring data dependence makes active storage *slower*
+// than traditional storage.
+func (c Config) Fig10() (*Result, error) {
+	r := &Result{
+		ID:     "fig10",
+		Title:  "Performance impact of data dependence (NAS vs TS)",
+		XLabel: "data size (GB)",
+		YLabel: "execution time (s)",
+	}
+	for _, k := range paperKernels {
+		for _, size := range c.SizesGB {
+			for _, scheme := range []core.Scheme{core.NAS, core.TS} {
+				rep, err := c.RunOne(scheme, k.op, size, c.Nodes)
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s/%v/%dGB: %w", k.op, scheme, size, err)
+				}
+				r.Add(fmt.Sprintf("%s_%s", k.label, scheme), float64(size), rep.ExecTime.Seconds())
+			}
+		}
+	}
+	r.Notes = append(r.Notes, ratioNote(r, c, "NAS", "TS"))
+	return r, nil
+}
+
+// Fig11 reproduces Fig. 11: execution time of each scheme on the 24 GB
+// dataset, 24 nodes. The paper reports DAS over 30% faster than TS and
+// over 60% faster than NAS.
+func (c Config) Fig11() (*Result, error) {
+	size := c.SizesGB[0]
+	r := &Result{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("Execution time of each scheme (%d GB, %d nodes)", size, c.Nodes),
+		XLabel: "kernel",
+		YLabel: "execution time (s)",
+	}
+	for ki, k := range paperKernels {
+		for _, scheme := range []core.Scheme{core.NAS, core.DAS, core.TS} {
+			rep, err := c.RunOne(scheme, k.op, size, c.Nodes)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s/%v: %w", k.op, scheme, err)
+			}
+			r.Add(scheme.String(), float64(ki), rep.ExecTime.Seconds())
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf("x=%d is %s", ki, k.label))
+	}
+	for ki, k := range paperKernels {
+		das, _ := r.Value("DAS", float64(ki))
+		ts, _ := r.Value("TS", float64(ki))
+		nas, _ := r.Value("NAS", float64(ki))
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%s: DAS improves %.0f%% over TS, %.0f%% over NAS (paper: >30%%, >60%%)",
+			k.label, 100*(1-das/ts), 100*(1-das/nas)))
+	}
+	return r, nil
+}
+
+// Fig12 reproduces Fig. 12: execution time of all three schemes as the
+// data size grows from 24 to 60 GB. DAS is expected to show the smallest
+// growth.
+func (c Config) Fig12() (*Result, error) {
+	r := &Result{
+		ID:     "fig12",
+		Title:  "Scalability with varied data set size",
+		XLabel: "data size (GB)",
+		YLabel: "execution time (s)",
+	}
+	for _, k := range paperKernels {
+		for _, size := range c.SizesGB {
+			for _, scheme := range []core.Scheme{core.NAS, core.DAS, core.TS} {
+				rep, err := c.RunOne(scheme, k.op, size, c.Nodes)
+				if err != nil {
+					return nil, fmt.Errorf("fig12 %s/%v/%dGB: %w", k.op, scheme, size, err)
+				}
+				r.Add(fmt.Sprintf("%s_%s", k.label, scheme), float64(size), rep.ExecTime.Seconds())
+			}
+		}
+	}
+	r.Notes = append(r.Notes, growthNote(r, c))
+	return r, nil
+}
+
+// Fig13 reproduces Fig. 13: execution time of DAS and TS with the node
+// count growing from 24 to 60 at the largest data size. Both schemes are
+// expected to scale.
+func (c Config) Fig13() (*Result, error) {
+	r := &Result{
+		ID:     "fig13",
+		Title:  "Scalability with varied number of nodes",
+		XLabel: "nodes",
+		YLabel: "execution time (s)",
+	}
+	size := c.SizesGB[len(c.SizesGB)-1]
+	for _, k := range paperKernels {
+		for _, nodes := range c.NodeSweep {
+			for _, scheme := range []core.Scheme{core.DAS, core.TS} {
+				rep, err := c.RunOne(scheme, k.op, size, nodes)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s/%v/%d nodes: %w", k.op, scheme, nodes, err)
+				}
+				r.Add(fmt.Sprintf("%s_%s", k.label, scheme), float64(nodes), rep.ExecTime.Seconds())
+			}
+		}
+	}
+	return r, nil
+}
+
+// Fig14 reproduces Fig. 14: sustained bandwidth of the flow-routing
+// operation under each scheme, normalized to TS. Sustained bandwidth is
+// the dataset size over the operation's execution time.
+func (c Config) Fig14() (*Result, error) {
+	r := &Result{
+		ID:     "fig14",
+		Title:  "Normalized sustained bandwidth (flow-routing)",
+		XLabel: "data size (GB)",
+		YLabel: "bandwidth normalized to TS",
+	}
+	for _, size := range c.SizesGB {
+		times := make(map[core.Scheme]float64)
+		for _, scheme := range []core.Scheme{core.NAS, core.DAS, core.TS} {
+			rep, err := c.RunOne(scheme, "flow-routing", size, c.Nodes)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %v/%dGB: %w", scheme, size, err)
+			}
+			times[scheme] = rep.ExecTime.Seconds()
+		}
+		for _, scheme := range []core.Scheme{core.NAS, core.DAS, core.TS} {
+			// bandwidth ∝ size/time; normalized to TS the size cancels.
+			r.Add(scheme.String(), float64(size), times[core.TS]/times[scheme])
+		}
+	}
+	return r, nil
+}
+
+// ratioNote summarizes how much slower series suffixed a run than b,
+// averaged across kernels and sizes.
+func ratioNote(r *Result, c Config, a, b string) string {
+	var sum float64
+	var n int
+	for _, k := range paperKernels {
+		for _, size := range c.SizesGB {
+			va, oka := r.Value(fmt.Sprintf("%s_%s", k.label, a), float64(size))
+			vb, okb := r.Value(fmt.Sprintf("%s_%s", k.label, b), float64(size))
+			if oka && okb && vb > 0 {
+				sum += va / vb
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return "no data"
+	}
+	return fmt.Sprintf("%s averages %.2fx the execution time of %s (paper: NAS well above TS)", a, sum/float64(n), b)
+}
+
+// growthNote reports the average relative execution-time growth per size
+// step for each scheme.
+func growthNote(r *Result, c Config) string {
+	var parts []string
+	for _, scheme := range []core.Scheme{core.NAS, core.DAS, core.TS} {
+		var sum float64
+		var n int
+		for _, k := range paperKernels {
+			series := fmt.Sprintf("%s_%s", k.label, scheme)
+			for i := 1; i < len(c.SizesGB); i++ {
+				prev, okp := r.Value(series, float64(c.SizesGB[i-1]))
+				cur, okc := r.Value(series, float64(c.SizesGB[i]))
+				if okp && okc && prev > 0 {
+					sum += cur/prev - 1
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s +%.0f%%", scheme, 100*sum/float64(n)))
+		}
+	}
+	return "mean growth per +12GB step: " + strings.Join(parts, ", ") + " (paper: DAS ≈ +15%, others ≈ +30%)"
+}
+
+// All runs every figure and table in paper order.
+func (c Config) All() ([]*Result, error) {
+	var out []*Result
+	for _, f := range []func() (*Result, error){c.Fig10, c.Fig11, c.Fig12, c.Fig13, c.Fig14} {
+		r, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

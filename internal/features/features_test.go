@@ -1,0 +1,218 @@
+package features
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOffsetResolve(t *testing.T) {
+	cases := []struct {
+		o     Offset
+		width int64
+		want  int64
+	}{
+		{Offset{0, 5}, 100, 5},
+		{Offset{1, 0}, 100, 100},
+		{Offset{-1, 1}, 100, -99},
+		{Offset{-1, -1}, 100, -101},
+		{Offset{2, -5}, 100, 195},
+	}
+	for _, c := range cases {
+		if got := c.o.Resolve(c.width); got != c.want {
+			t.Errorf("%v.Resolve(%d) = %d, want %d", c.o, c.width, got, c.want)
+		}
+	}
+}
+
+func TestOffsetString(t *testing.T) {
+	cases := []struct {
+		o    Offset
+		want string
+	}{
+		{Offset{0, 5}, "5"},
+		{Offset{0, -5}, "-5"},
+		{Offset{1, 0}, "imgWidth"},
+		{Offset{-1, 0}, "-imgWidth"},
+		{Offset{1, 1}, "imgWidth+1"},
+		{Offset{-1, -1}, "-imgWidth-1"},
+		{Offset{2, -3}, "2*imgWidth-3"},
+		{Offset{0, 0}, "0"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.o, got, c.want)
+		}
+	}
+}
+
+func TestEightNeighborResolvesToPaperOffsets(t *testing.T) {
+	// The paper's flow-routing record for width W:
+	// -W+1, -W, -W-1, -1, 1, W-1, W, W+1
+	p := Pattern{Name: "flow-routing", Offsets: EightNeighbor()}
+	got := p.Resolve(1024)
+	want := []int64{-1023, -1024, -1025, -1, 1, 1023, 1024, 1025}
+	if len(got) != len(want) {
+		t.Fatalf("Resolve = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Resolve = %v, want %v", got, want)
+		}
+	}
+	if p.MaxAbsOffset(1024) != 1025 {
+		t.Errorf("MaxAbsOffset = %d, want 1025", p.MaxAbsOffset(1024))
+	}
+}
+
+func TestFourNeighborAndStride(t *testing.T) {
+	if got := (Pattern{Offsets: FourNeighbor()}).MaxAbsOffset(50); got != 50 {
+		t.Errorf("four-neighbor MaxAbsOffset = %d", got)
+	}
+	p := Pattern{Offsets: Stride(7)}
+	offs := p.Resolve(1000)
+	if len(offs) != 2 || offs[0] != -7 || offs[1] != 7 {
+		t.Errorf("Stride(7) = %v", offs)
+	}
+}
+
+func TestIndependentPattern(t *testing.T) {
+	if !(Pattern{Name: "scan"}).Independent() {
+		t.Error("empty pattern should be independent")
+	}
+	if !(Pattern{Offsets: []Offset{{0, 0}}}).Independent() {
+		t.Error("zero offsets should be independent")
+	}
+	if (Pattern{Offsets: []Offset{{0, 1}}}).Independent() {
+		t.Error("non-zero offset reported independent")
+	}
+}
+
+func TestUnionMergesAndDeduplicates(t *testing.T) {
+	a := Pattern{Name: "a", Offsets: EightNeighbor()}
+	b := Pattern{Name: "b", Offsets: Stride(1)} // ±1 already in the 8-neighborhood
+	c := Pattern{Name: "c", Offsets: Stride(500)}
+	u := Union("workflow", a, b, c)
+	if u.Name != "workflow" {
+		t.Errorf("name %q", u.Name)
+	}
+	// 8 from a, 0 new from b, 2 new from c.
+	if len(u.Offsets) != 10 {
+		t.Errorf("union has %d offsets, want 10: %v", len(u.Offsets), u.Offsets)
+	}
+	// The union's reach covers the widest member at any width.
+	for _, w := range []int{10, 100, 1000} {
+		want := a.MaxAbsOffset(w)
+		if cw := c.MaxAbsOffset(w); cw > want {
+			want = cw
+		}
+		if got := u.MaxAbsOffset(w); got != want {
+			t.Errorf("width %d: union reach %d, want %d", w, got, want)
+		}
+	}
+	if got := Union("empty"); len(got.Offsets) != 0 {
+		t.Errorf("empty union has offsets: %v", got.Offsets)
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Pattern{Name: "a", Offsets: Stride(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Pattern{Name: "b", Offsets: EightNeighbor()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Pattern{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, ok := r.Lookup("a"); !ok {
+		t.Error("Lookup(a) failed")
+	}
+	if _, ok := r.Lookup("zzz"); ok {
+		t.Error("Lookup(zzz) succeeded")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	// Re-register replaces without duplicating.
+	if err := r.Register(Pattern{Name: "a", Offsets: Stride(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d after re-register", r.Len())
+	}
+	p, _ := r.Lookup("a")
+	if p.Offsets[1].Const != 2 {
+		t.Error("re-register did not replace pattern")
+	}
+}
+
+func TestSortedResolve(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Register(Pattern{Name: "f", Offsets: EightNeighbor()})
+	offs, err := r.SortedResolve("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i-1] > offs[i] {
+			t.Fatalf("not sorted: %v", offs)
+		}
+	}
+	if _, err := r.SortedResolve("nope", 10); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}
+
+func TestPatternStringRoundTrip(t *testing.T) {
+	p := Pattern{Name: "flow-routing", Offsets: EightNeighbor()}
+	parsed, err := Parse(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || parsed[0].Name != p.Name {
+		t.Fatalf("parsed %v", parsed)
+	}
+	if len(parsed[0].Offsets) != len(p.Offsets) {
+		t.Fatalf("offsets %v", parsed[0].Offsets)
+	}
+	for i := range p.Offsets {
+		if parsed[0].Offsets[i] != p.Offsets[i] {
+			t.Errorf("offset %d: %v != %v", i, parsed[0].Offsets[i], p.Offsets[i])
+		}
+	}
+}
+
+// Property: formatting then parsing any registry reproduces it exactly.
+func TestRegistryRoundTripProperty(t *testing.T) {
+	prop := func(coefs []int8, consts []int8) bool {
+		n := len(coefs)
+		if len(consts) < n {
+			n = len(consts)
+		}
+		if n == 0 {
+			return true
+		}
+		r := NewRegistry()
+		var offs []Offset
+		for i := 0; i < n; i++ {
+			offs = append(offs, Offset{Coef: int64(coefs[i]), Const: int64(consts[i])})
+		}
+		_ = r.Register(Pattern{Name: "op", Offsets: offs})
+		parsed, err := Parse(strings.NewReader(r.Format()))
+		if err != nil || len(parsed) != 1 || len(parsed[0].Offsets) != n {
+			return false
+		}
+		for i, o := range parsed[0].Offsets {
+			if o != offs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

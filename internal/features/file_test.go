@@ -1,0 +1,61 @@
+package features
+
+import (
+	"os"
+	"testing"
+)
+
+// The testdata files are the shipping examples of both database formats;
+// they must stay parseable and semantically identical for the operators
+// they share.
+func TestTestdataFilesParse(t *testing.T) {
+	txtF, err := os.Open("testdata/kernels.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txtF.Close()
+	txt, err := Parse(txtF)
+	if err != nil {
+		t.Fatalf("text db: %v", err)
+	}
+	if len(txt) != 3 {
+		t.Fatalf("text db has %d records", len(txt))
+	}
+
+	xmlF, err := os.Open("testdata/kernels.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer xmlF.Close()
+	xmlPats, err := ParseXML(xmlF)
+	if err != nil {
+		t.Fatalf("xml db: %v", err)
+	}
+	if len(xmlPats) != 2 {
+		t.Fatalf("xml db has %d records", len(xmlPats))
+	}
+
+	// flow-routing appears in both; the records must agree.
+	var fromTxt, fromXML *Pattern
+	for i := range txt {
+		if txt[i].Name == "flow-routing" {
+			fromTxt = &txt[i]
+		}
+	}
+	for i := range xmlPats {
+		if xmlPats[i].Name == "flow-routing" {
+			fromXML = &xmlPats[i]
+		}
+	}
+	if fromTxt == nil || fromXML == nil {
+		t.Fatal("flow-routing missing from a database")
+	}
+	if len(fromTxt.Offsets) != len(fromXML.Offsets) {
+		t.Fatalf("offset counts differ: %d vs %d", len(fromTxt.Offsets), len(fromXML.Offsets))
+	}
+	for i := range fromTxt.Offsets {
+		if fromTxt.Offsets[i] != fromXML.Offsets[i] {
+			t.Errorf("offset %d differs: %v vs %v", i, fromTxt.Offsets[i], fromXML.Offsets[i])
+		}
+	}
+}

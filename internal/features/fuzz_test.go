@@ -1,0 +1,76 @@
+package features
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseOffset checks the expression parser never panics and that any
+// successfully parsed offset survives a format→parse round trip.
+func FuzzParseOffset(f *testing.F) {
+	for _, seed := range []string{
+		"1", "-1", "imgWidth", "-imgWidth+1", "2*imgWidth-3", "imgWidth*4",
+		"--5", " imgWidth - 1 ", "", "x", "1+", "*", "9999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		off, err := ParseOffset(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseOffset(off.String())
+		if err != nil {
+			t.Fatalf("formatted offset %q does not re-parse: %v", off.String(), err)
+		}
+		if back != off {
+			t.Fatalf("round trip changed offset: %+v → %q → %+v", off, off.String(), back)
+		}
+	})
+}
+
+// FuzzParse checks the record parser never panics and that whatever it
+// accepts survives a format→parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("Name:flow-routing\nDependence: -imgWidth+1, 1\n")
+	f.Add("# comment\nName:a\nDependence: 1,\n2\n")
+	f.Add("Name:\nDependence: 1\n")
+	f.Add("Dependence: 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		pats, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		reg := NewRegistry()
+		for _, p := range pats {
+			// Registry rejects empty names; Parse must never emit one.
+			if err := reg.Register(p); err != nil {
+				t.Fatalf("parsed pattern unregistrable: %v", err)
+			}
+		}
+		back, err := Parse(strings.NewReader(reg.Format()))
+		if err != nil {
+			t.Fatalf("formatted registry does not re-parse: %v", err)
+		}
+		if len(back) != reg.Len() {
+			t.Fatalf("round trip changed record count: %d → %d", reg.Len(), len(back))
+		}
+	})
+}
+
+// FuzzParseXML checks the XML parser never panics on arbitrary input.
+func FuzzParseXML(f *testing.F) {
+	f.Add("<kernelFeatures><kernel><name>a</name><dependence>1</dependence></kernel></kernelFeatures>")
+	f.Add("<kernelFeatures/>")
+	f.Add("not xml at all")
+	f.Fuzz(func(t *testing.T, src string) {
+		pats, err := ParseXML(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if _, err := FormatXML(pats); err != nil {
+			t.Fatalf("accepted patterns do not format: %v", err)
+		}
+	})
+}

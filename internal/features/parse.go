@@ -1,0 +1,214 @@
+package features
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a kernel-features description file: a sequence of records
+//
+//	Name:<operator>
+//	Dependence: <offset>, <offset>, ...
+//
+// Offsets are integer linear expressions in imgWidth (e.g. "-imgWidth+1",
+// "2*imgWidth", "-1"). The Dependence list may wrap onto following lines,
+// as in the paper's flow-routing example. Blank lines and lines starting
+// with '#' are ignored.
+func Parse(r io.Reader) ([]Pattern, error) {
+	sc := bufio.NewScanner(r)
+	var (
+		pats    []Pattern
+		cur     *Pattern
+		inDeps  bool
+		lineNum int
+	)
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if !inDeps {
+			return fmt.Errorf("features: record %q has no Dependence line", cur.Name)
+		}
+		pats = append(pats, *cur)
+		cur, inDeps = nil, false
+		return nil
+	}
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "Name:"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(line, "Name:"))
+			if name == "" {
+				return nil, fmt.Errorf("features: line %d: empty operator name", lineNum)
+			}
+			cur = &Pattern{Name: name}
+		case strings.HasPrefix(line, "Dependence:"):
+			if cur == nil {
+				return nil, fmt.Errorf("features: line %d: Dependence before Name", lineNum)
+			}
+			inDeps = true
+			if err := appendOffsets(cur, strings.TrimPrefix(line, "Dependence:"), lineNum); err != nil {
+				return nil, err
+			}
+		default:
+			// Continuation of a wrapped Dependence list.
+			if cur == nil || !inDeps {
+				return nil, fmt.Errorf("features: line %d: unexpected content %q", lineNum, line)
+			}
+			if err := appendOffsets(cur, line, lineNum); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return pats, nil
+}
+
+func appendOffsets(p *Pattern, list string, lineNum int) error {
+	for _, field := range strings.Split(list, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		off, err := ParseOffset(field)
+		if err != nil {
+			return fmt.Errorf("features: line %d: %w", lineNum, err)
+		}
+		p.Offsets = append(p.Offsets, off)
+	}
+	return nil
+}
+
+// ParseOffset parses one linear expression in imgWidth, e.g. "-imgWidth+1",
+// "imgWidth - 1", "3", "2*imgWidth-5". Whitespace around operators is
+// allowed.
+func ParseOffset(s string) (Offset, error) {
+	toks, err := tokenize(s)
+	if err != nil {
+		return Offset{}, err
+	}
+	if len(toks) == 0 {
+		return Offset{}, fmt.Errorf("empty offset expression")
+	}
+	var out Offset
+	sign := int64(1)
+	expectTerm := true
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch {
+		case t == "+" || t == "-":
+			if expectTerm && t == "-" {
+				sign = -sign
+				continue
+			}
+			if expectTerm {
+				continue // unary plus
+			}
+			sign = 1
+			if t == "-" {
+				sign = -1
+			}
+			expectTerm = true
+		case expectTerm:
+			coef, cons, consumed, err := parseTerm(toks[i:])
+			if err != nil {
+				return Offset{}, fmt.Errorf("offset %q: %w", s, err)
+			}
+			out.Coef += sign * coef
+			out.Const += sign * cons
+			sign = 1
+			expectTerm = false
+			i += consumed - 1
+		default:
+			return Offset{}, fmt.Errorf("offset %q: unexpected token %q", s, t)
+		}
+	}
+	if expectTerm {
+		return Offset{}, fmt.Errorf("offset %q: dangling operator", s)
+	}
+	return out, nil
+}
+
+// parseTerm parses INT, imgWidth, INT*imgWidth, or imgWidth*INT from the
+// head of toks, returning the (coef, const) contribution and tokens used.
+func parseTerm(toks []string) (coef, cons int64, consumed int, err error) {
+	head := toks[0]
+	if head == "imgWidth" {
+		if len(toks) >= 3 && toks[1] == "*" {
+			n, err := strconv.ParseInt(toks[2], 10, 64)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("bad multiplier %q", toks[2])
+			}
+			return n, 0, 3, nil
+		}
+		return 1, 0, 1, nil
+	}
+	n, err := strconv.ParseInt(head, 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad term %q", head)
+	}
+	if len(toks) >= 3 && toks[1] == "*" {
+		if toks[2] != "imgWidth" {
+			return 0, 0, 0, fmt.Errorf("bad multiplicand %q", toks[2])
+		}
+		return n, 0, 3, nil
+	}
+	return 0, n, 1, nil
+}
+
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '+' || c == '-' || c == '*':
+			toks = append(toks, string(c))
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdent(s[j]) {
+				j++
+			}
+			word := s[i:j]
+			if word != "imgWidth" {
+				return nil, fmt.Errorf("unknown identifier %q (only imgWidth is defined)", word)
+			}
+			toks = append(toks, word)
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }

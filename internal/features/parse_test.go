@@ -1,0 +1,126 @@
+package features
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOffsetExpressions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Offset
+	}{
+		{"5", Offset{0, 5}},
+		{"-5", Offset{0, -5}},
+		{"+5", Offset{0, 5}},
+		{"imgWidth", Offset{1, 0}},
+		{"-imgWidth", Offset{-1, 0}},
+		{"-imgWidth+1", Offset{-1, 1}},
+		{"-imgWidth - 1", Offset{-1, -1}},
+		{"imgWidth - 1", Offset{1, -1}},
+		{"2*imgWidth", Offset{2, 0}},
+		{"-2*imgWidth+3", Offset{-2, 3}},
+		{"imgWidth*3", Offset{3, 0}},
+		{"--1", Offset{0, 1}}, // double negation folds
+		{" imgWidth + 1 ", Offset{1, 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseOffset(c.in)
+		if err != nil {
+			t.Errorf("ParseOffset(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseOffset(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseOffsetErrors(t *testing.T) {
+	for _, in := range []string{"", "width", "1+", "*3", "imgWidth*x", "2**3", "1 2", "imgWidth imgWidth", "3*4"} {
+		if _, err := ParseOffset(in); err == nil {
+			t.Errorf("ParseOffset(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParsePaperRecord(t *testing.T) {
+	// Verbatim from §III-B, with the wrapped Dependence list.
+	src := `Name:flow-routing
+Dependence: -imgWidth + 1, -imgWidth, -imgWidth - 1, -1, 1,
+imgWidth - 1, imgWidth, imgWidth + 1
+`
+	pats, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 1 || pats[0].Name != "flow-routing" {
+		t.Fatalf("pats = %+v", pats)
+	}
+	got := pats[0].Resolve(100)
+	want := []int64{-99, -100, -101, -1, 1, 99, 100, 101}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Resolve = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseMultipleRecordsWithCommentsAndBlanks(t *testing.T) {
+	src := `# kernel features database
+Name:median-filter
+Dependence: -imgWidth+1, -imgWidth, -imgWidth-1, -1, 1, imgWidth-1, imgWidth, imgWidth+1
+
+# stride example from Fig. 6
+Name:stride-op
+Dependence: -64, 64
+`
+	pats, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 2 {
+		t.Fatalf("got %d records", len(pats))
+	}
+	if pats[1].Name != "stride-op" || len(pats[1].Offsets) != 2 {
+		t.Errorf("second record %+v", pats[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"dependence before name", "Dependence: 1\n"},
+		{"missing dependence", "Name:a\nName:b\nDependence: 1\n"},
+		{"trailing record missing dependence", "Name:a\n"},
+		{"empty name", "Name:\nDependence: 1\n"},
+		{"stray content", "x y z\n"},
+		{"bad offset", "Name:a\nDependence: 1, bogus\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	pats, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 0 {
+		t.Errorf("got %d records from empty input", len(pats))
+	}
+}
+
+func TestParseSkipsEmptyListEntries(t *testing.T) {
+	pats, err := Parse(strings.NewReader("Name:a\nDependence: 1,, 2,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats[0].Offsets) != 2 {
+		t.Errorf("offsets = %v", pats[0].Offsets)
+	}
+}

@@ -1,0 +1,82 @@
+package features
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The paper (§III-B) allows kernel-features databases to be "a plain text
+// file or an XML file". This file implements the XML form:
+//
+//	<kernelFeatures>
+//	  <kernel>
+//	    <name>flow-routing</name>
+//	    <dependence>-imgWidth+1, -imgWidth, -imgWidth-1, -1, 1,
+//	                imgWidth-1, imgWidth, imgWidth+1</dependence>
+//	  </kernel>
+//	</kernelFeatures>
+//
+// Offsets use the same expression syntax as the text format, so both
+// formats round-trip through the same Offset parser.
+
+type xmlDB struct {
+	XMLName xml.Name    `xml:"kernelFeatures"`
+	Kernels []xmlKernel `xml:"kernel"`
+}
+
+type xmlKernel struct {
+	Name       string `xml:"name"`
+	Dependence string `xml:"dependence"`
+}
+
+// ParseXML reads an XML kernel-features database.
+func ParseXML(r io.Reader) ([]Pattern, error) {
+	var db xmlDB
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&db); err != nil {
+		return nil, fmt.Errorf("features: xml: %w", err)
+	}
+	pats := make([]Pattern, 0, len(db.Kernels))
+	for i, k := range db.Kernels {
+		name := strings.TrimSpace(k.Name)
+		if name == "" {
+			return nil, fmt.Errorf("features: xml: kernel %d has empty name", i)
+		}
+		p := Pattern{Name: name}
+		for _, field := range strings.Split(k.Dependence, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			off, err := ParseOffset(field)
+			if err != nil {
+				return nil, fmt.Errorf("features: xml: kernel %q: %w", name, err)
+			}
+			p.Offsets = append(p.Offsets, off)
+		}
+		pats = append(pats, p)
+	}
+	return pats, nil
+}
+
+// FormatXML renders patterns as an XML database.
+func FormatXML(pats []Pattern) (string, error) {
+	db := xmlDB{Kernels: make([]xmlKernel, 0, len(pats))}
+	for _, p := range pats {
+		offs := make([]string, len(p.Offsets))
+		for i, o := range p.Offsets {
+			offs[i] = o.String()
+		}
+		db.Kernels = append(db.Kernels, xmlKernel{
+			Name:       p.Name,
+			Dependence: strings.Join(offs, ", "),
+		})
+	}
+	out, err := xml.MarshalIndent(db, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("features: xml: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}

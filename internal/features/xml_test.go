@@ -1,0 +1,96 @@
+package features
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseXMLPaperExample(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<kernelFeatures>
+  <kernel>
+    <name>flow-routing</name>
+    <dependence>-imgWidth+1, -imgWidth, -imgWidth-1, -1, 1,
+                imgWidth-1, imgWidth, imgWidth+1</dependence>
+  </kernel>
+  <kernel>
+    <name>stride-op</name>
+    <dependence>-64, 64</dependence>
+  </kernel>
+</kernelFeatures>`
+	pats, err := ParseXML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 2 {
+		t.Fatalf("got %d patterns", len(pats))
+	}
+	if pats[0].Name != "flow-routing" || len(pats[0].Offsets) != 8 {
+		t.Errorf("first pattern %+v", pats[0])
+	}
+	got := pats[0].Resolve(100)
+	want := []int64{-99, -100, -101, -1, 1, 99, 100, 101}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Resolve = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"not xml", "Name:flow\nDependence: 1\n"},
+		{"empty name", "<kernelFeatures><kernel><name> </name><dependence>1</dependence></kernel></kernelFeatures>"},
+		{"bad offset", "<kernelFeatures><kernel><name>x</name><dependence>nope</dependence></kernel></kernelFeatures>"},
+	}
+	for _, c := range cases {
+		if _, err := ParseXML(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestXMLRoundTripMatchesTextRoundTrip(t *testing.T) {
+	prop := func(coefs, consts []int8) bool {
+		n := len(coefs)
+		if len(consts) < n {
+			n = len(consts)
+		}
+		if n == 0 {
+			return true
+		}
+		var offs []Offset
+		for i := 0; i < n; i++ {
+			offs = append(offs, Offset{Coef: int64(coefs[i]), Const: int64(consts[i])})
+		}
+		orig := []Pattern{{Name: "op", Offsets: offs}}
+		x, err := FormatXML(orig)
+		if err != nil {
+			return false
+		}
+		back, err := ParseXML(strings.NewReader(x))
+		if err != nil || len(back) != 1 || len(back[0].Offsets) != n {
+			return false
+		}
+		for i := range offs {
+			if back[0].Offsets[i] != offs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatXMLIsValidHeaderAndIndent(t *testing.T) {
+	out, err := FormatXML([]Pattern{{Name: "a", Offsets: EightNeighbor()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "<?xml") || !strings.Contains(out, "<kernelFeatures>") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+package grid
+
+import "fmt"
+
+// Band is the window of a raster's flat element space available to one
+// worker: the contiguous range it must produce output for ([Start, End)),
+// plus halo elements on both sides that its kernel's dependence pattern
+// may read ([Lo, Hi) ⊇ [Start, End)). A storage server running an
+// offloaded kernel assembles a Band from its local strips, its local
+// replicas (DAS), or remote fetches (NAS); a compute node running the
+// kernel client-side assembles it from normal reads.
+type Band struct {
+	Width     int   // raster width, for row/column boundary handling
+	GlobalLen int64 // total elements in the raster
+	Start     int64 // first owned element
+	End       int64 // one past the last owned element
+	Lo        int64 // first element present in Data
+	Data      []float64
+}
+
+// NewBand allocates a band covering owned range [start, end) with data
+// range [lo, hi).
+func NewBand(width int, globalLen, start, end, lo, hi int64) *Band {
+	switch {
+	case width <= 0:
+		panic(fmt.Sprintf("grid: band width %d", width))
+	case lo > start || hi < end || start > end || lo < 0 || hi > globalLen:
+		panic(fmt.Sprintf("grid: invalid band [%d,%d) data [%d,%d) of %d", start, end, lo, hi, globalLen))
+	}
+	return &Band{
+		Width:     width,
+		GlobalLen: globalLen,
+		Start:     start,
+		End:       end,
+		Lo:        lo,
+		Data:      make([]float64, hi-lo),
+	}
+}
+
+// BandOf copies the window [lo, hi) out of a whole grid. It is the
+// reference way to build the band a distributed worker would assemble.
+func BandOf(g *Grid, start, end, lo, hi int64) *Band {
+	b := NewBand(g.W, g.Len(), start, end, lo, hi)
+	copy(b.Data, g.Data[lo:hi])
+	return b
+}
+
+// Hi returns one past the last element present in Data.
+func (b *Band) Hi() int64 { return b.Lo + int64(len(b.Data)) }
+
+// Contains reports whether global element i is present in the band.
+func (b *Band) Contains(i int64) bool { return i >= b.Lo && i < b.Hi() }
+
+// At returns the value of global element i, which must be within the
+// band's data range.
+func (b *Band) At(i int64) float64 {
+	if !b.Contains(i) {
+		panic(fmt.Sprintf("grid: element %d outside band [%d,%d)", i, b.Lo, b.Hi()))
+	}
+	return b.Data[i-b.Lo]
+}
+
+// Fill copies src (global range [lo, lo+len(src))) into the band's data
+// window; ranges outside the band are ignored. Workers call Fill once per
+// local strip or fetched halo fragment.
+func (b *Band) Fill(lo int64, src []float64) {
+	hi := lo + int64(len(src))
+	curLo, curHi := b.Lo, b.Hi()
+	if hi <= curLo || lo >= curHi {
+		return
+	}
+	from, to := lo, hi
+	if from < curLo {
+		from = curLo
+	}
+	if to > curHi {
+		to = curHi
+	}
+	copy(b.Data[from-b.Lo:to-b.Lo], src[from-lo:to-lo])
+}
+
+// OwnedLen returns the number of elements the band must produce.
+func (b *Band) OwnedLen() int64 { return b.End - b.Start }
+
+// RowCol converts a flat element index into raster coordinates.
+func (b *Band) RowCol(i int64) (row, col int) {
+	return int(i / int64(b.Width)), int(i % int64(b.Width))
+}
+
+// HaloRange returns the data range [lo, hi) needed to process owned range
+// [start, end) with a dependence reaching maxAbsOffset elements each way,
+// clamped to the raster.
+func HaloRange(start, end, maxAbsOffset, globalLen int64) (lo, hi int64) {
+	lo = start - maxAbsOffset
+	if lo < 0 {
+		lo = 0
+	}
+	hi = end + maxAbsOffset
+	if hi > globalLen {
+		hi = globalLen
+	}
+	return lo, hi
+}

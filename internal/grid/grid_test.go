@@ -1,0 +1,125 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	g := New(4, 3)
+	if g.Len() != 12 || g.SizeBytes() != 96 {
+		t.Fatalf("Len=%d SizeBytes=%d", g.Len(), g.SizeBytes())
+	}
+	g.Set(2, 3, 7.5)
+	if g.At(2, 3) != 7.5 {
+		t.Errorf("At(2,3) = %v", g.At(2, 3))
+	}
+	if g.Idx(2, 3) != 11 {
+		t.Errorf("Idx(2,3) = %d, want 11", g.Idx(2, 3))
+	}
+	if g.Data[11] != 7.5 {
+		t.Error("row-major layout violated")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero width")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(2, 2)
+	g.Set(0, 0, 1)
+	c := g.Clone()
+	c.Set(0, 0, 2)
+	if g.At(0, 0) != 1 {
+		t.Error("clone shares storage")
+	}
+	if !g.Equal(g.Clone()) {
+		t.Error("clone not Equal to original")
+	}
+}
+
+func TestEqualShapeAndValues(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	if !a.Equal(b) {
+		t.Error("zero grids should be equal")
+	}
+	b.Set(1, 1, 0.1)
+	if a.Equal(b) {
+		t.Error("different values reported equal")
+	}
+	if a.Equal(New(4, 1)) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+func TestEqualHandlesNaN(t *testing.T) {
+	a, b := New(1, 1), New(1, 1)
+	a.Set(0, 0, math.NaN())
+	b.Set(0, 0, math.NaN())
+	if !a.Equal(b) {
+		t.Error("identical NaN bit patterns should compare equal")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	b.Set(0, 1, -3)
+	b.Set(1, 0, 2)
+	if got := a.MaxAbsDiff(b); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	g := New(3, 2)
+	for i := range g.Data {
+		g.Data[i] = float64(i) * 1.25
+	}
+	back, err := FromBytes(3, 2, g.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Error("Bytes/FromBytes round trip lost data")
+	}
+}
+
+func TestFromBytesLengthCheck(t *testing.T) {
+	if _, err := FromBytes(2, 2, make([]byte, 31)); err == nil {
+		t.Error("expected error for wrong byte length")
+	}
+}
+
+func TestFloatsBytesRoundTripProperty(t *testing.T) {
+	prop := func(vals []float64) bool {
+		back := FloatsFromBytes(FloatsToBytes(vals))
+		if len(back) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatsFromBytesUnalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unaligned length")
+		}
+	}()
+	FloatsFromBytes(make([]byte, 9))
+}

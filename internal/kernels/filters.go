@@ -1,0 +1,215 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/grid"
+)
+
+// Gaussian is the 3×3 2D Gaussian smoothing filter from signal and
+// medical image processing (Table I): weights 1-2-1 / 2-4-2 / 1-2-1,
+// normalized by 16. Borders clamp to the nearest in-grid cell.
+type Gaussian struct{}
+
+func (Gaussian) Name() string { return "gaussian-filter" }
+func (Gaussian) Description() string {
+	return "Basic operation of signal and medical image processing: smooths " +
+		"the raw data, producing a same-size smoothed raster."
+}
+func (Gaussian) Offsets() []features.Offset { return features.EightNeighbor() }
+func (Gaussian) Weight() float64            { return 1.2 }
+
+func (Gaussian) ApplyBand(b *grid.Band, out []float64) {
+	stencil3x3(b, out, func(w *[3][3]float64) float64 {
+		return (w[0][0] + 2*w[0][1] + w[0][2] +
+			2*w[1][0] + 4*w[1][1] + 2*w[1][2] +
+			w[2][0] + 2*w[2][1] + w[2][2]) / 16
+	})
+}
+
+// Median is the 3×3 median filter from medical image processing, the
+// paper's motivating example of an 8-neighbor-dependent operation. It is
+// the most compute-heavy of the bundled kernels.
+type Median struct{}
+
+func (Median) Name() string { return "median-filter" }
+func (Median) Description() string {
+	return "Basic operation of medical image processing: replaces each cell " +
+		"with the median of its 3×3 neighborhood, suppressing speckle noise."
+}
+func (Median) Offsets() []features.Offset { return features.EightNeighbor() }
+func (Median) Weight() float64            { return 2.5 }
+
+func (Median) ApplyBand(b *grid.Band, out []float64) {
+	stencil3x3(b, out, func(w *[3][3]float64) float64 {
+		var v [9]float64
+		k := 0
+		for _, row := range w {
+			for _, x := range row {
+				v[k] = x
+				k++
+			}
+		}
+		// Insertion sort: 9 elements, branch-friendly, no allocation.
+		for i := 1; i < 9; i++ {
+			x := v[i]
+			j := i - 1
+			for j >= 0 && v[j] > x {
+				v[j+1] = v[j]
+				j--
+			}
+			v[j+1] = x
+		}
+		return v[4]
+	})
+}
+
+// HorizontalBlur is a 1-D box blur along rows with the given radius: its
+// dependence is ±1..±Radius within the row, so its reach — and therefore
+// the halo the improved distribution needs — is independent of the raster
+// width, unlike the 8-neighbor family. It demonstrates that the layout
+// planner sizes replication from the pattern, not from a fixed rule.
+type HorizontalBlur struct {
+	Radius int
+}
+
+func (h HorizontalBlur) Name() string { return "horizontal-blur" }
+func (h HorizontalBlur) Description() string {
+	return fmt.Sprintf("1-D box blur along rows, radius %d: dependence stays "+
+		"within the row regardless of raster width.", h.radius())
+}
+func (h HorizontalBlur) Offsets() []features.Offset {
+	var offs []features.Offset
+	for i := 1; i <= h.radius(); i++ {
+		offs = append(offs, features.Offset{Const: int64(-i)}, features.Offset{Const: int64(i)})
+	}
+	return offs
+}
+func (h HorizontalBlur) Weight() float64 { return 0.3 * float64(h.radius()) }
+
+func (h HorizontalBlur) radius() int {
+	if h.Radius <= 0 {
+		return 1
+	}
+	return h.Radius
+}
+
+func (h HorizontalBlur) ApplyBand(b *grid.Band, out []float64) {
+	r := h.radius()
+	width := int64(b.Width)
+	for i := b.Start; i < b.End; i++ {
+		row := i / width
+		rowLo, rowHi := row*width, (row+1)*width-1
+		sum, n := 0.0, 0
+		for d := int64(-r); d <= int64(r); d++ {
+			j := i + d
+			if j < rowLo {
+				j = rowLo // clamp within the row
+			}
+			if j > rowHi {
+				j = rowHi
+			}
+			sum += b.At(j)
+			n++
+		}
+		out[i-b.Start] = sum / float64(n)
+	}
+}
+
+// StrideKernel is the synthetic operator of the paper's Fig. 6: each
+// element depends on the two elements ±Stride away in flat element space.
+// Its value is the average of the two dependencies blended with the
+// center. It exists to exercise the bandwidth predictor: by choosing
+// Stride relative to the strip size and server count, the dependence can
+// be made perfectly local (Eq. (17) holds) or maximally hostile.
+type StrideKernel struct {
+	// OpName lets ablations register several strides side by side.
+	OpName string
+	Stride int64
+	// W is the relative compute weight; zero means 1.0.
+	W float64
+}
+
+func (s StrideKernel) Name() string {
+	if s.OpName != "" {
+		return s.OpName
+	}
+	return "stride-op"
+}
+func (s StrideKernel) Description() string {
+	return "Synthetic two-dependence operator (paper Fig. 6): reads the " +
+		"elements at ±stride and blends them with the center."
+}
+func (s StrideKernel) Offsets() []features.Offset { return features.Stride(s.Stride) }
+func (s StrideKernel) Weight() float64 {
+	if s.W == 0 {
+		return 1.0
+	}
+	return s.W
+}
+
+func (s StrideKernel) ApplyBand(b *grid.Band, out []float64) {
+	for i := b.Start; i < b.End; i++ {
+		left := b.At(clampFlat(i-s.Stride, b.GlobalLen))
+		right := b.At(clampFlat(i+s.Stride, b.GlobalLen))
+		out[i-b.Start] = 0.5*b.At(i) + 0.25*(left+right)
+	}
+}
+
+func clampFlat(i, total int64) int64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= total {
+		return total - 1
+	}
+	return i
+}
+
+// ScatterKernel reads dependencies at ± each of several strides: a
+// synthetic worst case for active storage whose offloading cost grows
+// with the number of distinct strips touched. With strides spanning k
+// different strip distances, every strip needs 2k remote strips under an
+// unaligned placement — the pattern the prediction core exists to reject.
+type ScatterKernel struct {
+	OpName  string
+	Strides []int64
+	W       float64
+}
+
+func (s ScatterKernel) Name() string {
+	if s.OpName != "" {
+		return s.OpName
+	}
+	return "scatter-op"
+}
+func (s ScatterKernel) Description() string {
+	return "Synthetic multi-stride operator: averages the elements at ± each " +
+		"stride with the center; a worst case for offloading."
+}
+func (s ScatterKernel) Offsets() []features.Offset {
+	var offs []features.Offset
+	for _, st := range s.Strides {
+		offs = append(offs, features.Offset{Const: -st}, features.Offset{Const: st})
+	}
+	return offs
+}
+func (s ScatterKernel) Weight() float64 {
+	if s.W == 0 {
+		return 1.0
+	}
+	return s.W
+}
+
+func (s ScatterKernel) ApplyBand(b *grid.Band, out []float64) {
+	n := float64(2 * len(s.Strides))
+	for i := b.Start; i < b.End; i++ {
+		sum := 0.0
+		for _, st := range s.Strides {
+			sum += b.At(clampFlat(i-st, b.GlobalLen))
+			sum += b.At(clampFlat(i+st, b.GlobalLen))
+		}
+		out[i-b.Start] = 0.5*b.At(i) + 0.5*sum/n
+	}
+}

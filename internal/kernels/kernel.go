@@ -1,0 +1,143 @@
+// Package kernels implements the paper's data analysis kernels (Table I):
+// flow-routing and flow-accumulation from GIS terrain analysis, and the 2D
+// Gaussian filter from medical image processing, plus a median filter and
+// a configurable stride kernel used in ablations. Each kernel declares its
+// dependence pattern in the Kernel Features format and computes over a
+// grid.Band, so exactly the same code runs on a compute node (Traditional
+// Storage), on a storage server over remotely fetched halos (Normal Active
+// Storage), and on a storage server over local replicas (DAS).
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/grid"
+)
+
+// Kernel is one offloadable data analysis operation.
+type Kernel interface {
+	// Name is the operator name used in kernel-features records and
+	// active storage requests.
+	Name() string
+	// Description is the human-readable summary (Table I).
+	Description() string
+	// Offsets is the kernel's symbolic dependence pattern.
+	Offsets() []features.Offset
+	// Weight is the relative per-element compute cost (1.0 = flow-routing).
+	// The cluster's cost model multiplies it by a base per-element time.
+	Weight() float64
+	// ApplyBand computes output elements [b.Start, b.End) into out, which
+	// has length b.OwnedLen(). The band must include the halo the
+	// dependence pattern requires (see features.Pattern.MaxAbsOffset).
+	ApplyBand(b *grid.Band, out []float64)
+}
+
+// Pattern returns the kernel's dependence pattern as a features record.
+func Pattern(k Kernel) features.Pattern {
+	return features.Pattern{Name: k.Name(), Offsets: k.Offsets()}
+}
+
+// Apply runs a kernel sequentially over a whole grid: the reference result
+// every distributed scheme must reproduce exactly.
+func Apply(k Kernel, g *grid.Grid) *grid.Grid {
+	b := grid.BandOf(g, 0, g.Len(), 0, g.Len())
+	out := grid.New(g.W, g.H)
+	k.ApplyBand(b, out.Data)
+	return out
+}
+
+// Registry maps operator names to kernels, in registration order.
+type Registry struct {
+	byName map[string]Kernel
+	order  []string
+}
+
+// NewRegistry returns an empty kernel registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Kernel)}
+}
+
+// Register adds a kernel; re-registering a name replaces it.
+func (r *Registry) Register(k Kernel) {
+	if k.Name() == "" {
+		panic("kernels: kernel with empty name")
+	}
+	if _, exists := r.byName[k.Name()]; !exists {
+		r.order = append(r.order, k.Name())
+	}
+	r.byName[k.Name()] = k
+}
+
+// Lookup returns the kernel for an operator name.
+func (r *Registry) Lookup(name string) (Kernel, bool) {
+	k, ok := r.byName[name]
+	return k, ok
+}
+
+// Names returns registered names in order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Features derives the kernel-features registry (§III-B) from the
+// registered kernels: the description file the active storage client
+// consults.
+func (r *Registry) Features() *features.Registry {
+	fr := features.NewRegistry()
+	for _, name := range r.order {
+		if err := fr.Register(Pattern(r.byName[name])); err != nil {
+			panic(fmt.Sprintf("kernels: %v", err))
+		}
+	}
+	return fr
+}
+
+// Default returns a registry with the paper's three evaluation kernels,
+// the median filter its introduction motivates, and the two further
+// operations §III-C names: surface slope analysis (8-neighbor) and a
+// 4-neighbor smoothing step.
+func Default() *Registry {
+	r := NewRegistry()
+	r.Register(FlowRouting{})
+	r.Register(FlowAccumulation{})
+	r.Register(Gaussian{})
+	r.Register(Median{})
+	r.Register(Slope{})
+	r.Register(Diffusion{})
+	return r
+}
+
+// stencil3x3 drives f over every owned element with its 3×3 neighborhood,
+// clamping coordinates at raster borders (boundary cells reuse their
+// nearest in-grid neighbor, so "data elements on boundary" never
+// communicate, matching the paper's exclusion of boundary elements).
+// w is indexed [dr+1][dc+1].
+func stencil3x3(b *grid.Band, out []float64, f func(w *[3][3]float64) float64) {
+	width := int64(b.Width)
+	height := int(b.GlobalLen / width)
+	var w [3][3]float64
+	for i := b.Start; i < b.End; i++ {
+		r, c := b.RowCol(i)
+		for dr := -1; dr <= 1; dr++ {
+			nr := clamp(r+dr, 0, height-1)
+			for dc := -1; dc <= 1; dc++ {
+				nc := clamp(c+dc, 0, b.Width-1)
+				w[dr+1][dc+1] = b.At(int64(nr)*width + int64(nc))
+			}
+		}
+		out[i-b.Start] = f(&w)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcio/das/internal/grid"
+)
+
+func TestStatsSequential(t *testing.T) {
+	g := grid.New(4, 2)
+	copy(g.Data, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	agg := ReduceAll(Stats{}, g)
+	if agg[StatCount] != 8 || agg[StatSum] != 36 || agg[StatMin] != 1 || agg[StatMax] != 8 {
+		t.Errorf("agg = %v", agg)
+	}
+	if Mean(agg) != 4.5 {
+		t.Errorf("Mean = %v", Mean(agg))
+	}
+	if got := StdDev(agg); math.Abs(got-2.29128784747792) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestStatsEmptyAggregates(t *testing.T) {
+	zero := Stats{}.Merge(nil)
+	if Mean(zero) != 0 || StdDev(zero) != 0 {
+		t.Error("empty aggregate should yield zero mean/stddev")
+	}
+}
+
+// Property: merging arbitrary band partitions of a grid reproduces the
+// sequential aggregate exactly for count/sum/min/max and within float
+// tolerance for sum of squares.
+func TestStatsMergeInvarianceProperty(t *testing.T) {
+	g := lcgGrid(16, 8, 77)
+	want := ReduceAll(Stats{}, g)
+	prop := func(cutRaw uint16) bool {
+		cut := int64(cutRaw)%(g.Len()-1) + 1
+		var partials [][]float64
+		for _, span := range [][2]int64{{0, cut}, {cut, g.Len()}} {
+			b := grid.BandOf(g, span[0], span[1], span[0], span[1])
+			partials = append(partials, Stats{}.ReduceBand(b))
+		}
+		got := Stats{}.Merge(partials)
+		return got[StatCount] == want[StatCount] &&
+			got[StatMin] == want[StatMin] &&
+			got[StatMax] == want[StatMax] &&
+			math.Abs(got[StatSum]-want[StatSum]) < 1e-9 &&
+			math.Abs(got[StatSumSq]-want[StatSumSq]) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := Histogram{Bins: 4, Lo: 0, Hi: 8}
+	g := grid.New(8, 1)
+	copy(g.Data, []float64{-1, 0, 1.9, 2, 5.5, 7.9, 8, 100})
+	agg := ReduceAll(h, g)
+	// Buckets [0,2) [2,4) [4,6) [6,8): -1 clamps down, 8 and 100 clamp up.
+	want := []float64{3, 1, 1, 3}
+	for i := range want {
+		if agg[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", agg, want)
+		}
+	}
+	var total float64
+	for _, v := range agg {
+		total += v
+	}
+	if total != float64(g.Len()) {
+		t.Errorf("histogram total %v != element count", total)
+	}
+}
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	h := Histogram{Bins: 4, Lo: 5, Hi: 5}
+	g := grid.New(4, 1)
+	agg := ReduceAll(h, g)
+	if agg[0] != 4 {
+		t.Errorf("degenerate range should fold into bucket 0: %v", agg)
+	}
+}
+
+func TestHistogramMergeSumsBins(t *testing.T) {
+	h := Histogram{Bins: 2, Lo: 0, Hi: 2}
+	a := []float64{3, 1}
+	b := []float64{2, 4}
+	got := h.Merge([][]float64{a, b})
+	if got[0] != 5 || got[1] != 5 {
+		t.Errorf("merge = %v", got)
+	}
+}
+
+func TestReducerRegistry(t *testing.T) {
+	r := DefaultReducers()
+	names := r.Names()
+	if len(names) != 2 || names[0] != "stats" || names[1] != "histogram" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, ok := r.Lookup("stats"); !ok {
+		t.Error("Lookup(stats) failed")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+	red, _ := r.Lookup("stats")
+	if red.PartialLen() != 5 || red.Weight() <= 0 || red.Description() == "" {
+		t.Error("stats reducer metadata wrong")
+	}
+}

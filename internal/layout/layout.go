@@ -1,0 +1,227 @@
+// Package layout implements the strip-placement arithmetic at the heart of
+// the DAS paper: which storage server holds which strip of a striped file,
+// under the default round-robin policy (Eqs. (1)–(4)) and under the
+// paper's improved, dependence-aware distribution that groups r successive
+// strips per server and replicates group-boundary strips onto the adjacent
+// servers (Eqs. (14)–(16), Figs. 7–9).
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout maps strip indices of one file onto storage servers. Server ids
+// are dense indices 0..Servers()-1; callers translate them to node ids.
+type Layout interface {
+	// Name identifies the policy for reports and metadata.
+	Name() string
+	// Servers returns D, the number of storage servers strips spread over.
+	Servers() int
+	// Primary returns the server owning strip s. The primary is the server
+	// responsible for processing the strip under active storage.
+	Primary(s int64) int
+	// Replicas returns the servers holding read-only copies of strip s, in
+	// ascending server order, excluding the primary. Most layouts return
+	// nil.
+	Replicas(s int64) []int
+}
+
+// RoundRobin is the default parallel-file-system policy: strip s lives on
+// server s mod D (paper Eq. (2)).
+type RoundRobin struct {
+	D int // number of storage servers
+}
+
+// NewRoundRobin returns the default policy over d servers.
+func NewRoundRobin(d int) RoundRobin {
+	mustServers(d)
+	return RoundRobin{D: d}
+}
+
+func (r RoundRobin) Name() string           { return fmt.Sprintf("round-robin(D=%d)", r.D) }
+func (r RoundRobin) Servers() int           { return r.D }
+func (r RoundRobin) Primary(s int64) int    { return int(mod(s, int64(r.D))) }
+func (r RoundRobin) Replicas(s int64) []int { return nil }
+
+// Grouped places r successive strips on the same server: strip s lives on
+// server (s/r) mod D (paper Eq. (14) without replication). It reduces but
+// does not eliminate cross-server dependence: dependencies still cross at
+// every group boundary.
+type Grouped struct {
+	D int // number of storage servers
+	R int // strips per group
+}
+
+// NewGrouped returns a grouped policy with r strips per group.
+func NewGrouped(d, r int) Grouped {
+	mustServers(d)
+	mustGroup(r)
+	return Grouped{D: d, R: r}
+}
+
+func (g Grouped) Name() string           { return fmt.Sprintf("grouped(D=%d,r=%d)", g.D, g.R) }
+func (g Grouped) Servers() int           { return g.D }
+func (g Grouped) Primary(s int64) int    { return int(mod(s/int64(g.R), int64(g.D))) }
+func (g Grouped) Replicas(s int64) []int { return nil }
+
+// GroupedReplicated is the paper's improved data distribution: r
+// successive strips per server, with the strips nearest each group
+// boundary additionally replicated to the neighboring server, so that the
+// dependence window of every element resolves locally (Fig. 9). The paper
+// replicates exactly the first and last strip of each group (Halo = 1); we
+// generalize to Halo ≥ 1 consecutive strips at each boundary, required
+// when the dependence span of a kernel exceeds one strip (e.g. an
+// 8-neighbor stencil on rows wider than one strip). Capacity overhead is
+// 2·Halo/r relative to an unreplicated layout.
+type GroupedReplicated struct {
+	D    int // number of storage servers
+	R    int // strips per group
+	Halo int // boundary strips replicated to each adjacent server
+}
+
+// NewGroupedReplicated returns the improved distribution. Halo must be at
+// least 1 and at most R: replicating more strips than a group holds would
+// mean full mirroring and is almost certainly a configuration error.
+func NewGroupedReplicated(d, r, halo int) GroupedReplicated {
+	mustServers(d)
+	mustGroup(r)
+	if halo < 1 || halo > r {
+		panic(fmt.Sprintf("layout: halo %d out of range [1,%d]", halo, r))
+	}
+	return GroupedReplicated{D: d, R: r, Halo: halo}
+}
+
+func (g GroupedReplicated) Name() string {
+	return fmt.Sprintf("grouped-replicated(D=%d,r=%d,halo=%d)", g.D, g.R, g.Halo)
+}
+func (g GroupedReplicated) Servers() int        { return g.D }
+func (g GroupedReplicated) Primary(s int64) int { return int(mod(s/int64(g.R), int64(g.D))) }
+
+// Replicas returns the adjacent servers holding copies of strip s: the
+// previous server if s is within Halo of its group's start, the next
+// server if within Halo of its group's end.
+func (g GroupedReplicated) Replicas(s int64) []int {
+	if g.D == 1 {
+		return nil // a single server already holds everything
+	}
+	primary := g.Primary(s)
+	pos := mod(s, int64(g.R))
+	var reps []int
+	if pos < int64(g.Halo) {
+		reps = appendServer(reps, int(mod(s/int64(g.R)-1, int64(g.D))), primary)
+	}
+	if pos >= int64(g.R-g.Halo) {
+		reps = appendServer(reps, int(mod(s/int64(g.R)+1, int64(g.D))), primary)
+	}
+	if len(reps) == 2 && reps[0] > reps[1] {
+		reps[0], reps[1] = reps[1], reps[0]
+	}
+	if len(reps) == 2 && reps[0] == reps[1] {
+		reps = reps[:1]
+	}
+	return reps
+}
+
+func appendServer(reps []int, srv, primary int) []int {
+	if srv == primary {
+		return reps // tiny D can fold a neighbor onto the primary
+	}
+	return append(reps, srv)
+}
+
+// ReplicatedRoundRobin is HDFS-style placement: strip s's primary is
+// server s mod D and Copies-1 replicas go to the following servers. It is
+// not a DAS layout — dependence stays remote — but models the output
+// replication a MapReduce/DFS stack pays, for the §II-C comparison.
+type ReplicatedRoundRobin struct {
+	D      int // number of storage servers
+	Copies int // total copies per strip, including the primary
+}
+
+// NewReplicatedRoundRobin returns the policy; copies must be in [1, D].
+func NewReplicatedRoundRobin(d, copies int) ReplicatedRoundRobin {
+	mustServers(d)
+	if copies < 1 || copies > d {
+		panic(fmt.Sprintf("layout: copies %d out of range [1,%d]", copies, d))
+	}
+	return ReplicatedRoundRobin{D: d, Copies: copies}
+}
+
+func (r ReplicatedRoundRobin) Name() string {
+	return fmt.Sprintf("replicated-round-robin(D=%d,copies=%d)", r.D, r.Copies)
+}
+func (r ReplicatedRoundRobin) Servers() int        { return r.D }
+func (r ReplicatedRoundRobin) Primary(s int64) int { return int(mod(s, int64(r.D))) }
+
+// Replicas places the Copies-1 following servers, ascending.
+func (r ReplicatedRoundRobin) Replicas(s int64) []int {
+	if r.Copies <= 1 {
+		return nil
+	}
+	reps := make([]int, 0, r.Copies-1)
+	for i := 1; i < r.Copies; i++ {
+		reps = append(reps, int(mod(s+int64(i), int64(r.D))))
+	}
+	sort.Ints(reps)
+	return reps
+}
+
+// Holders returns every server that stores strip s (primary first, then
+// replicas in ascending order) under any layout.
+func Holders(l Layout, s int64) []int {
+	return append([]int{l.Primary(s)}, l.Replicas(s)...)
+}
+
+// Holds reports whether server srv stores strip s, either as primary or as
+// a replica.
+func Holds(l Layout, s int64, srv int) bool {
+	if l.Primary(s) == srv {
+		return true
+	}
+	for _, r := range l.Replicas(s) {
+		if r == srv {
+			return true
+		}
+	}
+	return false
+}
+
+// OverheadRatio returns the extra storage capacity a layout consumes as a
+// fraction of the file size, averaged over many strips: 0 for
+// non-replicated layouts, 2·Halo/r for GroupedReplicated (the paper's
+// "2/r" with Halo = 1).
+func OverheadRatio(l Layout) float64 {
+	switch g := l.(type) {
+	case GroupedReplicated:
+		if g.D == 1 {
+			return 0
+		}
+		return 2 * float64(g.Halo) / float64(g.R)
+	default:
+		return 0
+	}
+}
+
+func mustServers(d int) {
+	if d <= 0 {
+		panic(fmt.Sprintf("layout: server count must be positive, got %d", d))
+	}
+}
+
+func mustGroup(r int) {
+	if r <= 0 {
+		panic(fmt.Sprintf("layout: group size must be positive, got %d", r))
+	}
+}
+
+// mod is the non-negative remainder, defined for negative numerators so
+// that "previous server" arithmetic wraps correctly (Go's % truncates
+// toward zero).
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

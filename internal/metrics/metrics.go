@@ -1,0 +1,177 @@
+// Package metrics collects byte- and time-level accounting for a simulated
+// DAS run. The counters deliberately distinguish the traffic classes the
+// paper argues about: client↔server traffic (what Traditional Storage
+// pays), server↔server traffic (what Normal Active Storage pays for
+// dependent data), and disk traffic.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TrafficClass labels a byte counter by which part of the system moved the
+// bytes.
+type TrafficClass int
+
+const (
+	// ClientToServer counts bytes written from compute nodes to storage
+	// nodes (normal I/O writes, request payloads).
+	ClientToServer TrafficClass = iota
+	// ServerToClient counts bytes read from storage nodes to compute nodes
+	// (normal I/O reads, active-storage results returned to clients).
+	ServerToClient
+	// ServerToServer counts bytes moved between storage nodes: dependent
+	// strips under NAS, replica maintenance under DAS, reconfiguration.
+	ServerToServer
+	// DiskRead and DiskWrite count bytes through storage-node disks.
+	DiskRead
+	DiskWrite
+	numClasses
+)
+
+var classNames = [...]string{
+	ClientToServer: "client→server",
+	ServerToClient: "server→client",
+	ServerToServer: "server↔server",
+	DiskRead:       "disk read",
+	DiskWrite:      "disk write",
+}
+
+// String returns the human-readable class label.
+func (c TrafficClass) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Classes lists every traffic class in display order.
+func Classes() []TrafficClass {
+	out := make([]TrafficClass, numClasses)
+	for i := range out {
+		out[i] = TrafficClass(i)
+	}
+	return out
+}
+
+// Traffic accumulates bytes per class. The simulator core is
+// single-threaded, but collectors may be read from test goroutines, so
+// access is guarded.
+type Traffic struct {
+	mu    sync.Mutex
+	bytes [numClasses]int64
+	ops   [numClasses]int64
+}
+
+// NewTraffic returns an empty collector.
+func NewTraffic() *Traffic { return &Traffic{} }
+
+// Add records n bytes of traffic in class c. Negative n panics: counters
+// only grow.
+func (t *Traffic) Add(c TrafficClass, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: negative traffic %d for %v", n, c))
+	}
+	t.mu.Lock()
+	t.bytes[c] += n
+	t.ops[c]++
+	t.mu.Unlock()
+}
+
+// Bytes returns the byte total for class c.
+func (t *Traffic) Bytes(c TrafficClass) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes[c]
+}
+
+// Ops returns the number of recorded operations for class c.
+func (t *Traffic) Ops(c TrafficClass) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops[c]
+}
+
+// NetworkBytes returns the sum over the three network classes.
+func (t *Traffic) NetworkBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes[ClientToServer] + t.bytes[ServerToClient] + t.bytes[ServerToServer]
+}
+
+// Reset zeroes every counter.
+func (t *Traffic) Reset() {
+	t.mu.Lock()
+	t.bytes = [numClasses]int64{}
+	t.ops = [numClasses]int64{}
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of all byte counters keyed by class.
+func (t *Traffic) Snapshot() map[TrafficClass]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[TrafficClass]int64, numClasses)
+	for c := TrafficClass(0); c < numClasses; c++ {
+		out[c] = t.bytes[c]
+	}
+	return out
+}
+
+// String renders the non-zero counters, ordered by class, e.g.
+// "client→server=24.0MiB server↔server=1.5MiB".
+func (t *Traffic) String() string {
+	snap := t.Snapshot()
+	var parts []string
+	for c := TrafficClass(0); c < numClasses; c++ {
+		if snap[c] != 0 {
+			parts = append(parts, fmt.Sprintf("%v=%s", c, FormatBytes(snap[c])))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no traffic)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case n >= gib:
+		return fmt.Sprintf("%.1fGiB", float64(n)/gib)
+	case n >= mib:
+		return fmt.Sprintf("%.1fMiB", float64(n)/mib)
+	case n >= kib:
+		return fmt.Sprintf("%.1fKiB", float64(n)/kib)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// SortedClasses returns the classes with non-zero byte counts, largest
+// first — handy for reporting the dominant traffic class of a scheme.
+func (t *Traffic) SortedClasses() []TrafficClass {
+	snap := t.Snapshot()
+	var classes []TrafficClass
+	for c, b := range snap {
+		if b > 0 {
+			classes = append(classes, c)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		bi, bj := snap[classes[i]], snap[classes[j]]
+		if bi != bj {
+			return bi > bj
+		}
+		return classes[i] < classes[j]
+	})
+	return classes
+}

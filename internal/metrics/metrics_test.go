@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndBytes(t *testing.T) {
+	tr := NewTraffic()
+	tr.Add(ClientToServer, 100)
+	tr.Add(ClientToServer, 50)
+	tr.Add(ServerToServer, 7)
+	if got := tr.Bytes(ClientToServer); got != 150 {
+		t.Errorf("ClientToServer = %d, want 150", got)
+	}
+	if got := tr.Bytes(ServerToServer); got != 7 {
+		t.Errorf("ServerToServer = %d, want 7", got)
+	}
+	if got := tr.Bytes(DiskRead); got != 0 {
+		t.Errorf("DiskRead = %d, want 0", got)
+	}
+	if got := tr.Ops(ClientToServer); got != 2 {
+		t.Errorf("Ops = %d, want 2", got)
+	}
+}
+
+func TestNetworkBytesSumsNetworkClassesOnly(t *testing.T) {
+	tr := NewTraffic()
+	tr.Add(ClientToServer, 1)
+	tr.Add(ServerToClient, 2)
+	tr.Add(ServerToServer, 4)
+	tr.Add(DiskRead, 100)
+	tr.Add(DiskWrite, 100)
+	if got := tr.NetworkBytes(); got != 7 {
+		t.Errorf("NetworkBytes = %d, want 7", got)
+	}
+}
+
+func TestNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative add")
+		}
+	}()
+	NewTraffic().Add(DiskRead, -1)
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTraffic()
+	tr.Add(DiskWrite, 10)
+	tr.Reset()
+	if tr.Bytes(DiskWrite) != 0 || tr.Ops(DiskWrite) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	tr := NewTraffic()
+	tr.Add(DiskRead, 5)
+	snap := tr.Snapshot()
+	snap[DiskRead] = 999
+	if tr.Bytes(DiskRead) != 5 {
+		t.Error("mutating snapshot affected collector")
+	}
+}
+
+func TestStringMentionsNonZeroClasses(t *testing.T) {
+	tr := NewTraffic()
+	if got := tr.String(); got != "(no traffic)" {
+		t.Errorf("empty String = %q", got)
+	}
+	tr.Add(ServerToServer, 1536)
+	s := tr.String()
+	if !strings.Contains(s, "server↔server") || !strings.Contains(s, "1.5KiB") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1536, "1.5KiB"},
+		{3 << 20, "3.0MiB"},
+		{5 << 30, "5.0GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSortedClassesDescending(t *testing.T) {
+	tr := NewTraffic()
+	tr.Add(ClientToServer, 10)
+	tr.Add(ServerToServer, 100)
+	tr.Add(DiskRead, 50)
+	got := tr.SortedClasses()
+	want := []TrafficClass{ServerToServer, DiskRead, ClientToServer}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClassesCoverAllNames(t *testing.T) {
+	for _, c := range Classes() {
+		if strings.HasPrefix(c.String(), "class(") {
+			t.Errorf("class %d has no name", int(c))
+		}
+	}
+}
+
+// Property: total bytes equals the sum of per-class additions regardless
+// of interleaving.
+func TestAdditionConservationProperty(t *testing.T) {
+	prop := func(adds []uint16) bool {
+		tr := NewTraffic()
+		var want int64
+		for i, a := range adds {
+			c := TrafficClass(i % int(numClasses))
+			tr.Add(c, int64(a))
+			want += int64(a)
+		}
+		var got int64
+		for _, b := range tr.Snapshot() {
+			got += b
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package pfs implements the striped parallel file system substrate the
+// DAS architecture runs on: a PVFS2-like system with a metadata service,
+// one data server process per storage node, 64 KiB default strips, and
+// pluggable data distributions (layout.Layout). Unlike stock PVFS2, the
+// placement policy is per-file and replica-aware, and a file can be
+// migrated between layouts in place — the two extensions §III-A of the
+// paper relies on ("Parallel file systems such as PVFS2 provide the
+// required APIs").
+package pfs
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/cluster"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// DefaultStripSize is the PVFS2 default the paper quotes (§III-C).
+const DefaultStripSize = 64 * 1024
+
+// Port is the mailbox name data servers listen on.
+const Port = "pfs"
+
+// headerBytes approximates the wire overhead of one request or response.
+const headerBytes = 128
+
+// FileMeta is the metadata service's record for one file.
+type FileMeta struct {
+	Name      string
+	Size      int64
+	StripSize int64
+	Layout    layout.Layout
+	// Raster annotations consumed by the active storage layer; zero for
+	// plain byte files.
+	Width, Height int
+	ElemSize      int64
+}
+
+// Strips returns the number of strips the file occupies.
+func (m *FileMeta) Strips() int64 {
+	return (m.Size + m.StripSize - 1) / m.StripSize
+}
+
+// StripBounds returns the byte range [lo, hi) of strip s.
+func (m *FileMeta) StripBounds(s int64) (lo, hi int64) {
+	lo = s * m.StripSize
+	hi = lo + m.StripSize
+	if hi > m.Size {
+		hi = m.Size
+	}
+	return lo, hi
+}
+
+// Locator builds the element locator for a raster file.
+func (m *FileMeta) Locator() layout.Locator {
+	elem := m.ElemSize
+	if elem == 0 {
+		elem = 1
+	}
+	return layout.NewLocator(elem, m.StripSize, m.Layout)
+}
+
+// FileSystem is the deployed parallel file system: metadata plus one
+// running server per storage node.
+type FileSystem struct {
+	clu     *cluster.Cluster
+	servers []*Server
+	meta    map[string]*FileMeta
+}
+
+// New deploys the file system on a cluster: one data server process per
+// storage node, started immediately.
+func New(clu *cluster.Cluster) *FileSystem {
+	fs := &FileSystem{
+		clu:  clu,
+		meta: make(map[string]*FileMeta),
+	}
+	for s := 0; s < clu.Cfg.StorageNodes; s++ {
+		srv := newServer(fs, s)
+		fs.servers = append(fs.servers, srv)
+		srv.start()
+	}
+	return fs
+}
+
+// Cluster returns the platform the file system runs on.
+func (fs *FileSystem) Cluster() *cluster.Cluster { return fs.clu }
+
+// Servers returns the number of data servers (the D of the layout math).
+func (fs *FileSystem) Servers() int { return len(fs.servers) }
+
+// Server returns the data server with dense index s.
+func (fs *FileSystem) Server(s int) *Server { return fs.servers[s] }
+
+// CreateOptions carries optional raster annotations for Create.
+type CreateOptions struct {
+	StripSize     int64 // 0 → DefaultStripSize
+	Width, Height int
+	ElemSize      int64
+}
+
+// Create registers a file with a layout. Metadata operations are modeled
+// as free: the paper's traffic argument is entirely about data strips, and
+// metadata messages are orders of magnitude smaller.
+func (fs *FileSystem) Create(name string, size int64, lay layout.Layout, opts CreateOptions) (*FileMeta, error) {
+	if name == "" {
+		return nil, fmt.Errorf("pfs: empty file name")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("pfs: file %q size %d", name, size)
+	}
+	if _, exists := fs.meta[name]; exists {
+		return nil, fmt.Errorf("pfs: file %q already exists", name)
+	}
+	if lay.Servers() != len(fs.servers) {
+		return nil, fmt.Errorf("pfs: layout spans %d servers, file system has %d", lay.Servers(), len(fs.servers))
+	}
+	stripSize := opts.StripSize
+	if stripSize == 0 {
+		stripSize = DefaultStripSize
+	}
+	if stripSize <= 0 {
+		return nil, fmt.Errorf("pfs: strip size %d", stripSize)
+	}
+	m := &FileMeta{
+		Name:      name,
+		Size:      size,
+		StripSize: stripSize,
+		Layout:    lay,
+		Width:     opts.Width,
+		Height:    opts.Height,
+		ElemSize:  opts.ElemSize,
+	}
+	fs.meta[name] = m
+	return m, nil
+}
+
+// Meta looks a file up in the metadata service.
+func (fs *FileSystem) Meta(name string) (*FileMeta, bool) {
+	m, ok := fs.meta[name]
+	return m, ok
+}
+
+// Delete drops a file's metadata and its strips on every server. Like
+// Create, it is a metadata-scale operation modeled as free.
+func (fs *FileSystem) Delete(name string) {
+	delete(fs.meta, name)
+	for _, s := range fs.servers {
+		delete(s.store, name)
+	}
+}
+
+// SetLayout replaces a file's layout record. Callers that move the actual
+// strips use Client.Reconfigure; this is the bare metadata update.
+func (fs *FileSystem) SetLayout(name string, lay layout.Layout) error {
+	m, ok := fs.meta[name]
+	if !ok {
+		return fmt.Errorf("pfs: unknown file %q", name)
+	}
+	if lay.Servers() != len(fs.servers) {
+		return fmt.Errorf("pfs: layout spans %d servers, file system has %d", lay.Servers(), len(fs.servers))
+	}
+	m.Layout = lay
+	return nil
+}
+
+// call sends a request to server srv on behalf of a process running on
+// node fromID and returns the response payload.
+func (fs *FileSystem) call(p *sim.Proc, fromID, srv int, payload any, size int64) any {
+	toID := fs.clu.StorageID(srv)
+	resp := fs.clu.Net.Call(p, simnet.Message{
+		From:    fromID,
+		To:      toID,
+		Port:    Port,
+		Size:    size,
+		Class:   fs.clu.ClassBetween(fromID, toID),
+		Payload: payload,
+	})
+	return resp.Payload
+}
+
+// ReadStripFrom reads bytes [lo, hi) of strip (relative to the strip
+// start) from server srv, as a process on node fromID. It is the
+// transport used by clients and by active storage servers fetching
+// dependent strips from their peers.
+func (fs *FileSystem) ReadStripFrom(p *sim.Proc, fromID, srv int, file string, strip, lo, hi int64) ([]byte, error) {
+	resp := fs.call(p, fromID, srv, readReq{File: file, Strip: strip, Lo: lo, Hi: hi}, headerBytes)
+	switch r := resp.(type) {
+	case readResp:
+		return r.Data, nil
+	case errResp:
+		return nil, fmt.Errorf("pfs: read %s strip %d from server %d: %s", file, strip, srv, r.Err)
+	default:
+		panic("pfs: unexpected response type")
+	}
+}
+
+// WriteStripTo writes a full or partial strip to server srv. When forward
+// is set, the receiving server forwards copies to the strip's replica
+// holders (server↔server traffic), implementing the replica-maintaining
+// write path of the improved distribution.
+func (fs *FileSystem) WriteStripTo(p *sim.Proc, fromID, srv int, file string, strip int64, data []byte, forward bool) error {
+	resp := fs.call(p, fromID, srv, writeReq{File: file, Strip: strip, Data: data, Forward: forward},
+		headerBytes+int64(len(data)))
+	switch r := resp.(type) {
+	case ackResp:
+		return nil
+	case errResp:
+		return fmt.Errorf("pfs: write %s strip %d to server %d: %s", file, strip, srv, r.Err)
+	default:
+		_ = r
+		panic("pfs: unexpected response type")
+	}
+}
+
+// ReadSpansFrom fetches several spans of one file from server srv in a
+// single request (one disk pass, one response message).
+func (fs *FileSystem) ReadSpansFrom(p *sim.Proc, fromID, srv int, file string, spans []Span) ([][]byte, error) {
+	resp := fs.call(p, fromID, srv, readManyReq{File: file, Spans: spans}, headerBytes)
+	switch r := resp.(type) {
+	case readManyResp:
+		return r.Data, nil
+	case errResp:
+		return nil, fmt.Errorf("pfs: readMany %s from server %d: %s", file, srv, r.Err)
+	default:
+		panic("pfs: unexpected response type")
+	}
+}
+
+// WriteStripsTo writes several whole strips to server srv in a single
+// request. With forward set, the server pushes replica copies per strip.
+func (fs *FileSystem) WriteStripsTo(p *sim.Proc, fromID, srv int, file string, strips []int64, data [][]byte, forward bool) error {
+	var size int64 = headerBytes
+	for _, d := range data {
+		size += int64(len(d))
+	}
+	resp := fs.call(p, fromID, srv, writeManyReq{File: file, Strips: strips, Data: data, Forward: forward}, size)
+	switch r := resp.(type) {
+	case ackResp:
+		return nil
+	case errResp:
+		return fmt.Errorf("pfs: writeMany %s to server %d: %s", file, srv, r.Err)
+	default:
+		_ = r
+		panic("pfs: unexpected response type")
+	}
+}
+
+// MigrateStrip asks server srv (a current holder) to push its copy of a
+// strip to the given target servers.
+func (fs *FileSystem) MigrateStrip(p *sim.Proc, fromID, srv int, file string, strip int64, targets []int) error {
+	resp := fs.call(p, fromID, srv, migrateReq{File: file, Strip: strip, Targets: targets}, headerBytes)
+	switch r := resp.(type) {
+	case ackResp:
+		return nil
+	case errResp:
+		return fmt.Errorf("pfs: migrate %s strip %d via server %d: %s", file, strip, srv, r.Err)
+	default:
+		_ = r
+		panic("pfs: unexpected response type")
+	}
+}

@@ -1,0 +1,362 @@
+package pfs
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// Protocol payloads exchanged on the pfs port. Responses travel back over
+// the Reply mailbox embedded in the request message.
+type (
+	readReq struct {
+		File   string
+		Strip  int64
+		Lo, Hi int64 // byte sub-range within the strip; Hi == 0 → whole strip
+	}
+	// readManyReq fetches several spans of one file in a single request.
+	// The server charges its disk one sequential read for the whole batch:
+	// a data server stores its strips of a file contiguously, so a bulk
+	// read pays one positioning cost, not one per strip.
+	readManyReq struct {
+		File  string
+		Spans []Span
+	}
+	writeReq struct {
+		File    string
+		Strip   int64
+		Data    []byte
+		Forward bool // forward copies to the strip's replica holders
+	}
+	// writeManyReq stores several whole strips in a single request, with
+	// one sequential disk write, forwarding replicas per strip if asked.
+	writeManyReq struct {
+		File    string
+		Strips  []int64
+		Data    [][]byte
+		Forward bool
+	}
+	migrateReq struct {
+		File    string
+		Strip   int64
+		Targets []int
+	}
+	readResp     struct{ Data []byte }
+	readManyResp struct{ Data [][]byte }
+	ackResp      struct{}
+	errResp      struct{ Err string }
+)
+
+// Span addresses bytes [Lo, Hi) within one strip (relative to the strip's
+// start). Hi == 0 selects the whole strip.
+type Span struct {
+	Strip  int64
+	Lo, Hi int64
+}
+
+// Server is one PFS data server: a process on a storage node that owns a
+// disk and an in-memory strip store and serves the pfs port. Each request
+// is handled on its own child process (a thread-pool model), so a slow
+// disk or a busy NIC queues requests on the physical resource rather than
+// on the service loop — the contention the paper's NAS analysis is about.
+type Server struct {
+	fs     *FileSystem
+	srv    int // dense server index
+	nodeID int
+	store  map[string]map[int64][]byte
+	reqs   uint64
+}
+
+func newServer(fs *FileSystem, srv int) *Server {
+	return &Server{
+		fs:     fs,
+		srv:    srv,
+		nodeID: fs.clu.StorageID(srv),
+		store:  make(map[string]map[int64][]byte),
+	}
+}
+
+// Index returns the server's dense index.
+func (s *Server) Index() int { return s.srv }
+
+// NodeID returns the cluster node the server runs on.
+func (s *Server) NodeID() int { return s.nodeID }
+
+// Requests returns the number of requests received so far.
+func (s *Server) Requests() uint64 { return s.reqs }
+
+func (s *Server) start() {
+	s.fs.clu.Eng.SpawnDaemon(fmt.Sprintf("pfs-server-%d", s.srv), func(p *sim.Proc) {
+		port := s.fs.clu.Net.Node(s.nodeID).Port(Port)
+		for {
+			msg := port.Get(p)
+			s.reqs++
+			p.Spawn(fmt.Sprintf("pfs-server-%d-req%d", s.srv, s.reqs), func(h *sim.Proc) {
+				s.handle(h, msg)
+			})
+		}
+	})
+}
+
+func (s *Server) handle(p *sim.Proc, msg simnet.Message) {
+	respond := func(payload any, size int64) {
+		s.fs.clu.Net.Respond(p, msg, payload, size, s.fs.clu.ClassBetween(s.nodeID, msg.From))
+	}
+	switch req := msg.Payload.(type) {
+	case readReq:
+		data, err := s.LocalRead(p, req.File, req.Strip, req.Lo, req.Hi)
+		if err != nil {
+			respond(errResp{Err: err.Error()}, headerBytes)
+			return
+		}
+		respond(readResp{Data: data}, headerBytes+int64(len(data)))
+	case readManyReq:
+		data, err := s.LocalReadMany(p, req.File, req.Spans)
+		if err != nil {
+			respond(errResp{Err: err.Error()}, headerBytes)
+			return
+		}
+		var total int64
+		for _, d := range data {
+			total += int64(len(d))
+		}
+		respond(readManyResp{Data: data}, headerBytes+total)
+	case writeManyReq:
+		if err := s.LocalWriteMany(p, req.File, req.Strips, req.Data, req.Forward); err != nil {
+			respond(errResp{Err: err.Error()}, headerBytes)
+			return
+		}
+		respond(ackResp{}, headerBytes)
+	case writeReq:
+		if err := s.LocalWrite(p, req.File, req.Strip, req.Data, req.Forward); err != nil {
+			respond(errResp{Err: err.Error()}, headerBytes)
+			return
+		}
+		respond(ackResp{}, headerBytes)
+	case migrateReq:
+		if err := s.migrate(p, req); err != nil {
+			respond(errResp{Err: err.Error()}, headerBytes)
+			return
+		}
+		respond(ackResp{}, headerBytes)
+	default:
+		respond(errResp{Err: fmt.Sprintf("unknown request %T", msg.Payload)}, headerBytes)
+	}
+}
+
+// Holds reports whether the server currently stores a copy of the strip.
+func (s *Server) Holds(file string, strip int64) bool {
+	strips, ok := s.store[file]
+	if !ok {
+		return false
+	}
+	_, ok = strips[strip]
+	return ok
+}
+
+// peek copies bytes [lo, hi) of a locally held strip without charging the
+// disk; callers batch the disk charge.
+func (s *Server) peek(file string, strip, lo, hi int64) ([]byte, error) {
+	strips, ok := s.store[file]
+	if !ok {
+		return nil, fmt.Errorf("server %d holds no strips of %q", s.srv, file)
+	}
+	data, ok := strips[strip]
+	if !ok {
+		return nil, fmt.Errorf("server %d does not hold %q strip %d", s.srv, file, strip)
+	}
+	if hi == 0 {
+		hi = int64(len(data))
+	}
+	if lo < 0 || hi > int64(len(data)) || lo > hi {
+		return nil, fmt.Errorf("range [%d,%d) outside strip of %d bytes", lo, hi, len(data))
+	}
+	out := make([]byte, hi-lo)
+	copy(out, data[lo:hi])
+	return out, nil
+}
+
+// LocalRead is the local I/O API from the paper's architecture (Fig. 2):
+// it reads bytes [lo, hi) of a locally held strip through the node's disk,
+// without touching the network. Hi == 0 selects the whole strip. The
+// returned slice is a copy.
+func (s *Server) LocalRead(p *sim.Proc, file string, strip, lo, hi int64) ([]byte, error) {
+	data, err := s.peek(file, strip, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	s.fs.clu.Disk(s.nodeID).Read(p, int64(len(data)))
+	return data, nil
+}
+
+// LocalReadMany reads several spans of one file with a single sequential
+// disk pass: one positioning cost plus the batch's total bytes. A data
+// server keeps its strips of a file contiguous on disk, so this is how a
+// bulk read actually behaves.
+func (s *Server) LocalReadMany(p *sim.Proc, file string, spans []Span) ([][]byte, error) {
+	out := make([][]byte, len(spans))
+	var total int64
+	for i, sp := range spans {
+		data, err := s.peek(file, sp.Strip, sp.Lo, sp.Hi)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = data
+		total += int64(len(data))
+	}
+	s.fs.clu.Disk(s.nodeID).Read(p, total)
+	return out, nil
+}
+
+// LocalWrite stores a strip copy through the node's disk. With forward
+// set, the server pushes copies to the strip's replica holders under the
+// file's current layout — the write path that materializes the improved
+// distribution's boundary replicas.
+func (s *Server) LocalWrite(p *sim.Proc, file string, strip int64, data []byte, forward bool) error {
+	m, ok := s.fs.meta[file]
+	if !ok {
+		return fmt.Errorf("unknown file %q", file)
+	}
+	lo, hi := m.StripBounds(strip)
+	if hi <= lo {
+		return fmt.Errorf("strip %d outside file %q", strip, file)
+	}
+	if int64(len(data)) != hi-lo {
+		return fmt.Errorf("strip %d of %q is %d bytes, got %d", strip, file, hi-lo, len(data))
+	}
+	s.storePut(file, strip, data)
+	s.fs.clu.Disk(s.nodeID).Write(p, int64(len(data)))
+	if !forward {
+		return nil
+	}
+	for _, rep := range m.Layout.Replicas(strip) {
+		if rep == s.srv {
+			continue
+		}
+		if err := s.fs.WriteStripTo(p, s.nodeID, rep, file, strip, data, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LocalWriteMany stores several whole strips with one sequential disk
+// write, then forwards replica copies batched per target server.
+func (s *Server) LocalWriteMany(p *sim.Proc, file string, strips []int64, data [][]byte, forward bool) error {
+	m, ok := s.fs.meta[file]
+	if !ok {
+		return fmt.Errorf("unknown file %q", file)
+	}
+	if len(strips) != len(data) {
+		return fmt.Errorf("writeMany: %d strips but %d buffers", len(strips), len(data))
+	}
+	var total int64
+	for i, strip := range strips {
+		lo, hi := m.StripBounds(strip)
+		if hi <= lo {
+			return fmt.Errorf("strip %d outside file %q", strip, file)
+		}
+		if int64(len(data[i])) != hi-lo {
+			return fmt.Errorf("strip %d of %q is %d bytes, got %d", strip, file, hi-lo, len(data[i]))
+		}
+		total += hi - lo
+	}
+	for i, strip := range strips {
+		s.storePut(file, strip, data[i])
+	}
+	s.fs.clu.Disk(s.nodeID).Write(p, total)
+	if !forward {
+		return nil
+	}
+	return s.ForwardReplicas(p, file, strips, data)
+}
+
+// ForwardReplicas pushes copies of the given strips to their replica
+// holders under the file's current layout, batched per target server. It
+// is called synchronously from replica-maintaining writes; active storage
+// runs call it on a child process to overlap replication with the next
+// run's disk and compute work (lazy replication).
+func (s *Server) ForwardReplicas(p *sim.Proc, file string, strips []int64, data [][]byte) error {
+	m, ok := s.fs.meta[file]
+	if !ok {
+		return fmt.Errorf("unknown file %q", file)
+	}
+	byTarget := make(map[int][]int)
+	var order []int
+	for i, strip := range strips {
+		for _, rep := range m.Layout.Replicas(strip) {
+			if rep == s.srv {
+				continue
+			}
+			if _, seen := byTarget[rep]; !seen {
+				order = append(order, rep)
+			}
+			byTarget[rep] = append(byTarget[rep], i)
+		}
+	}
+	for _, target := range order {
+		idxs := byTarget[target]
+		fwd := writeManyReq{File: file, Strips: make([]int64, len(idxs)), Data: make([][]byte, len(idxs))}
+		for j, i := range idxs {
+			fwd.Strips[j], fwd.Data[j] = strips[i], data[i]
+		}
+		var size int64 = headerBytes
+		for _, d := range fwd.Data {
+			size += int64(len(d))
+		}
+		resp := s.fs.call(p, s.nodeID, target, fwd, size)
+		if e, isErr := resp.(errResp); isErr {
+			return fmt.Errorf("replica forward to server %d: %s", target, e.Err)
+		}
+	}
+	return nil
+}
+
+// Drop discards a local strip copy without timing cost (a metadata-scale
+// truncation). Reconfiguration uses it to retire stale placements.
+func (s *Server) Drop(file string, strip int64) {
+	if strips, ok := s.store[file]; ok {
+		delete(strips, strip)
+	}
+}
+
+func (s *Server) storePut(file string, strip int64, data []byte) {
+	strips, ok := s.store[file]
+	if !ok {
+		strips = make(map[int64][]byte)
+		s.store[file] = strips
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	strips[strip] = cp
+}
+
+// migrate pushes the local copy of a strip to each target server.
+func (s *Server) migrate(p *sim.Proc, req migrateReq) error {
+	data, err := s.LocalRead(p, req.File, req.Strip, 0, 0)
+	if err != nil {
+		return err
+	}
+	for _, target := range req.Targets {
+		if target == s.srv {
+			continue
+		}
+		if err := s.fs.WriteStripTo(p, s.nodeID, target, req.File, req.Strip, data, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoredBytes returns the bytes of all strips the server currently holds,
+// the quantity behind the layout capacity-overhead accounting.
+func (s *Server) StoredBytes() int64 {
+	var total int64
+	for _, strips := range s.store {
+		for _, d := range strips {
+			total += int64(len(d))
+		}
+	}
+	return total
+}

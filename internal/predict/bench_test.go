@@ -1,0 +1,57 @@
+package predict
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/layout"
+)
+
+// The prediction core runs on the request path of every DAS submission;
+// these benchmarks size its cost at the paper's full-scale geometry
+// (24 GB file, 64 KiB strips, 12 servers, 8-neighbor pattern).
+func fullScaleParams() Params {
+	return Params{
+		ElemSize:     8,
+		StripSize:    64 * 1024,
+		FileSize:     24 << 20,
+		Width:        8192,
+		OutputFactor: 1,
+	}
+}
+
+func BenchmarkAnalyzeRoundRobin(b *testing.B) {
+	pat := features.Pattern{Name: "flow-routing", Offsets: features.EightNeighbor()}
+	p := fullScaleParams()
+	lay := layout.NewRoundRobin(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(pat, p, lay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecideImprovedLayout(b *testing.B) {
+	pat := features.Pattern{Name: "flow-routing", Offsets: features.EightNeighbor()}
+	p := fullScaleParams()
+	lay := layout.NewGroupedReplicated(12, 8, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decide(pat, p, lay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetchPlanFullFile(b *testing.B) {
+	lc := layout.NewLocator(8, 64*1024, layout.NewRoundRobin(12))
+	pat := features.Pattern{Name: "flow-routing", Offsets: features.EightNeighbor()}
+	offs := pat.Resolve(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if plan := FetchPlan(lc, offs, 24<<20); len(plan) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

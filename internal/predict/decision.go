@@ -1,0 +1,100 @@
+package predict
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/layout"
+)
+
+// Decision is the outcome of the DAS workflow's accept/reject step
+// (Fig. 3): whether to serve a request as active storage or as normal I/O.
+type Decision struct {
+	Analysis Analysis
+	// Offload is true when active storage is predicted to move fewer
+	// bytes over the interconnect than normal I/O.
+	Offload bool
+	// OffloadNetBytes is the predicted server↔server traffic of an
+	// offloaded run: dependent-strip fetches plus replica maintenance for
+	// the output file under the file's layout.
+	OffloadNetBytes int64
+	// NormalNetBytes is the client↔server traffic of serving the request
+	// as normal I/O: the input read to a compute node plus the output
+	// written back.
+	NormalNetBytes int64
+	// Reason summarizes the decision for logs and the dasadvise tool.
+	Reason string
+}
+
+// Decide runs the full prediction and applies the paper's acceptance
+// criterion: offload if and only if it is predicted to consume less
+// bandwidth than normal processing.
+func Decide(pat features.Pattern, p Params, lay layout.Layout) (Decision, error) {
+	a, err := Analyze(pat, p, lay)
+	if err != nil {
+		return Decision{}, err
+	}
+	lc := layout.NewLocator(p.ElemSize, p.StripSize, lay)
+	outBytes := int64(float64(p.FileSize) * p.OutputFactor)
+
+	d := Decision{Analysis: a}
+	d.OffloadNetBytes = a.StripFetchBytes + ReplicaBytes(lc, p.FileSize) +
+		int64(float64(ReplicaBytes(lc, p.FileSize))*p.OutputFactor)
+	d.NormalNetBytes = p.FileSize + outBytes
+	d.Offload = d.OffloadNetBytes < d.NormalNetBytes
+	switch {
+	case a.LocalByLayout:
+		d.Reason = "all dependencies resolve locally under " + a.Layout
+	case d.Offload:
+		d.Reason = fmt.Sprintf("offload moves %d bytes vs %d for normal I/O", d.OffloadNetBytes, d.NormalNetBytes)
+	default:
+		d.Reason = fmt.Sprintf("rejected: offload would move %d bytes vs %d for normal I/O", d.OffloadNetBytes, d.NormalNetBytes)
+	}
+	return d, nil
+}
+
+// ReplicaBytes returns the bytes a replica-maintaining layout moves
+// between servers to place one copy of every replicated strip when a file
+// of the given size is written or migrated.
+func ReplicaBytes(lc layout.Locator, fileSize int64) int64 {
+	var total int64
+	for s := int64(0); s < lc.Strips(fileSize); s++ {
+		lo, hi := lc.StripBounds(s, fileSize)
+		total += int64(len(lc.Layout.Replicas(s))) * (hi - lo)
+	}
+	return total
+}
+
+// RecommendLayout chooses the improved data distribution (§III-D) for an
+// operator: the halo is the smallest that makes the pattern's farthest
+// dependence local, and the group size r is the smallest keeping the
+// replication capacity overhead 2·halo/r within maxOverhead. It returns
+// ok = false when the pattern has no dependence, in which case the default
+// round-robin layout is already optimal and no change is recommended.
+func RecommendLayout(pat features.Pattern, p Params, d int, maxOverhead float64) (layout.GroupedReplicated, bool, error) {
+	if err := p.validate(); err != nil {
+		return layout.GroupedReplicated{}, false, err
+	}
+	if d <= 0 {
+		return layout.GroupedReplicated{}, false, fmt.Errorf("predict: server count %d", d)
+	}
+	if maxOverhead <= 0 || maxOverhead > 2 {
+		return layout.GroupedReplicated{}, false, fmt.Errorf("predict: overhead budget %v out of (0,2]", maxOverhead)
+	}
+	maxAbs := pat.MaxAbsOffset(p.Width)
+	if maxAbs == 0 {
+		return layout.GroupedReplicated{}, false, nil
+	}
+	probe := layout.NewLocator(p.ElemSize, p.StripSize, layout.NewRoundRobin(d))
+	halo := probe.RequiredHalo(maxAbs)
+	// Smallest r with 2·halo/r ≤ maxOverhead, but never smaller than the
+	// halo itself (a group must contain the strips it replicates).
+	r := int(float64(2*halo)/maxOverhead + 0.9999999)
+	if float64(2*halo)/float64(r) > maxOverhead {
+		r++
+	}
+	if r < halo {
+		r = halo
+	}
+	return layout.NewGroupedReplicated(d, r, halo), true, nil
+}

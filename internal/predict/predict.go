@@ -1,0 +1,288 @@
+// Package predict implements the paper's bandwidth analysis and
+// prediction core (§III-C): given an operator's dependence pattern, the
+// file's striping geometry, and the layout of strips over storage servers,
+// it estimates the extra data movement an offloaded (active storage)
+// execution would cause and decides whether offloading beats serving the
+// request as normal I/O.
+//
+// Two granularities are computed. The element-level cost is the paper's
+// Eq. (5): bwcost = E · Σ aj, with aj = 1 when the j-th dependent element
+// of an element lives on a different server. The strip-level cost models
+// what a real active storage server actually transfers — whole strips
+// fetched from their owners — and is the quantity the simulator's Normal
+// Active Storage scheme reproduces byte for byte.
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/layout"
+)
+
+// Params describes the file and system geometry a prediction runs against.
+type Params struct {
+	ElemSize  int64 // E, bytes per element
+	StripSize int64 // bytes per strip
+	FileSize  int64 // bytes in the input file
+	Width     int   // raster width in elements (resolves symbolic offsets)
+	// OutputFactor scales the operator's output size relative to its
+	// input (1.0 for the paper's same-size kernels). It participates in
+	// the normal-I/O cost: a TS client writes the output back.
+	OutputFactor float64
+}
+
+// TotalElems returns the number of whole elements in the file.
+func (p Params) TotalElems() int64 { return p.FileSize / p.ElemSize }
+
+func (p Params) validate() error {
+	switch {
+	case p.ElemSize <= 0:
+		return fmt.Errorf("predict: element size %d", p.ElemSize)
+	case p.StripSize <= 0 || p.StripSize%p.ElemSize != 0:
+		return fmt.Errorf("predict: strip size %d not a positive multiple of element size %d", p.StripSize, p.ElemSize)
+	case p.FileSize <= 0 || p.FileSize%p.ElemSize != 0:
+		return fmt.Errorf("predict: file size %d not a positive multiple of element size %d", p.FileSize, p.ElemSize)
+	case p.Width <= 0:
+		return fmt.Errorf("predict: width %d", p.Width)
+	case p.OutputFactor < 0:
+		return fmt.Errorf("predict: output factor %v", p.OutputFactor)
+	}
+	return nil
+}
+
+// exactLimit bounds the element×offset product for which the element-level
+// sum is computed exactly; beyond it a periodic estimate is used.
+const exactLimit = 1 << 22
+
+// Analysis is the bandwidth prediction for one (pattern, layout) pair.
+type Analysis struct {
+	Pattern features.Pattern
+	Layout  string // layout.Layout.Name() the analysis ran against
+
+	// Element-level cost (paper Eq. (5)).
+	RemoteDeps   int64   // Σ aj over all elements and offsets
+	BWCostBytes  int64   // E · Σ aj
+	RemoteFrac   float64 // fraction of (element, offset) pairs that are remote
+	Approximated bool    // true when the periodic estimate was used
+
+	// Strip-level cost: what an active storage run actually moves.
+	StripFetches    int64 // whole-strip transfers between servers
+	StripFetchBytes int64
+
+	// LocalByLayout is true when every dependence of every element
+	// resolves on its processing server (the aj ≡ 0 case; under the
+	// improved distribution this is the paper's Eq. (17) holding).
+	LocalByLayout bool
+}
+
+// Analyze computes the bandwidth cost of offloading the operator with the
+// given dependence pattern against a concrete layout.
+func Analyze(pat features.Pattern, p Params, lay layout.Layout) (Analysis, error) {
+	if err := p.validate(); err != nil {
+		return Analysis{}, err
+	}
+	lc := layout.NewLocator(p.ElemSize, p.StripSize, lay)
+	offs := pat.Resolve(p.Width)
+	total := p.TotalElems()
+
+	a := Analysis{Pattern: pat, Layout: lay.Name()}
+	a.RemoteDeps, a.Approximated = remoteDeps(lc, offs, total)
+	a.BWCostBytes = a.RemoteDeps * p.ElemSize
+	if n := total * int64(len(offs)); n > 0 {
+		a.RemoteFrac = float64(a.RemoteDeps) / float64(n)
+	}
+	plan := FetchPlan(lc, offs, p.FileSize)
+	for _, f := range plan {
+		a.StripFetches += int64(len(f.Remote))
+		for _, t := range f.Remote {
+			lo, hi := lc.StripBounds(t, p.FileSize)
+			a.StripFetchBytes += hi - lo
+		}
+	}
+	a.LocalByLayout = a.RemoteDeps == 0
+	return a, nil
+}
+
+// remoteDeps computes Σ aj. Small problems are summed exactly; large ones
+// use the placement's periodicity: remote-ness of (i, off) depends only on
+// i mod P in the file interior, with P = groupSpan·D elements. The
+// per-period sum is computed analytically — for each strip in the period
+// and each offset, the dependence image of the strip's elements is a
+// contiguous range spanning at most ⌈|off|/stripElems⌉+1 strips, and the
+// element count landing in each is closed-form — so one prediction costs
+// O(period-strips · offsets), not O(elements · offsets).
+func remoteDeps(lc layout.Locator, offs []int64, total int64) (sum int64, approx bool) {
+	if total*int64(len(offs)) <= exactLimit {
+		for i := int64(0); i < total; i++ {
+			for _, off := range offs {
+				if !lc.LocalDep(i, off, total) {
+					sum++
+				}
+			}
+		}
+		return sum, false
+	}
+	period := periodElems(lc)
+	var maxAbs int64
+	for _, off := range offs {
+		if off < 0 {
+			off = -off
+		}
+		if off > maxAbs {
+			maxAbs = off
+		}
+	}
+	// Sample one period well inside the file so no dependence is clamped.
+	base := ((maxAbs + period - 1) / period) * period
+	if base+period+maxAbs > total {
+		// File too small relative to its period for sampling: fall back to
+		// the exact loop even though it is large.
+		for i := int64(0); i < total; i++ {
+			for _, off := range offs {
+				if !lc.LocalDep(i, off, total) {
+					sum++
+				}
+			}
+		}
+		return sum, false
+	}
+	eps := lc.ElemsPerStrip()
+	baseStrip := base / eps
+	var perPeriod int64
+	for s := baseStrip; s < baseStrip+period/eps; s++ {
+		owner := lc.Layout.Primary(s)
+		e0, e1 := s*eps, (s+1)*eps
+		for _, off := range offs {
+			// Elements [e0, e1) map to dependence range [e0+off, e1+off),
+			// which covers strips strip(e0+off) .. strip(e1-1+off). Count
+			// the elements landing in each and charge the remote ones.
+			lo := e0 + off
+			for t := lc.Strip(lo); t*eps < e1+off; t++ {
+				// Elements of the strip whose dependence falls in strip t:
+				// i+off ∈ [t·eps, (t+1)·eps) ∩ [lo, e1+off).
+				spanLo, spanHi := t*eps, (t+1)*eps
+				if spanLo < lo {
+					spanLo = lo
+				}
+				if spanHi > e1+off {
+					spanHi = e1 + off
+				}
+				if spanHi <= spanLo {
+					continue
+				}
+				if !layout.Holds(lc.Layout, t, owner) {
+					perPeriod += spanHi - spanLo
+				}
+			}
+		}
+	}
+	return perPeriod * (total / period), true
+}
+
+// periodElems returns the placement period in elements for the supported
+// layout families.
+func periodElems(lc layout.Locator) int64 {
+	group := int64(1)
+	switch l := lc.Layout.(type) {
+	case layout.Grouped:
+		group = int64(l.R)
+	case layout.GroupedReplicated:
+		group = int64(l.R)
+	}
+	return group * int64(lc.Layout.Servers()) * lc.ElemsPerStrip()
+}
+
+// StripFetch lists the remote strips the owner of one primary strip must
+// transfer to process it.
+type StripFetch struct {
+	Strip  int64   // the primary strip being processed
+	Owner  int     // its primary server
+	Remote []int64 // strips to fetch from other servers, ascending
+}
+
+// NeededStrips returns, in ascending order, every strip containing an
+// element the processing of owned range [e0, e1) touches: the owned
+// elements themselves plus each dependence offset's image of the range,
+// clamped to the file. For a dense stencil this is the contiguous halo
+// window; for a sparse stride it is a handful of disjoint strips — the
+// distinction that makes an Eq. (17)-aligned stride free.
+func NeededStrips(lc layout.Locator, offs []int64, e0, e1, total int64) []int64 {
+	mark := make(map[int64]struct{})
+	addRange := func(lo, hi int64) { // element range [lo, hi], inclusive
+		// Kernels clamp out-of-file dependencies to the nearest boundary
+		// element, so a range that leaves the file still reads that
+		// boundary element's strip.
+		switch {
+		case hi < 0:
+			lo, hi = 0, 0
+		case lo >= total:
+			lo, hi = total-1, total-1
+		default:
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= total {
+				hi = total - 1
+			}
+		}
+		for t := lc.Strip(lo); t <= lc.Strip(hi); t++ {
+			mark[t] = struct{}{}
+		}
+	}
+	addRange(e0, e1-1)
+	for _, off := range offs {
+		addRange(e0+off, e1-1+off)
+	}
+	out := make([]int64, 0, len(mark))
+	for t := range mark {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FetchPlan computes, for every strip of the file, which other strips its
+// owner lacks locally but needs to resolve the strip's dependencies. This
+// is exactly the fetch sequence the simulator's active storage servers
+// execute, so predicted strip traffic equals measured traffic.
+func FetchPlan(lc layout.Locator, offs []int64, fileSize int64) []StripFetch {
+	total := fileSize / lc.ElemSize
+	strips := lc.Strips(fileSize)
+	plan := make([]StripFetch, 0, strips)
+	for s := int64(0); s < strips; s++ {
+		owner := lc.Layout.Primary(s)
+		lo, hi := lc.StripBounds(s, fileSize)
+		e0, e1 := lo/lc.ElemSize, (hi+lc.ElemSize-1)/lc.ElemSize
+		f := StripFetch{Strip: s, Owner: owner}
+		for _, t := range NeededStrips(lc, offs, e0, e1, total) {
+			if t == s || layout.Holds(lc.Layout, t, owner) {
+				continue
+			}
+			f.Remote = append(f.Remote, t)
+		}
+		plan = append(plan, f)
+	}
+	return plan
+}
+
+// Eq17 implements the paper's offloading criterion for a pure stride
+// pattern under the improved distribution (Eq. (17)):
+//
+//	stride·E / (r·strip_size) mod D == 0
+//
+// read strictly: stride·E must be a whole number of r-strip groups, and
+// that number must be a multiple of D, so every element and both its
+// dependencies land on the same server for every position in the file.
+func Eq17(stride, elemSize, stripSize int64, r, d int) bool {
+	groupBytes := int64(r) * stripSize
+	bytes := stride * elemSize
+	if bytes < 0 {
+		bytes = -bytes
+	}
+	if bytes%groupBytes != 0 {
+		return false
+	}
+	return (bytes/groupBytes)%int64(d) == 0
+}

@@ -1,0 +1,342 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/layout"
+)
+
+// Geometry used throughout: 8-byte elements, 64-byte strips (8 elements
+// per strip), so strip arithmetic is easy to verify by hand.
+func testParams(width int, elems int64) Params {
+	return Params{
+		ElemSize:     8,
+		StripSize:    64,
+		FileSize:     elems * 8,
+		Width:        width,
+		OutputFactor: 1,
+	}
+}
+
+func eightNeighbor() features.Pattern {
+	return features.Pattern{Name: "flow-routing", Offsets: features.EightNeighbor()}
+}
+
+func TestAnalyzeIndependentPatternIsFree(t *testing.T) {
+	pat := features.Pattern{Name: "scan"}
+	a, err := Analyze(pat, testParams(8, 512), layout.NewRoundRobin(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RemoteDeps != 0 || a.BWCostBytes != 0 || a.StripFetches != 0 {
+		t.Errorf("independent pattern has cost: %+v", a)
+	}
+	if !a.LocalByLayout {
+		t.Error("independent pattern not reported local")
+	}
+}
+
+func TestAnalyzeRoundRobinStencilIsRemote(t *testing.T) {
+	// Width 8 = one strip per row: a row's ±W neighbors are always in
+	// adjacent strips on other servers under round-robin.
+	a, err := Analyze(eightNeighbor(), testParams(8, 512), layout.NewRoundRobin(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RemoteDeps == 0 || a.StripFetches == 0 {
+		t.Errorf("round-robin stencil reported free: %+v", a)
+	}
+	if a.LocalByLayout {
+		t.Error("round-robin stencil reported local")
+	}
+	// Every interior element has 6 of its 8 dependencies in other strips
+	// (the whole rows above and below, plus same-row spills at strip
+	// edges): remote fraction must be well above half.
+	if a.RemoteFrac < 0.5 {
+		t.Errorf("RemoteFrac = %v, want > 0.5", a.RemoteFrac)
+	}
+}
+
+func TestAnalyzeGroupedReplicatedStencilIsLocal(t *testing.T) {
+	// Same geometry under the improved distribution with halo 2 (the ±W±1
+	// dependence spans up to 2 strip boundaries).
+	lay := layout.NewGroupedReplicated(4, 4, 2)
+	a, err := Analyze(eightNeighbor(), testParams(8, 1024), lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.LocalByLayout || a.RemoteDeps != 0 {
+		t.Errorf("improved layout not local: %+v", a)
+	}
+	if a.StripFetches != 0 {
+		t.Errorf("improved layout still fetches %d strips", a.StripFetches)
+	}
+}
+
+func TestBWCostMatchesEq5(t *testing.T) {
+	// Eq. (5): bwcost = E · Σ aj. Verify against a hand-computed stride
+	// case: 8 elements per strip, stride 8 (exactly one strip), D=2,
+	// round-robin. Every element's ±8 dependence is in an adjacent strip,
+	// which under D=2 round-robin is always on the other server.
+	pat := features.Pattern{Name: "stride", Offsets: features.Stride(8)}
+	p := testParams(8, 64) // 8 strips
+	a, err := Analyze(pat, p, layout.NewRoundRobin(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elements 0..7 have no -8 dep (clamped), elements 56..63 no +8 dep.
+	// Remaining (64-8) elements have a remote -8 dep and (64-8) a remote
+	// +8 dep: Σ aj = 112.
+	if a.RemoteDeps != 112 {
+		t.Errorf("RemoteDeps = %d, want 112", a.RemoteDeps)
+	}
+	if a.BWCostBytes != 112*8 {
+		t.Errorf("BWCostBytes = %d, want %d", a.BWCostBytes, 112*8)
+	}
+}
+
+func TestStrideLocalWhenEq17Holds(t *testing.T) {
+	// stride·E = 2 group spans with D=2... choose: E=8, strip=64, r=1,
+	// D=2, stride=16 elements → stride·E=128 bytes = 2 strips = D·1
+	// groups: Eq. 17 holds and the analysis must agree.
+	if !Eq17(16, 8, 64, 1, 2) {
+		t.Fatal("Eq17 should hold for stride 16, r=1, D=2")
+	}
+	pat := features.Pattern{Name: "stride", Offsets: features.Stride(16)}
+	a, err := Analyze(pat, testParams(8, 512), layout.NewRoundRobin(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.LocalByLayout {
+		t.Errorf("Eq17-aligned stride not local: %+v", a)
+	}
+}
+
+func TestEq17(t *testing.T) {
+	cases := []struct {
+		stride, e, ss int64
+		r, d          int
+		want          bool
+	}{
+		{16, 8, 64, 1, 2, true},  // 128B = 2 strips = 1·D groups
+		{8, 8, 64, 1, 2, false},  // 64B = 1 strip: odd number of strips
+		{4, 8, 64, 1, 2, false},  // half a strip
+		{32, 8, 64, 2, 2, false}, // 256B = 2 groups, 2 mod 2 = 0 → true? 2 groups = D → true
+		{-16, 8, 64, 1, 2, true}, // sign-insensitive
+		{48, 8, 64, 3, 4, false}, // 384B = 2 groups of 192B, 2 mod 4 ≠ 0
+		{96, 8, 64, 3, 4, false}, // 4 groups, 4 mod 4 = 0 → true? recheck below
+		{0, 8, 64, 1, 4, true},   // zero stride trivially local
+	}
+	// Fix the two commented cases by direct computation.
+	cases[3].want = true // 32·8=256 = 2·(2·64); 2 mod 2 == 0
+	cases[6].want = true // 96·8=768 = 4·(3·64); 4 mod 4 == 0
+	for _, c := range cases {
+		if got := Eq17(c.stride, c.e, c.ss, c.r, c.d); got != c.want {
+			t.Errorf("Eq17(stride=%d, E=%d, ss=%d, r=%d, D=%d) = %v, want %v",
+				c.stride, c.e, c.ss, c.r, c.d, got, c.want)
+		}
+	}
+}
+
+func TestFetchPlanRoundRobinAdjacency(t *testing.T) {
+	// Width 8 (one row per strip): the ±(W+1) = ±9-element reach of the
+	// last element of a strip lands two strips away, so each strip's
+	// window is [s-2, s+2], all remote under round-robin with D = 4.
+	lc := layout.NewLocator(8, 64, layout.NewRoundRobin(4))
+	offs := eightNeighbor().Resolve(8)
+	plan := FetchPlan(lc, offs, 64*8) // 8 strips
+	if len(plan) != 8 {
+		t.Fatalf("plan has %d strips", len(plan))
+	}
+	wantRemote := map[int64]int{0: 2, 1: 3, 2: 4, 3: 4, 4: 4, 5: 4, 6: 3, 7: 2}
+	for _, f := range plan {
+		if len(f.Remote) != wantRemote[f.Strip] {
+			t.Errorf("strip %d fetches %v, want %d remote strips", f.Strip, f.Remote, wantRemote[f.Strip])
+		}
+		for _, r := range f.Remote {
+			if r < f.Strip-2 || r > f.Strip+2 || r == f.Strip {
+				t.Errorf("strip %d fetches out-of-window strip %d", f.Strip, r)
+			}
+		}
+	}
+}
+
+func TestNeededStripsSparseStride(t *testing.T) {
+	// A ±3-strip stride touches exactly {s-3, s, s+3}, not the strips in
+	// between — the distinction that makes Eq. (17)-aligned strides free.
+	lc := layout.NewLocator(8, 64, layout.NewRoundRobin(4))
+	offs := []int64{-24, 24}                      // ±3 strips of 8 elements
+	got := NeededStrips(lc, offs, 5*8, 6*8, 1024) // processing strip 5
+	want := []int64{2, 5, 8}
+	if len(got) != len(want) {
+		t.Fatalf("NeededStrips = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NeededStrips = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNeededStripsClampedBoundary(t *testing.T) {
+	// Processing strip 1 with a -3-strip dependence: the raw range lies
+	// entirely before the file, so kernels clamp to element 0 — strip 0
+	// must be in the needed set.
+	lc := layout.NewLocator(8, 64, layout.NewRoundRobin(4))
+	got := NeededStrips(lc, []int64{-24}, 1*8, 2*8, 1024)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("NeededStrips = %v, want [0 1]", got)
+	}
+	// Symmetric at the file end.
+	got = NeededStrips(lc, []int64{24}, 126*8, 127*8, 1024)
+	if len(got) != 2 || got[0] != 126 || got[1] != 127 {
+		t.Fatalf("NeededStrips = %v, want [126 127]", got)
+	}
+}
+
+func TestEq17AlignedStrideHasNoFetches(t *testing.T) {
+	// Stride of exactly D strips under round-robin: dependent strips land
+	// on the same server, so interior strips fetch nothing even though
+	// the stride is large. Strips within the stride of a file edge still
+	// fetch the boundary strip their clamped dependence reads.
+	lc := layout.NewLocator(8, 64, layout.NewRoundRobin(4))
+	offs := []int64{-32, 32} // ±4 strips, D = 4
+	for _, f := range FetchPlan(lc, offs, 64*64) {
+		if f.Strip < 4 || f.Strip >= 60 {
+			continue
+		}
+		if len(f.Remote) > 0 {
+			t.Fatalf("aligned stride fetches %v for interior strip %d", f.Remote, f.Strip)
+		}
+	}
+}
+
+func TestFetchPlanEmptyUnderAdequateReplication(t *testing.T) {
+	lc := layout.NewLocator(8, 64, layout.NewGroupedReplicated(4, 4, 2))
+	offs := eightNeighbor().Resolve(8)
+	for _, f := range FetchPlan(lc, offs, 64*64) {
+		if len(f.Remote) > 0 {
+			t.Fatalf("strip %d still fetches %v", f.Strip, f.Remote)
+		}
+	}
+}
+
+func TestApproximatedMatchesExact(t *testing.T) {
+	// Force the periodic path with a big file and compare its estimate
+	// against the exact loop on the same geometry (the estimate ignores
+	// only file-boundary clamping, so totals must agree within the
+	// boundary contribution).
+	pat := features.Pattern{Name: "stride", Offsets: features.Stride(4)}
+	lay := layout.NewRoundRobin(3)
+	lc := layout.NewLocator(8, 64, lay)
+
+	bigElems := int64(1 << 22) // 4Mi elements × 2 offsets exceeds exactLimit
+	p := testParams(8, bigElems)
+	a, err := Analyze(pat, p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Approximated {
+		t.Skip("geometry did not trigger approximation; adjust exactLimit")
+	}
+	// Exact interior rate: compute over one period by hand.
+	period := int64(3) * 8 // D · elemsPerStrip
+	var perPeriod int64
+	base := period * 10
+	total := base * 4
+	for i := base; i < base+period; i++ {
+		for _, off := range pat.Resolve(8) {
+			if !lc.LocalDep(i, off, total) {
+				perPeriod++
+			}
+		}
+	}
+	want := perPeriod * (bigElems / period)
+	diff := a.RemoteDeps - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// Boundary clamping affects at most 2·stride·len(offs) pairs.
+	if diff > 16 {
+		t.Errorf("approximation %d deviates from periodic exact %d by %d", a.RemoteDeps, want, diff)
+	}
+}
+
+// TestAnalyticPeriodMatchesBruteForce validates the closed-form per-strip
+// computation the periodic estimate uses against a literal per-element
+// LocalDep sweep over one period, on an 8-neighbor pattern and a
+// grouped-replicated layout (the hardest case: replica holdings).
+func TestAnalyticPeriodMatchesBruteForce(t *testing.T) {
+	// A partially-covering layout: halo 1 while the pattern needs 2, so
+	// some dependencies are local and some are not.
+	lay := layout.NewGroupedReplicated(3, 4, 1)
+	lc := layout.NewLocator(8, 64, lay)
+	offs := eightNeighbor().Resolve(8)
+	bigElems := int64(1 << 21) // forces the analytic path (×8 offsets > exactLimit)
+	p := testParams(8, bigElems)
+	a, err := Analyze(eightNeighbor(), p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Approximated {
+		t.Fatal("expected the analytic periodic path")
+	}
+	period := int64(3*4) * lc.ElemsPerStrip()
+	base := period * 4
+	total := bigElems
+	var perPeriod int64
+	for i := base; i < base+period; i++ {
+		for _, off := range offs {
+			if !lc.LocalDep(i, off, total) {
+				perPeriod++
+			}
+		}
+	}
+	want := perPeriod * (bigElems / period)
+	if a.RemoteDeps != want {
+		t.Errorf("analytic RemoteDeps = %d, brute force %d", a.RemoteDeps, want)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	bad := []Params{
+		{ElemSize: 0, StripSize: 64, FileSize: 64, Width: 8, OutputFactor: 1},
+		{ElemSize: 8, StripSize: 63, FileSize: 64, Width: 8, OutputFactor: 1},
+		{ElemSize: 8, StripSize: 64, FileSize: 0, Width: 8, OutputFactor: 1},
+		{ElemSize: 8, StripSize: 64, FileSize: 60, Width: 8, OutputFactor: 1},
+		{ElemSize: 8, StripSize: 64, FileSize: 64, Width: 0, OutputFactor: 1},
+		{ElemSize: 8, StripSize: 64, FileSize: 64, Width: 8, OutputFactor: -1},
+	}
+	for i, p := range bad {
+		if _, err := Analyze(eightNeighbor(), p, layout.NewRoundRobin(2)); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+// Property: a GroupedReplicated layout whose halo is sized by
+// RequiredHalo always makes an 8-neighbor stencil fully local, for any
+// server count and raster width. (No monotonicity is claimed between
+// round-robin and plain grouping: grouping can break an alignment
+// round-robin happened to have — e.g. a dependence of exactly D strips —
+// which is precisely why the paper predicts instead of assuming.)
+func TestRecommendedLayoutAlwaysLocalProperty(t *testing.T) {
+	prop := func(dRaw, wRaw uint8) bool {
+		d := int(dRaw%6) + 2
+		width := int(wRaw%12) + 4
+		p := testParams(width, int64(width)*64)
+		pat := eightNeighbor()
+		probe := layout.NewLocator(p.ElemSize, p.StripSize, layout.NewRoundRobin(d))
+		halo := probe.RequiredHalo(pat.MaxAbsOffset(width))
+		rep, err := Analyze(pat, p, layout.NewGroupedReplicated(d, 4*halo, halo))
+		if err != nil {
+			return false
+		}
+		return rep.RemoteDeps == 0 && rep.LocalByLayout && rep.StripFetches == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+func TestDaemonDoesNotDeadlockRun(t *testing.T) {
+	e := NewEngine()
+	requests := NewMailbox[int](e, "requests")
+	served := 0
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			requests.Get(p)
+			served++
+		}
+	})
+	e.Spawn("client", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			requests.Put(i)
+			p.Sleep(Millisecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run with parked daemon: %v", err)
+	}
+	if served != 3 {
+		t.Errorf("served %d, want 3", served)
+	}
+}
+
+func TestNonDaemonStillDeadlocks(t *testing.T) {
+	e := NewEngine()
+	box := NewMailbox[int](e, "box")
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			box.Get(p)
+		}
+	})
+	never := NewMailbox[int](e, "never")
+	e.Spawn("stuck", func(p *Proc) { never.Get(p) })
+	err := e.Run()
+	dl, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Stuck) != 1 {
+		t.Errorf("stuck = %v, want only the non-daemon process", dl.Stuck)
+	}
+}
+
+func TestShutdownReleasesParkedProcesses(t *testing.T) {
+	e := NewEngine()
+	box := NewMailbox[int](e, "reqs")
+	cleanups := 0
+	for i := 0; i < 5; i++ {
+		e.SpawnDaemon("server", func(p *Proc) {
+			defer func() { cleanups++ }()
+			for {
+				box.Get(p)
+			}
+		})
+	}
+	e.Spawn("client", func(p *Proc) { box.Put(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if cleanups != 5 {
+		t.Errorf("%d daemon cleanups ran, want 5 (goroutines must exit)", cleanups)
+	}
+	// Idempotent.
+	e.Shutdown()
+}
+
+func TestShutdownRunsDeferredCleanupsThatBlock(t *testing.T) {
+	// A process whose deferred cleanup itself parks (sleeps) must still be
+	// unwound to completion.
+	e := NewEngine()
+	box := NewMailbox[int](e, "reqs")
+	done := false
+	e.SpawnDaemon("server", func(p *Proc) {
+		defer func() {
+			defer func() { recover() }() // the nested park re-panics
+			p.Sleep(Millisecond)
+			done = true
+		}()
+		for {
+			box.Get(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if done {
+		t.Log("cleanup completed its sleep (not required, parks may unwind)")
+	}
+	if e.Live() != 0 {
+		t.Errorf("%d live processes after shutdown", e.Live())
+	}
+}
+
+func TestShutdownSkipsUnstartedProcesses(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Spawn("never", func(p *Proc) { ran = true })
+	// Shutdown before Run: the process must exit without running.
+	e.Shutdown()
+	if ran {
+		t.Error("process body ran during shutdown")
+	}
+	if e.Live() != 0 {
+		t.Errorf("%d live processes after shutdown", e.Live())
+	}
+}
+
+func TestDaemonChildrenAreWaitedFor(t *testing.T) {
+	// Handlers spawned by a daemon are ordinary processes: the clock must
+	// advance through their work even after the workload processes finish.
+	e := NewEngine()
+	reqs := NewMailbox[int](e, "reqs")
+	var handled Time
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			reqs.Get(p)
+			p.Spawn("handler", func(h *Proc) {
+				h.Sleep(10 * Millisecond)
+				handled = h.Now()
+			})
+		}
+	})
+	e.Spawn("client", func(p *Proc) { reqs.Put(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 10*Millisecond {
+		t.Errorf("handler finished at %v, want 10ms", handled)
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine drives a simulation: it owns the virtual clock, the event queue,
+// and the set of live processes. Create one with NewEngine, spawn processes
+// with Spawn, then call Run.
+//
+// The Engine is not safe for concurrent use from multiple goroutines other
+// than through the Proc handles it manages itself.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+
+	// yield is the rendezvous channel on which the currently running
+	// process returns control to the engine.
+	yield chan struct{}
+
+	live    int              // processes spawned and not yet finished
+	blocked map[*Proc]string // parked processes, with a reason for diagnostics
+
+	panicVal any // panic captured from a process, re-raised by Run
+
+	stopping bool // Shutdown in progress: parked processes unwind and exit
+
+	spawned uint64 // total processes ever spawned (for naming and stats)
+	events  uint64 // total events dispatched (for stats)
+}
+
+// shutdownSentinel unwinds a process's stack during Shutdown. It is
+// recovered by the spawn wrapper and never escapes the engine.
+type shutdownSentinel struct{}
+
+// NewEngine returns an engine with the clock at zero and no processes.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:   make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events dispatched so far. Two runs of the
+// same deterministic simulation dispatch identical event counts.
+func (e *Engine) Events() uint64 { return e.events }
+
+// Live returns the number of processes that have been spawned and have not
+// yet returned.
+func (e *Engine) Live() int { return e.live }
+
+// schedule enqueues a wake-up for p at time at (which must be >= now).
+func (e *Engine) schedule(at Time, p *Proc) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, proc: p})
+}
+
+// Spawn creates a new process running fn and schedules it to start at the
+// current simulated time. It may be called before Run or from inside a
+// running process. The name is used in diagnostics only.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a server-style process that is expected to outlive
+// the workload: Run neither waits for it nor reports it as deadlocked when
+// the event queue drains while it is parked (e.g. waiting for the next
+// request on a mailbox).
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	e.spawned++
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", e.spawned)
+	}
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		wake:   make(chan struct{}),
+		daemon: daemon,
+	}
+	if !daemon {
+		e.live++
+	}
+	e.blocked[p] = "start"
+	go func() {
+		<-p.wake // wait to be scheduled for the first time
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isShutdown := r.(shutdownSentinel); !isShutdown {
+					e.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			if !daemon {
+				e.live--
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		if e.stopping {
+			return
+		}
+		fn(p)
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// Run dispatches events until the queue is empty. It returns an error if
+// processes remain blocked with no pending events (a deadlock), listing the
+// stuck processes and what they are waiting on. If a process panicked, Run
+// re-raises the panic on the caller's goroutine.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		ev := e.queue.pop()
+		e.now = ev.at
+		e.events++
+		delete(e.blocked, ev.proc)
+		ev.proc.wake <- struct{}{}
+		<-e.yield
+		if e.panicVal != nil {
+			panic(e.panicVal)
+		}
+	}
+	if e.live > 0 {
+		return &DeadlockError{Time: e.now, Stuck: e.stuckList()}
+	}
+	return nil
+}
+
+func (e *Engine) stuckList() []string {
+	var stuck []string
+	for p, reason := range e.blocked {
+		if p.daemon {
+			continue
+		}
+		stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, reason))
+	}
+	sort.Strings(stuck)
+	return stuck
+}
+
+// Shutdown terminates every parked process — daemons waiting for requests
+// as well as any stragglers — so their goroutines exit and the simulation's
+// memory becomes collectible. A simulation cannot be used after Shutdown.
+// It is safe to call multiple times.
+func (e *Engine) Shutdown() {
+	e.stopping = true
+	for len(e.blocked) > 0 {
+		// Wake one parked process; its park() observes stopping and
+		// unwinds via the sentinel panic, which the spawn wrapper recovers
+		// before yielding back here. Unwinding may remove further entries
+		// from blocked, so re-snapshot each iteration.
+		var p *Proc
+		for cand := range e.blocked {
+			p = cand
+			break
+		}
+		delete(e.blocked, p)
+		p.wake <- struct{}{}
+		<-e.yield
+	}
+}
+
+// DeadlockError reports processes that were still blocked when the event
+// queue drained.
+type DeadlockError struct {
+	Time  Time
+	Stuck []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked process(es): %s",
+		d.Time, len(d.Stuck), strings.Join(d.Stuck, ", "))
+}

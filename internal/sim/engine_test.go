@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*Millisecond {
+		t.Errorf("woke at %v, want 5ms", at)
+	}
+	if e.Now() != 5*Millisecond {
+		t.Errorf("final clock %v, want 5ms", e.Now())
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("s", func(p *Proc) { p.Sleep(-1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock %v, want 0", e.Now())
+	}
+}
+
+func TestSequentialSleepsAccumulate(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("s", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(Millisecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10*Millisecond {
+		t.Errorf("clock %v, want 10ms", e.Now())
+	}
+}
+
+func TestParallelProcessesOverlap(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) { p.Sleep(7 * Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 7*Millisecond {
+		t.Errorf("clock %v, want 7ms (parallel sleeps must overlap)", e.Now())
+	}
+}
+
+func TestFIFOOrderAtSameTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Millisecond) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want ascending spawn order", order)
+		}
+	}
+}
+
+func TestSpawnFromWithinProcess(t *testing.T) {
+	e := NewEngine()
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(Millisecond)
+		p.Spawn("child", func(c *Proc) {
+			c.Sleep(2 * Millisecond)
+			childRan = true
+		})
+		p.Sleep(Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Error("child never ran")
+	}
+	if e.Now() != 3*Millisecond {
+		t.Errorf("clock %v, want 3ms", e.Now())
+	}
+}
+
+func TestDeterministicEventCount(t *testing.T) {
+	run := func() (Time, uint64) {
+		e := NewEngine()
+		box := NewMailbox[int](e, "box")
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("producer%d", i), func(p *Proc) {
+				p.Sleep(Time(i) * Millisecond)
+				box.Put(i)
+			})
+		}
+		e.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				box.Get(p)
+				p.Sleep(500 * Microsecond)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Events()
+	}
+	t1, n1 := run()
+	t2, n2 := run()
+	if t1 != t2 || n1 != n2 {
+		t.Errorf("nondeterministic run: (%v,%d) vs (%v,%d)", t1, n1, t2, n2)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	box := NewMailbox[int](e, "never")
+	e.Spawn("stuck", func(p *Proc) { box.Get(p) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Stuck) != 1 || !strings.Contains(dl.Stuck[0], "stuck") {
+		t.Errorf("stuck list = %v, want [stuck (recv never)]", dl.Stuck)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bomb", func(p *Proc) {
+		p.Sleep(Millisecond)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate to Run caller")
+		}
+		if !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Errorf("panic value %v does not mention boom", r)
+		}
+	}()
+	_ = e.Run()
+	t.Fatal("Run returned normally")
+}
+
+func TestEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) { p.Sleep(Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	e.schedule(0, &Proc{eng: e})
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{42, "42ns"},
+		{3 * Microsecond, "3.000µs"},
+		{Time(1.5 * float64(Millisecond)), "1.500ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(1000, 1000); got != Second {
+		t.Errorf("1000B at 1000B/s = %v, want 1s", got)
+	}
+	if got := TransferTime(0, 100); got != 0 {
+		t.Errorf("0 bytes = %v, want 0", got)
+	}
+	if got := TransferTime(100, 0); got != 0 {
+		t.Errorf("zero rate = %v, want 0 (disabled)", got)
+	}
+	if got := TransferTime(64*1024, 100e6); got != Time(655360) {
+		t.Errorf("64KB at 100MB/s = %v, want 655.36µs", got)
+	}
+}
+
+func TestSecondsAndMilliseconds(t *testing.T) {
+	d := 1500 * Millisecond
+	if d.Seconds() != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", d.Seconds())
+	}
+	if d.Milliseconds() != 1500 {
+		t.Errorf("Milliseconds() = %v, want 1500", d.Milliseconds())
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+// event is a scheduled wake-up for a process. seq breaks timestamp ties in
+// schedule order, which keeps the simulation deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than built on container/heap to avoid interface boxing on the hot
+// path; the engine pushes and pops one event per process switch.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < last && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < last && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

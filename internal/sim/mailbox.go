@@ -1,0 +1,84 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between processes. Put never
+// blocks; Get blocks the receiving process until a message is available.
+// When several processes wait on the same mailbox, messages are handed to
+// waiters in their arrival order, preserving determinism.
+type Mailbox[T any] struct {
+	eng   *Engine
+	name  string
+	items []T
+
+	// waiters are receivers parked in Get. When a message arrives for a
+	// waiter, the value is stored in its slot before the process is woken,
+	// so a later Get by another process cannot steal it.
+	waiters []*boxWaiter[T]
+
+	puts, gets uint64
+}
+
+type boxWaiter[T any] struct {
+	proc  *Proc
+	val   T
+	ready bool
+}
+
+// NewMailbox creates an empty mailbox. The name is used in deadlock
+// diagnostics.
+func NewMailbox[T any](eng *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: eng, name: name}
+}
+
+// Name returns the mailbox's diagnostic name.
+func (m *Mailbox[T]) Name() string { return m.name }
+
+// Len returns the number of queued (undelivered) messages.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Puts returns the total number of messages ever Put.
+func (m *Mailbox[T]) Puts() uint64 { return m.puts }
+
+// Put enqueues v. If a receiver is waiting, the message is assigned to the
+// longest-waiting receiver and that process is scheduled to resume at the
+// current time. Put never blocks and may be called from any process.
+func (m *Mailbox[T]) Put(v T) {
+	m.puts++
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.val = v
+		w.ready = true
+		m.eng.schedule(m.eng.now, w.proc)
+		return
+	}
+	m.items = append(m.items, v)
+}
+
+// Get dequeues the oldest message, blocking the process until one exists.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	m.gets++
+	if len(m.items) > 0 {
+		v := m.items[0]
+		m.items = m.items[1:]
+		return v
+	}
+	w := &boxWaiter[T]{proc: p}
+	m.waiters = append(m.waiters, w)
+	p.park("recv " + m.name)
+	if !w.ready {
+		panic("sim: mailbox woke receiver without a message")
+	}
+	return w.val
+}
+
+// TryGet dequeues a message if one is queued, without blocking.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	m.gets++
+	return v, true
+}

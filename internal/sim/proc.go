@@ -1,0 +1,50 @@
+package sim
+
+// Proc is the handle a process uses to interact with the simulation. All
+// Proc methods must be called from the process's own function; passing a
+// Proc to another goroutine is a programming error.
+type Proc struct {
+	eng    *Engine
+	name   string
+	wake   chan struct{}
+	done   bool
+	daemon bool
+}
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park returns control to the engine and blocks until the engine delivers
+// the next wake-up for this process. reason is recorded for deadlock
+// diagnostics.
+func (p *Proc) park(reason string) {
+	p.eng.blocked[p] = reason
+	p.eng.yield <- struct{}{}
+	<-p.wake
+	if p.eng.stopping {
+		panic(shutdownSentinel{})
+	}
+}
+
+// Sleep advances this process by d simulated time. Negative durations are
+// treated as zero; a zero sleep still yields to other processes scheduled
+// at the same instant (FIFO order is preserved).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, p)
+	p.park("sleep")
+}
+
+// Spawn starts a child process at the current simulated time. It is a
+// convenience wrapper over Engine.Spawn.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.eng.Spawn(name, fn)
+}

@@ -1,0 +1,132 @@
+package sim
+
+import "fmt"
+
+// Resource is a FIFO counting semaphore that models a physical resource
+// with finite capacity: a NIC that serializes one transfer at a time, a
+// disk with a request queue, a CPU with a fixed number of cores. Processes
+// Acquire units, hold them while sleeping for the service time, and
+// Release them. Grants are strictly first-come first-served: a large
+// request at the head of the queue blocks later, smaller requests, which
+// models head-of-line blocking in store-and-forward devices.
+type Resource struct {
+	eng  *Engine
+	name string
+	cap  int64
+	used int64
+
+	waiters []resWaiter
+
+	// Utilization accounting.
+	busy      Time // integral of used>0 time (any utilization)
+	lastCheck Time
+	grants    uint64
+
+	// Queueing accounting: how long acquirers waited in line.
+	waited    Time
+	waitCount uint64
+}
+
+type resWaiter struct {
+	proc  *Proc
+	n     int64
+	since Time
+}
+
+// NewResource creates a resource with the given capacity (units are up to
+// the caller: 1 for an exclusive device, N for N cores). Capacity must be
+// positive.
+func NewResource(eng *Engine, name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q: capacity must be positive, got %d", name, capacity))
+	}
+	return &Resource{eng: eng, name: name, cap: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.cap }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int64 { return r.used }
+
+// Grants returns the number of successful acquisitions so far.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// BusyTime returns the total simulated time during which at least one unit
+// was held.
+func (r *Resource) BusyTime() Time {
+	r.tick()
+	return r.busy
+}
+
+func (r *Resource) tick() {
+	now := r.eng.now
+	if r.used > 0 {
+		r.busy += now - r.lastCheck
+	}
+	r.lastCheck = now
+}
+
+// Acquire blocks the process until n units are available and the request
+// is at the head of the FIFO queue. Requesting more than the capacity
+// panics, since it could never be satisfied.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	if n > r.cap {
+		panic(fmt.Sprintf("sim: resource %q: acquire %d exceeds capacity %d", r.name, n, r.cap))
+	}
+	if len(r.waiters) == 0 && r.used+n <= r.cap {
+		r.tick()
+		r.used += n
+		r.grants++
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{proc: p, n: n, since: r.eng.now})
+	p.park("acquire " + r.name)
+	// By the time we are woken, release has already granted our units.
+}
+
+// Release returns n units and wakes queued waiters whose requests now fit,
+// in FIFO order. It may be called by any process (not only the holder).
+func (r *Resource) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	r.tick()
+	r.used -= n
+	if r.used < 0 {
+		panic(fmt.Sprintf("sim: resource %q: released more than held", r.name))
+	}
+	for len(r.waiters) > 0 && r.used+r.waiters[0].n <= r.cap {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.used += w.n
+		r.grants++
+		r.waited += r.eng.now - w.since
+		r.waitCount++
+		r.eng.schedule(r.eng.now, w.proc)
+	}
+}
+
+// Use acquires n units, sleeps for the service time d, and releases. It is
+// the common pattern for modeling a timed pass through a device.
+func (r *Resource) Use(p *Proc, n int64, d Time) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// QueueLen returns the number of processes waiting for this resource.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// WaitTime returns the total time granted acquirers spent queued — the
+// congestion signal: zero on an idle device, large on an overloaded one.
+func (r *Resource) WaitTime() Time { return r.waited }
+
+// Waits returns how many acquisitions had to queue before being granted.
+func (r *Resource) Waits() uint64 { return r.waitCount }

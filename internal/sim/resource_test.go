@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceExclusiveSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "nic", 1)
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			r.Use(p, 1, 10*Millisecond)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Errorf("clock %v, want 30ms (serialized)", e.Now())
+	}
+	if r.BusyTime() != 30*Millisecond {
+		t.Errorf("busy %v, want 30ms", r.BusyTime())
+	}
+}
+
+func TestResourceMultiCoreOverlaps(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 2)
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			r.Use(p, 1, 10*Millisecond)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 20*Millisecond {
+		t.Errorf("clock %v, want 20ms (2-way overlap)", e.Now())
+	}
+}
+
+func TestResourceFIFOGrantOrder(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Time(i)) // stagger arrival by 1ns to fix the queue order
+			r.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(Millisecond)
+			r.Release(1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want arrival order", order)
+		}
+	}
+}
+
+func TestResourceHeadOfLineBlocking(t *testing.T) {
+	// A big request at the head must block a later small request even
+	// though the small one would fit, preserving FIFO fairness.
+	e := NewEngine()
+	r := NewResource(e, "res", 4)
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 3)
+		p.Sleep(10 * Millisecond)
+		r.Release(3)
+	})
+	e.Spawn("big", func(p *Proc) {
+		p.Sleep(Millisecond)
+		r.Acquire(p, 4)
+		order = append(order, "big")
+		r.Release(4)
+	})
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "big" {
+		t.Errorf("order %v, want big before small", order)
+	}
+}
+
+func TestResourceNeverOversubscribed(t *testing.T) {
+	e := NewEngine()
+	const capacity = 3
+	r := NewResource(e, "res", capacity)
+	maxSeen := int64(0)
+	for i := 0; i < 20; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Time(i%7) * Microsecond)
+			n := int64(i%3 + 1)
+			r.Acquire(p, n)
+			if r.InUse() > maxSeen {
+				maxSeen = r.InUse()
+			}
+			p.Sleep(Millisecond)
+			r.Release(n)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > capacity {
+		t.Errorf("observed %d units in use, capacity %d", maxSeen, capacity)
+	}
+	if r.InUse() != 0 {
+		t.Errorf("leaked %d units", r.InUse())
+	}
+}
+
+func TestResourceAcquireOverCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "res", 1)
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic acquiring over capacity")
+			}
+		}()
+		r.Acquire(p, 2)
+	})
+	_ = e.Run()
+}
+
+func TestResourceReleaseTooManyPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "res", 1)
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic releasing more than held")
+			}
+		}()
+		r.Release(1)
+	})
+	_ = e.Run()
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero capacity")
+		}
+	}()
+	NewResource(NewEngine(), "bad", 0)
+}
+
+func TestResourceWaitAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	// First user holds 10ms; second arrives at 2ms and waits 8ms; third
+	// arrives at 4ms and waits 16ms (behind both).
+	e.Spawn("a", func(p *Proc) { r.Use(p, 1, 10*Millisecond) })
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		r.Use(p, 1, 10*Millisecond)
+	})
+	e.Spawn("c", func(p *Proc) {
+		p.Sleep(4 * Millisecond)
+		r.Use(p, 1, 10*Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WaitTime(); got != 24*Millisecond {
+		t.Errorf("WaitTime = %v, want 24ms (8 + 16)", got)
+	}
+	if r.Waits() != 2 {
+		t.Errorf("Waits = %d, want 2", r.Waits())
+	}
+}
+
+func TestUncontendedResourceNeverWaits(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "res", 4)
+	for i := 0; i < 4; i++ {
+		e.Spawn("p", func(p *Proc) { r.Use(p, 1, Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.WaitTime() != 0 || r.Waits() != 0 {
+		t.Errorf("uncontended resource accrued wait %v/%d", r.WaitTime(), r.Waits())
+	}
+}
+
+// Property: for any workload of exclusive users, total time equals the sum
+// of service times (perfect serialization, no lost or duplicated grants).
+func TestResourceSerializationProperty(t *testing.T) {
+	prop := func(durs []uint16) bool {
+		if len(durs) > 50 {
+			durs = durs[:50]
+		}
+		e := NewEngine()
+		r := NewResource(e, "res", 1)
+		var want Time
+		for i, d := range durs {
+			d := Time(d) * Microsecond
+			want += d
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				r.Use(p, 1, d)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return e.Now() == want && r.Grants() == uint64(len(durs))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, or a duration between two such
+// points, measured in nanoseconds. The zero Time is the start of the
+// simulation.
+type Time int64
+
+// Convenient duration units, in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// TransferTime returns the time needed to move size bytes over a channel
+// sustaining bytesPerSec. A non-positive rate yields zero time, which lets
+// callers disable a cost component by zeroing its rate.
+func TransferTime(size int64, bytesPerSec float64) Time {
+	if bytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	return Time(float64(size) / bytesPerSec * float64(Second))
+}

@@ -1,0 +1,129 @@
+package simdisk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/sim"
+)
+
+var testCfg = Config{
+	ReadBytesPerSec:  100e6,
+	WriteBytesPerSec: 50e6,
+	SeekTime:         sim.Millisecond,
+}
+
+func TestReadTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d0", testCfg, nil)
+	eng.Spawn("reader", func(p *sim.Proc) {
+		d.Read(p, 100e6) // 1s at 100MB/s + 1ms seek
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Second + sim.Millisecond; eng.Now() != want {
+		t.Errorf("clock %v, want %v", eng.Now(), want)
+	}
+	if d.BytesRead() != 100e6 || d.Reads() != 1 {
+		t.Errorf("read accounting: %d bytes, %d ops", d.BytesRead(), d.Reads())
+	}
+}
+
+func TestWriteTimingUsesWriteRate(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d0", testCfg, nil)
+	eng.Spawn("writer", func(p *sim.Proc) {
+		d.Write(p, 50e6) // 1s at 50MB/s + 1ms seek
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Second + sim.Millisecond; eng.Now() != want {
+		t.Errorf("clock %v, want %v", eng.Now(), want)
+	}
+	if d.BytesWritten() != 50e6 || d.Writes() != 1 {
+		t.Errorf("write accounting: %d bytes, %d ops", d.BytesWritten(), d.Writes())
+	}
+}
+
+func TestRequestsQueueOnOneSpindle(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d0", testCfg, nil)
+	for i := 0; i < 4; i++ {
+		eng.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			d.Read(p, 100e6)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * (sim.Second + sim.Millisecond); eng.Now() != want {
+		t.Errorf("clock %v, want %v (FIFO queueing)", eng.Now(), want)
+	}
+}
+
+func TestSeekChargedPerRequest(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d0", Config{ReadBytesPerSec: 1e12, WriteBytesPerSec: 1e12, SeekTime: sim.Millisecond}, nil)
+	eng.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			d.Read(p, 1)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() < 10*sim.Millisecond {
+		t.Errorf("clock %v, want >= 10ms of seeks", eng.Now())
+	}
+}
+
+func TestZeroSizeIsFree(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d0", testCfg, nil)
+	eng.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, 0)
+		d.Write(p, -5)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != 0 || d.Reads() != 0 || d.Writes() != 0 {
+		t.Error("zero/negative size should be a no-op")
+	}
+}
+
+func TestSharedTrafficCollector(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := metrics.NewTraffic()
+	d := New(eng, "d0", testCfg, tr)
+	eng.Spawn("rw", func(p *sim.Proc) {
+		d.Read(p, 100)
+		d.Write(p, 200)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Bytes(metrics.DiskRead) != 100 || tr.Bytes(metrics.DiskWrite) != 200 {
+		t.Errorf("traffic %v", tr)
+	}
+}
+
+func TestBusyTimeTracksUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, "d0", testCfg, nil)
+	eng.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, 100e6)
+		p.Sleep(sim.Second) // idle gap must not count
+		d.Read(p, 100e6)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (sim.Second + sim.Millisecond)
+	if got := d.BusyTime(); got != want {
+		t.Errorf("busy %v, want %v", got, want)
+	}
+}

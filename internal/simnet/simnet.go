@@ -1,0 +1,190 @@
+// Package simnet models the cluster interconnect for the DAS simulator.
+//
+// Each node has an egress and an ingress NIC, modeled as exclusive
+// sim.Resources: a transfer of size S over a NIC sustaining B bytes/sec
+// occupies that NIC for S/B. A message therefore costs
+//
+//	egress(serialize) → wire latency → ingress(serialize)
+//
+// in store-and-forward fashion, and concurrent transfers through the same
+// node queue up on its NICs. This is the contention the paper's Normal
+// Active Storage suffers from: a storage server that both computes and
+// serves dependent strips to its neighbors saturates its own NICs.
+//
+// Loopback messages (From == To) are free: data that stays on a node does
+// not cross the interconnect, which is exactly the saving DAS engineers
+// for with its dependence-aware layout.
+package simnet
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// Message is one unit of traffic between nodes. Payload carries the
+// protocol-level request or response defined by higher layers; Size is the
+// simulated wire size in bytes, which need not match the in-memory size of
+// Payload (e.g. a read request is a few bytes even though its response is
+// a strip).
+type Message struct {
+	From, To int
+	Port     string
+	Size     int64
+	Class    metrics.TrafficClass
+	Payload  any
+	// Reply, when non-nil, is where the recipient should deliver its
+	// response via Network.Respond. Reply mailboxes bypass port lookup so
+	// each in-flight request gets a private response channel.
+	Reply *sim.Mailbox[Message]
+}
+
+// Config sets the interconnect parameters.
+type Config struct {
+	// BytesPerSec is the per-NIC, per-direction bandwidth.
+	BytesPerSec float64
+	// Latency is the one-way wire latency added to every remote message.
+	Latency sim.Time
+}
+
+// Network is the interconnect connecting a fixed set of nodes.
+type Network struct {
+	eng     *sim.Engine
+	cfg     Config
+	nodes   map[int]*Node
+	traffic *metrics.Traffic
+}
+
+// Node is one endpoint on the network.
+type Node struct {
+	id      int
+	egress  *sim.Resource
+	ingress *sim.Resource
+	ports   map[string]*sim.Mailbox[Message]
+	eng     *sim.Engine
+}
+
+// New creates a network with the given parameters. Traffic may be nil, in
+// which case a private collector is created.
+func New(eng *sim.Engine, cfg Config, traffic *metrics.Traffic) *Network {
+	if traffic == nil {
+		traffic = metrics.NewTraffic()
+	}
+	return &Network{eng: eng, cfg: cfg, nodes: make(map[int]*Node), traffic: traffic}
+}
+
+// Traffic returns the collector recording this network's byte counts.
+func (n *Network) Traffic() *metrics.Traffic { return n.traffic }
+
+// Config returns the interconnect parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddNode registers a node id and returns its endpoint. Adding the same id
+// twice panics: node identity is structural in the simulator.
+func (n *Network) AddNode(id int) *Node {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node id %d", id))
+	}
+	node := &Node{
+		id:      id,
+		egress:  sim.NewResource(n.eng, fmt.Sprintf("node%d.egress", id), 1),
+		ingress: sim.NewResource(n.eng, fmt.Sprintf("node%d.ingress", id), 1),
+		ports:   make(map[string]*sim.Mailbox[Message]),
+		eng:     n.eng,
+	}
+	n.nodes[id] = node
+	return node
+}
+
+// Node returns the endpoint for id, panicking if it was never added.
+func (n *Network) Node(id int) *Node {
+	node, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown node id %d", id))
+	}
+	return node
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() int { return nd.id }
+
+// Port returns the named mailbox on this node, creating it on first use.
+// Servers Get from their ports; the network Puts delivered messages.
+func (nd *Node) Port(name string) *sim.Mailbox[Message] {
+	mb, ok := nd.ports[name]
+	if !ok {
+		mb = sim.NewMailbox[Message](nd.eng, fmt.Sprintf("node%d:%s", nd.id, name))
+		nd.ports[name] = mb
+	}
+	return mb
+}
+
+// EgressBusy returns how long this node's egress NIC has been occupied.
+func (nd *Node) EgressBusy() sim.Time { return nd.egress.BusyTime() }
+
+// IngressBusy returns how long this node's ingress NIC has been occupied.
+func (nd *Node) IngressBusy() sim.Time { return nd.ingress.BusyTime() }
+
+// transfer performs the timed store-and-forward movement of size bytes
+// from src to dst on behalf of process p. Loopback transfers cost nothing.
+func (n *Network) transfer(p *sim.Proc, src, dst *Node, size int64, class metrics.TrafficClass) {
+	if src.id == dst.id {
+		return
+	}
+	src.egress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec))
+	p.Sleep(n.cfg.Latency)
+	dst.ingress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec))
+	n.traffic.Add(class, size)
+}
+
+// Send moves msg from msg.From to msg.To, blocking p for the transfer
+// time, then delivers it to the destination port. The sending process
+// models the full store-and-forward pipeline, so back-to-back Sends from
+// one process are serialized, as they would be through one socket.
+func (n *Network) Send(p *sim.Proc, msg Message) {
+	src, dst := n.Node(msg.From), n.Node(msg.To)
+	n.transfer(p, src, dst, msg.Size, msg.Class)
+	dst.Port(msg.Port).Put(msg)
+}
+
+// SendAsync starts the transfer on a child process and returns a signal
+// that fires after delivery. Use it to overlap independent transfers, e.g.
+// a PFS client striping a file across many servers.
+func (n *Network) SendAsync(p *sim.Proc, msg Message) *sim.Signal[struct{}] {
+	done := sim.NewSignal[struct{}](n.eng, fmt.Sprintf("send:%d→%d", msg.From, msg.To))
+	p.Spawn(fmt.Sprintf("xfer:%d→%d:%s", msg.From, msg.To, msg.Port), func(c *sim.Proc) {
+		n.Send(c, msg)
+		done.Fire(struct{}{})
+	})
+	return done
+}
+
+// Call sends a request and blocks until the recipient Responds. The
+// returned message is the response. The request's Reply mailbox is created
+// here and is private to this call.
+func (n *Network) Call(p *sim.Proc, msg Message) Message {
+	reply := sim.NewMailbox[Message](n.eng, fmt.Sprintf("reply:%d→%d", msg.From, msg.To))
+	msg.Reply = reply
+	n.Send(p, msg)
+	return reply.Get(p)
+}
+
+// Respond delivers a response to the Reply mailbox of req, charging the
+// wire cost of moving size bytes from the responder back to the
+// requester. It must be called by the process handling req.
+func (n *Network) Respond(p *sim.Proc, req Message, payload any, size int64, class metrics.TrafficClass) {
+	if req.Reply == nil {
+		panic("simnet: Respond to a message without a Reply mailbox")
+	}
+	src, dst := n.Node(req.To), n.Node(req.From)
+	n.transfer(p, src, dst, size, class)
+	req.Reply.Put(Message{
+		From:    req.To,
+		To:      req.From,
+		Port:    req.Port,
+		Size:    size,
+		Class:   class,
+		Payload: payload,
+	})
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcio/das/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, 0, "a", "b", "c")
+	if r.Len() != 0 || r.Events() != nil || r.Truncated() {
+		t.Error("nil recorder misbehaved")
+	}
+	r.Reset()
+}
+
+func TestRecordAndSortedEvents(t *testing.T) {
+	r := New(0)
+	r.Record(5*sim.Millisecond, sim.Millisecond, "b", "y", "later")
+	r.Record(1*sim.Millisecond, sim.Millisecond, "a", "x", "earlier")
+	r.Record(5*sim.Millisecond, 0, "a", "x", "tie broken by actor")
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Note != "earlier" || evs[1].Actor != "a" || evs[2].Actor != "b" {
+		t.Errorf("order wrong: %+v", evs)
+	}
+}
+
+func TestCapAndTruncated(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(sim.Time(i), 0, "a", "p", "")
+	}
+	if r.Len() != 2 || !r.Truncated() {
+		t.Errorf("Len=%d Truncated=%v", r.Len(), r.Truncated())
+	}
+	if !strings.Contains(r.Timeline(), "event cap reached") {
+		t.Error("timeline does not flag truncation")
+	}
+}
+
+func TestTimelineFormatting(t *testing.T) {
+	r := New(0)
+	r.Record(12*sim.Millisecond, 2*sim.Millisecond, "server-3", "fetch", "strip 17")
+	tl := r.Timeline()
+	for _, want := range []string{"12.000ms", "+2.000ms", "server-3", "fetch", "strip 17"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	if New(0).Timeline() != "(no events)\n" {
+		t.Error("empty timeline wrong")
+	}
+}
+
+func TestSummarizeAggregates(t *testing.T) {
+	r := New(0)
+	r.Record(0, 2*sim.Millisecond, "s0", "fetch", "")
+	r.Record(5*sim.Millisecond, 3*sim.Millisecond, "s0", "fetch", "")
+	r.Record(1*sim.Millisecond, 1*sim.Millisecond, "s0", "compute", "")
+	r.Record(0, 4*sim.Millisecond, "s1", "compute", "")
+	sums := r.Summarize()
+	if len(sums) != 3 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	// s0 first, its phases by descending total: fetch (5ms) then compute.
+	if sums[0].Actor != "s0" || sums[0].Phase != "fetch" || sums[0].Total != 5*sim.Millisecond || sums[0].Count != 2 {
+		t.Errorf("first summary %+v", sums[0])
+	}
+	if sums[1].Phase != "compute" || sums[2].Actor != "s1" {
+		t.Errorf("order: %+v", sums)
+	}
+	tbl := r.SummaryTable()
+	if !strings.Contains(tbl, "actor") || !strings.Contains(tbl, "s1") {
+		t.Errorf("table:\n%s", tbl)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(0)
+	r.Record(0, 0, "a", "p", "")
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("reset failed")
+	}
+}

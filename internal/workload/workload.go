@@ -1,0 +1,130 @@
+// Package workload generates the synthetic rasters the reproduction feeds
+// the analysis kernels: terrain-like digital elevation models for the GIS
+// kernels (flow-routing, flow-accumulation) and speckled intensity images
+// for the filtering kernels. The paper used real 24–60 GB datasets on a
+// Lustre testbed; these generators produce deterministic stand-ins with
+// the same access behaviour — every byte is read, every byte is produced —
+// which is all the schemes' costs depend on.
+package workload
+
+import (
+	"math"
+
+	"github.com/hpcio/das/internal/grid"
+)
+
+// rng is a splitmix64 generator: tiny, fast, and identical on every
+// platform, keeping workloads reproducible without math/rand's global
+// state.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// Terrain produces a w×h digital elevation model: several octaves of
+// value noise (bilinear interpolation of random lattices) over a gentle
+// regional slope, the kind of surface flow-routing is meant for.
+func Terrain(w, h int, seed uint64) *grid.Grid {
+	g := grid.New(w, h)
+	octaves := []struct {
+		cell float64
+		amp  float64
+	}{
+		{cell: 64, amp: 100},
+		{cell: 16, amp: 25},
+		{cell: 4, amp: 6},
+	}
+	lattices := make([]*lattice, len(octaves))
+	for i, o := range octaves {
+		lattices[i] = newLattice(int(float64(w)/o.cell)+2, int(float64(h)/o.cell)+2, seed+uint64(i)*7919)
+	}
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			// Regional slope draining toward the origin corner.
+			v := 0.05 * float64(r+c)
+			for i, o := range octaves {
+				v += o.amp * lattices[i].sample(float64(c)/o.cell, float64(r)/o.cell)
+			}
+			g.Set(r, c, v)
+		}
+	}
+	return g
+}
+
+// lattice is a random value lattice sampled with bilinear interpolation.
+type lattice struct {
+	w, h int
+	v    []float64
+}
+
+func newLattice(w, h int, seed uint64) *lattice {
+	r := newRNG(seed)
+	l := &lattice{w: w, h: h, v: make([]float64, w*h)}
+	for i := range l.v {
+		l.v[i] = r.float()
+	}
+	return l
+}
+
+func (l *lattice) at(x, y int) float64 {
+	if x >= l.w {
+		x = l.w - 1
+	}
+	if y >= l.h {
+		y = l.h - 1
+	}
+	return l.v[y*l.w+x]
+}
+
+func (l *lattice) sample(x, y float64) float64 {
+	x0, y0 := int(x), int(y)
+	fx, fy := x-float64(x0), y-float64(y0)
+	// Smoothstep the fractions for continuous derivatives.
+	fx = fx * fx * (3 - 2*fx)
+	fy = fy * fy * (3 - 2*fy)
+	top := l.at(x0, y0)*(1-fx) + l.at(x0+1, y0)*fx
+	bot := l.at(x0, y0+1)*(1-fx) + l.at(x0+1, y0+1)*fx
+	return top*(1-fy) + bot*fy
+}
+
+// Image produces a w×h intensity raster: a smooth sinusoidal field with
+// salt-and-pepper speckle on speckleFrac of the pixels — the input the
+// median and Gaussian filters are evaluated on.
+func Image(w, h int, seed uint64, speckleFrac float64) *grid.Grid {
+	g := grid.New(w, h)
+	r := newRNG(seed)
+	for row := 0; row < h; row++ {
+		for col := 0; col < w; col++ {
+			v := 128 + 80*math.Sin(float64(col)/23)*math.Cos(float64(row)/17)
+			if r.float() < speckleFrac {
+				if r.float() < 0.5 {
+					v = 0
+				} else {
+					v = 255
+				}
+			}
+			g.Set(row, col, v)
+		}
+	}
+	return g
+}
+
+// Ramp produces a deterministic, structureless raster (value = flat
+// index); useful in tests where the exact values matter more than realism.
+func Ramp(w, h int) *grid.Grid {
+	g := grid.New(w, h)
+	for i := range g.Data {
+		g.Data[i] = float64(i)
+	}
+	return g
+}

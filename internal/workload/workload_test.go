@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTerrainDeterministic(t *testing.T) {
+	a := Terrain(64, 48, 7)
+	b := Terrain(64, 48, 7)
+	if !a.Equal(b) {
+		t.Error("same seed produced different terrain")
+	}
+	c := Terrain(64, 48, 8)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical terrain")
+	}
+}
+
+func TestTerrainIsFiniteAndVaried(t *testing.T) {
+	g := Terrain(128, 96, 42)
+	seen := make(map[float64]bool)
+	for _, v := range g.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("terrain contains non-finite values")
+		}
+		seen[v] = true
+	}
+	if len(seen) < len(g.Data)/10 {
+		t.Errorf("terrain too repetitive: %d distinct values of %d", len(seen), len(g.Data))
+	}
+}
+
+func TestTerrainHasRegionalSlope(t *testing.T) {
+	g := Terrain(256, 256, 3)
+	// Averaged over many cells the 0.05·(r+c) slope dominates noise:
+	// the far corner sits higher than the origin corner.
+	var nearSum, farSum float64
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			nearSum += g.At(i, j)
+			farSum += g.At(255-i, 255-j)
+		}
+	}
+	if farSum <= nearSum {
+		t.Error("terrain lacks the draining slope")
+	}
+}
+
+func TestImageSpeckleFraction(t *testing.T) {
+	g := Image(256, 256, 9, 0.1)
+	speckles := 0
+	for _, v := range g.Data {
+		if v == 0 || v == 255 {
+			speckles++
+		}
+	}
+	frac := float64(speckles) / float64(g.Len())
+	if frac < 0.05 || frac > 0.15 {
+		t.Errorf("speckle fraction %v, want ≈0.1", frac)
+	}
+}
+
+func TestImageNoSpeckleIsSmooth(t *testing.T) {
+	g := Image(64, 64, 1, 0)
+	for r := 0; r < 64; r++ {
+		for c := 1; c < 64; c++ {
+			if math.Abs(g.At(r, c)-g.At(r, c-1)) > 20 {
+				t.Fatalf("clean image jumps at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestRamp(t *testing.T) {
+	g := Ramp(4, 2)
+	if g.At(0, 0) != 0 || g.At(1, 3) != 7 {
+		t.Error("ramp values wrong")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := newRNG(123)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.float()
+		if v < 0 || v >= 1 {
+			t.Fatalf("float out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.47 || mean > 0.53 {
+		t.Errorf("mean %v, want ≈0.5", mean)
+	}
+}
