@@ -10,12 +10,16 @@
 //	dasbench -exp ablations   # the four ablations
 //	dasbench -csv             # machine-readable output
 //	dasbench -quick           # reduced sizes/nodes
+//	dasbench -json BENCH_kernels.json   # kernel/scheme micro-benchmarks
+//	dasbench -cpuprofile cpu.out -exp fig11   # profile a run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/hpcio/das/internal/experiments"
@@ -27,6 +31,9 @@ func main() {
 	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
 	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
 	nodes := flag.Int("nodes", 0, "override the default node count")
+	benchJSONPath := flag.String("json", "", "run kernel/scheme micro-benchmarks and write JSON results to this file (e.g. BENCH_kernels.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -39,8 +46,43 @@ func main() {
 		cfg.Nodes = *nodes
 	}
 
-	if err := run(cfg, strings.ToLower(*exp), *csv, *chart); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dasbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dasbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := func() error {
+		if *benchJSONPath != "" {
+			return benchJSON(cfg, *benchJSONPath)
+		}
+		return run(cfg, strings.ToLower(*exp), *csv, *chart)
+	}()
+
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr == nil {
+			runtime.GC() // flush recent allocation stats into the profile
+			ferr = pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}
+		if ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dasbench:", err)
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }

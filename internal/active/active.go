@@ -214,11 +214,12 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 
 	var resp execResp
 	var forwards []*sim.Signal[error]
+	var pooledOut [][]byte // output encodings, released once forwards finish
 	for _, run := range primaryRuns(srv, in) {
 		e0 := run.lo / in.ElemSize
 		e1 := run.hi / in.ElemSize
 		lo, hi := grid.HaloRange(e0, e1, maxAbs, total)
-		band := grid.NewBand(in.Width, total, e0, e1, lo, hi)
+		band := grid.NewBandPooled(in.Width, total, e0, e1, lo, hi)
 
 		// Assemble the band: all locally held strips (the run plus any
 		// replicas) come in one batched disk pass; missing strips are
@@ -259,7 +260,8 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 			clu.Trace.Record(t0, p.Now()-t0, actor(srv), "local-read",
 				fmt.Sprintf("%d spans for strips %d-%d of %s", len(localSpans), run.first, run.last, req.Input))
 			for i, chunk := range chunks {
-				band.Fill(localLo[i]/in.ElemSize, grid.FloatsFromBytes(chunk))
+				band.FillBytes(localLo[i]/in.ElemSize, chunk)
+				pfs.ReleaseBuffer(chunk)
 			}
 		}
 		// Dependent-strip fetches for one run go out concurrently (the
@@ -288,7 +290,8 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 			}
 			resp.RemoteFetches++
 			resp.RemoteBytes += int64(len(got.data))
-			band.Fill(got.gotLo/in.ElemSize, grid.FloatsFromBytes(got.data))
+			band.FillBytes(got.gotLo/in.ElemSize, got.data)
+			pfs.ReleaseBuffer(got.data)
 		}
 		resp.Phases.Fetch += p.Now() - fetchStart
 		if len(remotes) > 0 {
@@ -297,9 +300,12 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		}
 
 		// Run the kernel: real computation on real bytes, plus the
-		// simulated CPU cost of processing the run's elements.
-		outVals := make([]float64, e1-e0)
-		k.ApplyBand(band, outVals)
+		// simulated CPU cost of processing the run's elements. The parallel
+		// executor only spreads the host-CPU work across cores; the
+		// simulated cost below is unchanged.
+		outVals := grid.GetFloats(int(e1 - e0))
+		kernels.ParallelApplyBand(k, band, outVals)
+		band.Release()
 		computeStart := p.Now()
 		p.Sleep(clu.ComputeTime(e1-e0, k.Weight()))
 		resp.Phases.Compute += p.Now() - computeStart
@@ -312,7 +318,9 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		// on a child process, overlapping replication with the next run's
 		// disk and compute work; the exec completes only after every
 		// forward has been acknowledged.
-		outBytes := grid.FloatsToBytes(outVals)
+		outBytes := grid.FloatsToBytesInto(pfs.AcquireBuffer((e1-e0)*in.ElemSize), outVals)
+		grid.PutFloats(outVals)
+		pooledOut = append(pooledOut, outBytes)
 		strips := make([]int64, 0, run.last-run.first+1)
 		chunks := make([][]byte, 0, run.last-run.first+1)
 		for t := run.first; t <= run.last; t++ {
@@ -341,6 +349,9 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		}
 	}
 	resp.Phases.Forward += p.Now() - forwardStart
+	for _, b := range pooledOut {
+		pfs.ReleaseBuffer(b) // replica forwards acknowledged: last references gone
+	}
 	if len(forwards) > 0 {
 		clu.Trace.Record(forwardStart, p.Now()-forwardStart, actor(srv), "forward-wait",
 			fmt.Sprintf("%d replica batches of %s", len(forwards), req.Output))

@@ -70,14 +70,15 @@ func (svc *Service) handleReduce(p *sim.Proc, srv *pfs.Server, msg simnet.Messag
 			respond(reduceResp{Err: err.Error()}, headerBytes)
 			return
 		}
-		band := grid.NewBand(in.Width, total, e0, e1, e0, e1)
+		band := grid.NewBandPooled(in.Width, total, e0, e1, e0, e1)
 		off := e0
 		for _, chunk := range chunks {
-			vals := grid.FloatsFromBytes(chunk)
-			band.Fill(off, vals)
-			off += int64(len(vals))
+			band.FillBytes(off, chunk)
+			off += int64(len(chunk)) / in.ElemSize
+			pfs.ReleaseBuffer(chunk)
 		}
 		partials = append(partials, red.ReduceBand(band))
+		band.Release()
 		p.Sleep(clu.ComputeTime(e1-e0, red.Weight()))
 		elements += e1 - e0
 	}

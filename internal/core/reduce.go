@@ -170,14 +170,16 @@ func (s *System) reduceWorker(p *sim.Proc, red kernels.Reducer, in *pfs.FileMeta
 	client := s.FS.NewClient(s.Clu.ComputeID(w))
 	byteLo, _ := in.StripBounds(first)
 	_, byteHi := in.StripBounds(last)
-	data, err := client.Read(p, in.Name, byteLo, byteHi-byteLo)
-	if err != nil {
+	data := pfs.AcquireBuffer(byteHi - byteLo)
+	if err := client.ReadInto(p, in.Name, byteLo, data); err != nil {
 		return nil, 0, err
 	}
 	e0, e1 := byteLo/in.ElemSize, byteHi/in.ElemSize
-	band := grid.NewBand(in.Width, total, e0, e1, e0, e1)
-	band.Fill(e0, grid.FloatsFromBytes(data))
+	band := grid.NewBandPooled(in.Width, total, e0, e1, e0, e1)
+	band.FillBytes(e0, data)
+	pfs.ReleaseBuffer(data)
 	partial := red.ReduceBand(band)
+	band.Release()
 	p.Sleep(s.Clu.ComputeTime(e1-e0, red.Weight()))
 	return partial, e1 - e0, nil
 }

@@ -93,18 +93,20 @@ func (s *System) tsWorker(p *sim.Proc, k kernels.Kernel, in, out *pfs.FileMeta, 
 	lo, hi := grid.HaloRange(e0, e1, maxAbs, total)
 
 	readStart := p.Now()
-	data, err := client.Read(p, in.Name, lo*in.ElemSize, (hi-lo)*in.ElemSize)
-	if err != nil {
+	data := pfs.AcquireBuffer((hi - lo) * in.ElemSize)
+	if err := client.ReadInto(p, in.Name, lo*in.ElemSize, data); err != nil {
 		return phases, err
 	}
 	phases.Fetch = p.Now() - readStart
 	s.Clu.Trace.Record(readStart, phases.Fetch, tsActor(w), "read",
 		fmt.Sprintf("%d bytes of %s", (hi-lo)*in.ElemSize, in.Name))
-	band := grid.NewBand(in.Width, total, e0, e1, lo, hi)
-	band.Fill(lo, grid.FloatsFromBytes(data))
+	band := grid.NewBandPooled(in.Width, total, e0, e1, lo, hi)
+	band.FillBytes(lo, data)
+	pfs.ReleaseBuffer(data)
 
-	outVals := make([]float64, e1-e0)
-	k.ApplyBand(band, outVals)
+	outVals := grid.GetFloats(int(e1 - e0))
+	kernels.ParallelApplyBand(k, band, outVals)
+	band.Release()
 	computeStart := p.Now()
 	p.Sleep(s.Clu.ComputeTime(e1-e0, k.Weight()))
 	phases.Compute = p.Now() - computeStart
@@ -112,7 +114,8 @@ func (s *System) tsWorker(p *sim.Proc, k kernels.Kernel, in, out *pfs.FileMeta, 
 		fmt.Sprintf("%s over %d elements", k.Name(), e1-e0))
 
 	// Write the output back, batching the strips bound for each server.
-	outBytes := grid.FloatsToBytes(outVals)
+	outBytes := grid.FloatsToBytesInto(pfs.AcquireBuffer((e1-e0)*in.ElemSize), outVals)
+	grid.PutFloats(outVals)
 	type batch struct {
 		strips []int64
 		chunks [][]byte
@@ -147,6 +150,7 @@ func (s *System) tsWorker(p *sim.Proc, k kernels.Kernel, in, out *pfs.FileMeta, 
 			return phases, e
 		}
 	}
+	pfs.ReleaseBuffer(outBytes) // writes acknowledged: stores hold copies
 	phases.Write = p.Now() - writeStart
 	s.Clu.Trace.Record(writeStart, phases.Write, tsActor(w), "write-back",
 		fmt.Sprintf("strips %d-%d of %s", first, last, out.Name))

@@ -1,6 +1,10 @@
 package grid
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Band is the window of a raster's flat element space available to one
 // worker: the contiguous range it must produce output for ([Start, End)),
@@ -21,12 +25,7 @@ type Band struct {
 // NewBand allocates a band covering owned range [start, end) with data
 // range [lo, hi).
 func NewBand(width int, globalLen, start, end, lo, hi int64) *Band {
-	switch {
-	case width <= 0:
-		panic(fmt.Sprintf("grid: band width %d", width))
-	case lo > start || hi < end || start > end || lo < 0 || hi > globalLen:
-		panic(fmt.Sprintf("grid: invalid band [%d,%d) data [%d,%d) of %d", start, end, lo, hi, globalLen))
-	}
+	validateBand(width, globalLen, start, end, lo, hi)
 	return &Band{
 		Width:     width,
 		GlobalLen: globalLen,
@@ -34,6 +33,15 @@ func NewBand(width int, globalLen, start, end, lo, hi int64) *Band {
 		End:       end,
 		Lo:        lo,
 		Data:      make([]float64, hi-lo),
+	}
+}
+
+func validateBand(width int, globalLen, start, end, lo, hi int64) {
+	switch {
+	case width <= 0:
+		panic(fmt.Sprintf("grid: band width %d", width))
+	case lo > start || hi < end || start > end || lo < 0 || hi > globalLen:
+		panic(fmt.Sprintf("grid: invalid band [%d,%d) data [%d,%d) of %d", start, end, lo, hi, globalLen))
 	}
 }
 
@@ -77,6 +85,34 @@ func (b *Band) Fill(lo int64, src []float64) {
 		to = curHi
 	}
 	copy(b.Data[from-b.Lo:to-b.Lo], src[from-lo:to-lo])
+}
+
+// FillBytes decodes raw little-endian elements (global range
+// [lo, lo+len(raw)/ElemSize)) directly into the band's data window,
+// skipping the intermediate []float64 that Fill(lo, FloatsFromBytes(raw))
+// would allocate. Ranges outside the band are ignored; len(raw) must be a
+// multiple of ElemSize.
+func (b *Band) FillBytes(lo int64, raw []byte) {
+	if len(raw)%ElemSize != 0 {
+		panic(fmt.Sprintf("grid: byte length %d not a multiple of element size %d", len(raw), ElemSize))
+	}
+	hi := lo + int64(len(raw))/ElemSize
+	curLo, curHi := b.Lo, b.Hi()
+	if hi <= curLo || lo >= curHi {
+		return
+	}
+	from, to := lo, hi
+	if from < curLo {
+		from = curLo
+	}
+	if to > curHi {
+		to = curHi
+	}
+	src := raw[(from-lo)*ElemSize:]
+	dst := b.Data[from-b.Lo : to-b.Lo]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*ElemSize:]))
+	}
 }
 
 // OwnedLen returns the number of elements the band must produce.

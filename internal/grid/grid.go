@@ -103,22 +103,54 @@ func FromBytes(w, h int, b []byte) (*Grid, error) {
 
 // FloatsToBytes encodes elements little-endian.
 func FloatsToBytes(vals []float64) []byte {
-	out := make([]byte, len(vals)*ElemSize)
+	return FloatsToBytesInto(nil, vals)
+}
+
+// FloatsToBytesInto encodes elements little-endian into dst, reusing its
+// backing array when the capacity suffices (allocating otherwise), and
+// returns the encoded slice. Hot paths pair it with a pooled buffer to
+// avoid a fresh allocation per encode.
+func FloatsToBytesInto(dst []byte, vals []float64) []byte {
+	n := len(vals) * ElemSize
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]byte, n)
+	}
 	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[i*ElemSize:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(dst[i*ElemSize:], math.Float64bits(v))
+	}
+	return dst
+}
+
+// FloatsFromBytes decodes little-endian elements. An input whose length is
+// not a multiple of ElemSize has no valid decoding; rather than silently
+// truncating the tail, FloatsFromBytes panics on such input (use
+// FloatsFromBytesInto for an error-returning variant).
+func FloatsFromBytes(b []byte) []float64 {
+	out, err := FloatsFromBytesInto(nil, b)
+	if err != nil {
+		panic(err.Error())
 	}
 	return out
 }
 
-// FloatsFromBytes decodes little-endian elements. The input length must be
-// a multiple of ElemSize.
-func FloatsFromBytes(b []byte) []float64 {
+// FloatsFromBytesInto decodes little-endian elements into dst, reusing its
+// backing array when the capacity suffices, and returns the decoded slice.
+// Unlike FloatsFromBytes it reports an unaligned input length as an error
+// instead of panicking.
+func FloatsFromBytesInto(dst []float64, b []byte) ([]float64, error) {
 	if len(b)%ElemSize != 0 {
-		panic(fmt.Sprintf("grid: byte length %d not a multiple of element size", len(b)))
+		return nil, fmt.Errorf("grid: byte length %d not a multiple of element size %d", len(b), ElemSize)
 	}
-	out := make([]float64, len(b)/ElemSize)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*ElemSize:]))
+	n := len(b) / ElemSize
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
 	}
-	return out
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*ElemSize:]))
+	}
+	return dst, nil
 }

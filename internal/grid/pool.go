@@ -1,0 +1,66 @@
+package grid
+
+import (
+	"sync"
+
+	"github.com/hpcio/das/internal/bufpool"
+)
+
+// Buffer pools for the strip/halo hot paths. Every scheme run assembles
+// bands, decodes strip bytes, and encodes output bytes over and over with
+// identical sizes; recycling those buffers removes the dominant allocation
+// sources from the simulator's inner loop (the GB-scale garbage behind the
+// Fig. 10-14 regeneration cost).
+//
+// Pooled float buffers are returned zeroed, so a pooled band behaves
+// exactly like a freshly allocated one: unfilled gaps read as 0, keeping
+// outputs byte-identical to the unpooled reference.
+
+var (
+	floatPool bufpool.Pool[float64]
+	bandPool  = sync.Pool{New: func() any { return new(Band) }}
+)
+
+// GetFloats returns a zeroed float slice of length n from the pool,
+// allocating when the pool is empty or too small. Return it with PutFloats
+// once it is no longer referenced.
+func GetFloats(n int) []float64 {
+	s := floatPool.Get(n)
+	clear(s)
+	return s
+}
+
+// PutFloats recycles a slice obtained from GetFloats (or anywhere else).
+// The caller must not use the slice afterwards.
+func PutFloats(s []float64) {
+	floatPool.Put(s)
+}
+
+// NewBandPooled is NewBand backed by the pool: the Band struct and its
+// data buffer are recycled via Release. The data window starts zeroed,
+// exactly like NewBand's.
+func NewBandPooled(width int, globalLen, start, end, lo, hi int64) *Band {
+	validateBand(width, globalLen, start, end, lo, hi)
+	b := bandPool.Get().(*Band)
+	n := hi - lo
+	if int64(cap(b.Data)) >= n {
+		b.Data = b.Data[:n]
+		clear(b.Data)
+	} else {
+		floatPool.Put(b.Data)
+		b.Data = GetFloats(int(n))
+	}
+	b.Width = width
+	b.GlobalLen = globalLen
+	b.Start = start
+	b.End = end
+	b.Lo = lo
+	return b
+}
+
+// Release returns a band obtained from NewBandPooled to the pool. The
+// caller must not use the band (or its Data) afterwards. Releasing a band
+// built by NewBand is also safe: its buffer simply joins the pool.
+func (b *Band) Release() {
+	bandPool.Put(b)
+}

@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcio/das/internal/grid"
+)
+
+// fillDeterministic gives a grid varied, reproducible content (including
+// plateaus, so flow-routing ties exercise the deterministic tie-break).
+func fillDeterministic(g *grid.Grid, seed uint64) {
+	s := seed*2654435761 + 12345
+	for i := range g.Data {
+		s = s*6364136223846793005 + 1442695040888963407
+		g.Data[i] = float64(int64(s>>40)%1000) / 7
+	}
+}
+
+// identical reports byte-identity, distinguishing NaN bit patterns.
+func identical(t *testing.T, a, b *grid.Grid) bool {
+	t.Helper()
+	if a.W != b.W || a.H != b.H || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelApplyMatchesSequentialProperty asserts, for every registered
+// kernel, that ParallelApply is byte-identical to the sequential reference
+// over randomized shapes — the repo's core invariant under the parallel
+// executor.
+func TestParallelApplyMatchesSequentialProperty(t *testing.T) {
+	reg := Default()
+	reg.Register(HorizontalBlur{Radius: 3})
+	reg.Register(StrideKernel{Stride: 17})
+	reg.Register(ScatterKernel{Strides: []int64{3, 29}})
+	defer SetParallelism(0)
+	for _, name := range reg.Names() {
+		k, _ := reg.Lookup(name)
+		t.Run(name, func(t *testing.T) {
+			prop := func(wRaw, hRaw uint8, shards uint8, seed uint64) bool {
+				w := int(wRaw%37) + 1 // 1..37: includes 1-col grids
+				h := int(hRaw%29) + 1 // 1..29: includes 1-row grids
+				g := grid.New(w, h)
+				fillDeterministic(g, seed)
+				want := Apply(k, g)
+				SetParallelism(int(shards%13) + 2) // 2..14 forced shards, often > h
+				got := ParallelApply(k, g)
+				SetParallelism(0)
+				return identical(t, want, got)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestParallelApplyDegenerateShapes pins the shapes the partitioner can
+// get wrong: single row, single column, and fewer rows than workers.
+func TestParallelApplyDegenerateShapes(t *testing.T) {
+	defer SetParallelism(0)
+	shapes := []struct{ w, h int }{{64, 1}, {1, 64}, {9, 3}, {5, 7}, {1, 1}}
+	reg := Default()
+	for _, name := range reg.Names() {
+		k, _ := reg.Lookup(name)
+		for _, sh := range shapes {
+			g := grid.New(sh.w, sh.h)
+			fillDeterministic(g, uint64(sh.w*1000+sh.h))
+			want := Apply(k, g)
+			for _, n := range []int{2, 3, 8, 64} {
+				SetParallelism(n)
+				if !identical(t, want, ParallelApply(k, g)) {
+					t.Errorf("%s: %dx%d with %d shards differs from sequential", name, sh.w, sh.h, n)
+				}
+			}
+			SetParallelism(0)
+		}
+	}
+}
+
+// TestShardRowsPartition checks the partitioner's contract: shards are
+// contiguous, cover [start, end) exactly, split only at row boundaries
+// (except the ragged ends), and depend only on the inputs.
+func TestShardRowsPartition(t *testing.T) {
+	cases := []struct {
+		start, end int64
+		width, n   int
+	}{
+		{0, 1000, 10, 4},
+		{0, 10, 10, 4},     // single row
+		{0, 64, 1, 8},      // single column
+		{5, 95, 10, 3},     // ragged head and tail
+		{13, 17, 10, 8},    // sub-row range
+		{0, 30, 10, 16},    // more shards than rows
+		{999, 1000, 10, 4}, // single element
+	}
+	for _, c := range cases {
+		shards := ShardRows(c.start, c.end, c.width, c.n)
+		cur := c.start
+		for i, s := range shards {
+			if s.Start != cur {
+				t.Fatalf("ShardRows(%+v): shard %d starts at %d, want %d", c, i, s.Start, cur)
+			}
+			if s.End <= s.Start {
+				t.Fatalf("ShardRows(%+v): empty shard %d", c, i)
+			}
+			if i > 0 && s.Start%int64(c.width) != 0 {
+				t.Fatalf("ShardRows(%+v): interior boundary %d not row-aligned", c, s.Start)
+			}
+			cur = s.End
+		}
+		if cur != c.end {
+			t.Fatalf("ShardRows(%+v): covers up to %d, want %d", c, cur, c.end)
+		}
+		if len(shards) > c.n {
+			t.Fatalf("ShardRows(%+v): %d shards exceeds requested %d", c, len(shards), c.n)
+		}
+		// Determinism: identical inputs, identical partition.
+		again := ShardRows(c.start, c.end, c.width, c.n)
+		for i := range shards {
+			if shards[i] != again[i] {
+				t.Fatalf("ShardRows(%+v): partition not deterministic", c)
+			}
+		}
+	}
+}
+
+// TestParallelApplyBandConcurrent drives many ParallelApplyBand calls from
+// concurrent goroutines so `go test -race` exercises the worker pool's
+// sharing: read-only band data, disjoint output shards, pool handoff.
+func TestParallelApplyBandConcurrent(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(0)
+	g := grid.New(128, 64)
+	fillDeterministic(g, 7)
+	k := Gaussian{}
+	want := Apply(k, g)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if got := ParallelApply(k, g); !identical(t, want, got) {
+					t.Error("concurrent ParallelApply diverged from sequential")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkApplySequentialVsParallel(b *testing.B) {
+	g := grid.New(1024, 512)
+	fillDeterministic(g, 42)
+	band := grid.BandOf(g, 0, g.Len(), 0, g.Len())
+	out := make([]float64, g.Len())
+	k := Median{}
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(g.SizeBytes())
+		for i := 0; i < b.N; i++ {
+			k.ApplyBand(band, out)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(g.SizeBytes())
+		for i := 0; i < b.N; i++ {
+			ParallelApplyBand(k, band, out)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package pfs
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/cluster"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// TestClientReadAllocs is the alloc-regression guard for the client read
+// hot path. Before the buffer-pool pass, every ReadInto cost one server-
+// side copy per strip plus a client-side assembly buffer — allocation
+// counts proportional to strips × iterations. With pooling, the per-
+// iteration count must stay a small constant (engine bookkeeping: spawned
+// processes, signals, batch maps), independent of how many strips move.
+func TestClientReadAllocs(t *testing.T) {
+	cfg := cluster.Default()
+	cfg.ComputeNodes, cfg.StorageNodes = 1, 4
+	clu, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Eng.Shutdown()
+	fs := New(clu)
+
+	const stripSize = 4096
+	const strips = 64
+	const size = stripSize * strips
+	if _, err := fs.Create("f", size, layout.NewRoundRobin(4), CreateOptions{StripSize: stripSize}); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	client := fs.NewClient(clu.ComputeID(0))
+	clu.Eng.Spawn("seed-write", func(p *sim.Proc) {
+		if err := client.WriteAll(p, "f", data); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := clu.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := AcquireBuffer(size)
+	defer ReleaseBuffer(dst)
+	readOnce := func() {
+		clu.Eng.Spawn("read", func(p *sim.Proc) {
+			if err := client.ReadInto(p, "f", 0, dst); err != nil {
+				t.Error(err)
+			}
+		})
+		if err := clu.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readOnce() // warm the pools
+
+	allocs := testing.AllocsPerRun(20, readOnce)
+
+	// One read spawns 1 + servers processes (goroutine, Proc, channel,
+	// name) and a signal each, plus batch maps/slices: ~2 dozen small
+	// allocations on this 4-server geometry. The unpooled path added ≥ 2
+	// allocations per strip (64 strips → ≥ 128 more); 60 is comfortably
+	// above engine bookkeeping noise and far below any per-strip regime.
+	const maxAllocs = 60
+	if allocs > maxAllocs {
+		t.Errorf("client read path: %.0f allocs/op, want ≤ %d (per-strip buffers must come from the pool)", allocs, maxAllocs)
+	}
+	t.Logf("client read path: %.1f allocs/op over %d strips", allocs, strips)
+}

@@ -1,0 +1,27 @@
+package pfs
+
+import "github.com/hpcio/das/internal/bufpool"
+
+// Strip buffer pool. Every server read copies strip bytes out of the
+// store (LocalRead/LocalReadMany via peek) and every client read assembles
+// those copies into a contiguous result; at steady state the simulator
+// churns through identically sized buffers millions of times per
+// experiment. The pool recycles them. Buffers flow one way — server copy →
+// response message → consumer — so the consumer that finishes with a
+// buffer releases it; buffers that escape (stored payloads are copied by
+// storePut, so none do) are simply collected by the GC.
+
+var bufPool bufpool.Pool[byte]
+
+// AcquireBuffer returns a byte slice of length n whose contents are
+// arbitrary (callers overwrite it). Release it with ReleaseBuffer when no
+// reference remains.
+func AcquireBuffer(n int64) []byte {
+	return bufPool.Get(int(n))
+}
+
+// ReleaseBuffer recycles a buffer obtained from AcquireBuffer (releasing a
+// foreign slice is also safe). The caller must not use it afterwards.
+func ReleaseBuffer(b []byte) {
+	bufPool.Put(b)
+}

@@ -62,9 +62,9 @@ func (c *Client) WriteAll(p *sim.Proc, name string, data []byte) error {
 	for _, srv := range order {
 		srv := srv
 		b := batches[srv]
-		done := sim.NewSignal[error](c.fs.clu.Eng, fmt.Sprintf("write:%s:srv%d", name, srv))
+		done := sim.NewSignal[error](c.fs.clu.Eng, "pfs-write")
 		sigs = append(sigs, done)
-		p.Spawn(fmt.Sprintf("pfs-write-%s-srv%d", name, srv), func(w *sim.Proc) {
+		p.Spawn("pfs-write", func(w *sim.Proc) {
 			done.Fire(c.fs.WriteStripsTo(w, c.nodeID, srv, name, b.strips, b.chunks, true))
 		})
 	}
@@ -122,26 +122,55 @@ func (c *Client) Write(p *sim.Proc, name string, off int64, data []byte) error {
 }
 
 // Read returns bytes [off, off+length) of the file, assembling per-strip
-// reads from the primary holders in parallel.
+// reads from the primary holders in parallel. The returned slice is
+// freshly allocated and owned by the caller; hot paths that can recycle
+// the destination should use ReadInto with a pooled buffer instead.
 func (c *Client) Read(p *sim.Proc, name string, off, length int64) ([]byte, error) {
+	out := make([]byte, length)
+	if err := c.ReadInto(p, name, off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto fills out with bytes [off, off+len(out)) of the file,
+// assembling per-strip reads from the primary holders in parallel. The
+// per-strip transfer buffers are recycled through the package buffer pool,
+// so a steady-state read allocates nothing proportional to its size.
+func (c *Client) ReadInto(p *sim.Proc, name string, off int64, out []byte) error {
 	m, ok := c.fs.meta[name]
 	if !ok {
-		return nil, fmt.Errorf("pfs: unknown file %q", name)
+		return fmt.Errorf("pfs: unknown file %q", name)
 	}
-	if off < 0 || length < 0 || off+length > m.Size {
-		return nil, fmt.Errorf("pfs: read [%d,%d) outside file %q of %d bytes", off, off+length, name, m.Size)
+	length := int64(len(out))
+	if off < 0 || off+length > m.Size {
+		return fmt.Errorf("pfs: read [%d,%d) outside file %q of %d bytes", off, off+length, name, m.Size)
 	}
-	out := make([]byte, length)
 	if length == 0 {
-		return out, nil
+		return nil
 	}
-	type batch struct {
-		spans   []Span
-		outOffs []int64
+	// Group strips by primary server with a counting sort over the dense
+	// server index (exact-size allocations, no maps): cur[srv] counts spans,
+	// becomes the fill cursor after a prefix sum, and ends as the exclusive
+	// end offset of srv's group — so group k spans spans[cur[k-1]:cur[k]].
+	firstStrip := off / m.StripSize
+	lastStrip := (off + length - 1) / m.StripSize
+	nSpans := int(lastStrip - firstStrip + 1)
+	cur := make([]int, c.fs.Servers())
+	for s := firstStrip; s <= lastStrip; s++ {
+		cur[m.Layout.Primary(s)]++
 	}
-	batches := make(map[int]*batch)
-	var order []int
-	for s := off / m.StripSize; s*m.StripSize < off+length; s++ {
+	sum := 0
+	for srv, n := range cur {
+		cur[srv] = sum
+		sum += n
+	}
+	starts := make([]int, len(cur))
+	copy(starts, cur)
+	spans := make([]Span, nSpans)
+	outOffs := make([]int64, nSpans)
+	sigs := make([]*sim.Signal[error], 0, len(cur))
+	for s := firstStrip; s <= lastStrip; s++ {
 		sLo, sHi := m.StripBounds(s)
 		lo, hi := off, off+length
 		if lo < sLo {
@@ -151,26 +180,32 @@ func (c *Client) Read(p *sim.Proc, name string, off, length int64) ([]byte, erro
 			hi = sHi
 		}
 		srv := m.Layout.Primary(s)
-		b, ok := batches[srv]
-		if !ok {
-			b = &batch{}
-			batches[srv] = b
-			order = append(order, srv)
+		i := cur[srv]
+		spans[i] = Span{Strip: s, Lo: lo - sLo, Hi: hi - sLo}
+		outOffs[i] = lo - off
+		cur[srv]++
+		if i != starts[srv] {
+			continue
 		}
-		b.spans = append(b.spans, Span{Strip: s, Lo: lo - sLo, Hi: hi - sLo})
-		b.outOffs = append(b.outOffs, lo-off)
-	}
-	sigs := make([]*sim.Signal[error], 0, len(order))
-	for _, srv := range order {
-		srv := srv
-		b := batches[srv]
-		done := sim.NewSignal[error](c.fs.clu.Eng, fmt.Sprintf("read:%s:srv%d", name, srv))
+		// First strip owned by srv: fork its batch read here so servers are
+		// engaged in first-encounter order, exactly as issuing requests
+		// strip by strip would. The group's later spans are filled before
+		// the child can run (spawn only schedules; children run once this
+		// process parks in WaitAll). Static diagnostic names: formatted
+		// per-server names were a leading allocation source on this path.
+		end := nSpans
+		if srv+1 < len(starts) {
+			end = starts[srv+1]
+		}
+		srv, bSpans, bOffs := srv, spans[i:end], outOffs[i:end]
+		done := sim.NewSignal[error](c.fs.clu.Eng, "pfs-read")
 		sigs = append(sigs, done)
-		p.Spawn(fmt.Sprintf("pfs-read-%s-srv%d", name, srv), func(r *sim.Proc) {
-			data, err := c.fs.ReadSpansFrom(r, c.nodeID, srv, name, b.spans)
+		p.Spawn("pfs-read", func(r *sim.Proc) {
+			data, err := c.fs.ReadSpansFrom(r, c.nodeID, srv, name, bSpans)
 			if err == nil {
 				for i, d := range data {
-					copy(out[b.outOffs[i]:], d)
+					copy(out[bOffs[i]:], d)
+					ReleaseBuffer(d) // the assembled copy is the only consumer
 				}
 			}
 			done.Fire(err)
@@ -178,10 +213,10 @@ func (c *Client) Read(p *sim.Proc, name string, off, length int64) ([]byte, erro
 	}
 	for _, err := range sim.WaitAll(p, sigs) {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // ReadAll returns the whole file.

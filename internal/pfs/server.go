@@ -87,12 +87,15 @@ func (s *Server) NodeID() int { return s.nodeID }
 func (s *Server) Requests() uint64 { return s.reqs }
 
 func (s *Server) start() {
+	// One handler name per server, computed once: a per-request formatted
+	// name would allocate on every message through the service loop.
+	handlerName := fmt.Sprintf("pfs-server-%d-req", s.srv)
 	s.fs.clu.Eng.SpawnDaemon(fmt.Sprintf("pfs-server-%d", s.srv), func(p *sim.Proc) {
 		port := s.fs.clu.Net.Node(s.nodeID).Port(Port)
 		for {
 			msg := port.Get(p)
 			s.reqs++
-			p.Spawn(fmt.Sprintf("pfs-server-%d-req%d", s.srv, s.reqs), func(h *sim.Proc) {
+			p.Spawn(handlerName, func(h *sim.Proc) {
 				s.handle(h, msg)
 			})
 		}
@@ -172,7 +175,7 @@ func (s *Server) peek(file string, strip, lo, hi int64) ([]byte, error) {
 	if lo < 0 || hi > int64(len(data)) || lo > hi {
 		return nil, fmt.Errorf("range [%d,%d) outside strip of %d bytes", lo, hi, len(data))
 	}
-	out := make([]byte, hi-lo)
+	out := AcquireBuffer(hi - lo)
 	copy(out, data[lo:hi])
 	return out, nil
 }
@@ -180,7 +183,8 @@ func (s *Server) peek(file string, strip, lo, hi int64) ([]byte, error) {
 // LocalRead is the local I/O API from the paper's architecture (Fig. 2):
 // it reads bytes [lo, hi) of a locally held strip through the node's disk,
 // without touching the network. Hi == 0 selects the whole strip. The
-// returned slice is a copy.
+// returned slice is a pool-backed copy: the final consumer may hand it to
+// ReleaseBuffer to recycle it.
 func (s *Server) LocalRead(p *sim.Proc, file string, strip, lo, hi int64) ([]byte, error) {
 	data, err := s.peek(file, strip, lo, hi)
 	if err != nil {
@@ -193,7 +197,8 @@ func (s *Server) LocalRead(p *sim.Proc, file string, strip, lo, hi int64) ([]byt
 // LocalReadMany reads several spans of one file with a single sequential
 // disk pass: one positioning cost plus the batch's total bytes. A data
 // server keeps its strips of a file contiguous on disk, so this is how a
-// bulk read actually behaves.
+// bulk read actually behaves. Each returned chunk is a pool-backed copy
+// the final consumer may pass to ReleaseBuffer.
 func (s *Server) LocalReadMany(p *sim.Proc, file string, spans []Span) ([][]byte, error) {
 	out := make([][]byte, len(spans))
 	var total int64

@@ -21,8 +21,8 @@ type Engine struct {
 	// process returns control to the engine.
 	yield chan struct{}
 
-	live    int              // processes spawned and not yet finished
-	blocked map[*Proc]string // parked processes, with a reason for diagnostics
+	live    int                   // processes spawned and not yet finished
+	blocked map[*Proc]blockReason // parked processes, with a reason for diagnostics
 
 	panicVal any // panic captured from a process, re-raised by Run
 
@@ -30,17 +30,37 @@ type Engine struct {
 
 	spawned uint64 // total processes ever spawned (for naming and stats)
 	events  uint64 // total events dispatched (for stats)
+
+	// procFree recycles finished processes: the Proc struct, its wake
+	// channel, and — because each pooled Proc's goroutine parks in procLoop
+	// instead of exiting — the goroutine itself. Spawning from the pool
+	// therefore costs no allocation, which matters on hot paths that fork a
+	// child per message.
+	procFree []*Proc
 }
 
 // shutdownSentinel unwinds a process's stack during Shutdown. It is
 // recovered by the spawn wrapper and never escapes the engine.
 type shutdownSentinel struct{}
 
+// blockReason describes why a process is parked, split into a verb
+// ("recv", "acquire", …) and the blocking object's name so hot paths never
+// build a combined string; it is only formatted in deadlock reports.
+type blockReason struct{ verb, name string }
+
+func (r blockReason) String() string {
+	if r.name == "" {
+		return r.verb
+	}
+	return r.verb + " " + r.name
+}
+
 // NewEngine returns an engine with the clock at zero and no processes.
 func NewEngine() *Engine {
 	return &Engine{
+		queue:   newEventHeap(),
 		yield:   make(chan struct{}),
-		blocked: make(map[*Proc]string),
+		blocked: make(map[*Proc]blockReason),
 	}
 }
 
@@ -84,37 +104,75 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	if name == "" {
 		name = fmt.Sprintf("proc-%d", e.spawned)
 	}
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		wake:   make(chan struct{}),
-		daemon: daemon,
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree[n-1] = nil
+		e.procFree = e.procFree[:n-1]
+		p.name, p.fn, p.daemon, p.done = name, fn, daemon, false
+	} else {
+		p = &Proc{
+			eng:    e,
+			name:   name,
+			wake:   make(chan struct{}),
+			daemon: daemon,
+			fn:     fn,
+		}
+		go procLoop(p)
 	}
 	if !daemon {
 		e.live++
 	}
-	e.blocked[p] = "start"
-	go func() {
-		<-p.wake // wait to be scheduled for the first time
-		defer func() {
-			if r := recover(); r != nil {
-				if _, isShutdown := r.(shutdownSentinel); !isShutdown {
-					e.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
-				}
-			}
-			if !daemon {
-				e.live--
-			}
-			p.done = true
-			e.yield <- struct{}{}
-		}()
-		if e.stopping {
-			return
-		}
-		fn(p)
-	}()
+	e.blocked[p] = blockReason{verb: "start"}
 	e.schedule(e.now, p)
 	return p
+}
+
+// procLoop is the body of every process goroutine. After the process
+// function returns, the goroutine parks and the Proc joins the engine's
+// free list for the next spawn, so process churn costs no allocations.
+// During Shutdown the loop exits instead, letting the goroutine die.
+func procLoop(p *Proc) {
+	e := p.eng
+	for {
+		<-p.wake // wait to be scheduled for the first time (or recycled)
+		if e.stopping && p.fn == nil {
+			// Woken from the free list during Shutdown: just exit.
+			e.yield <- struct{}{}
+			return
+		}
+		runProcFn(p)
+		if !p.daemon {
+			e.live--
+		}
+		p.done = true
+		p.fn = nil
+		stop := e.stopping || e.panicVal != nil
+		if !stop {
+			e.procFree = append(e.procFree, p)
+		}
+		e.yield <- struct{}{}
+		if stop {
+			return
+		}
+	}
+}
+
+// runProcFn runs the process function, containing panics: the shutdown
+// sentinel is swallowed (it only unwinds the stack), anything else is
+// recorded for Run to re-raise.
+func runProcFn(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isShutdown := r.(shutdownSentinel); !isShutdown {
+				p.eng.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+			}
+		}
+	}()
+	if p.eng.stopping {
+		return
+	}
+	p.fn(p)
 }
 
 // Run dispatches events until the queue is empty. It returns an error if
@@ -145,7 +203,7 @@ func (e *Engine) stuckList() []string {
 		if p.daemon {
 			continue
 		}
-		stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, reason))
+		stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, reason.String()))
 	}
 	sort.Strings(stuck)
 	return stuck
@@ -171,6 +229,12 @@ func (e *Engine) Shutdown() {
 		p.wake <- struct{}{}
 		<-e.yield
 	}
+	// Drain the free list so pooled goroutines exit too.
+	for _, p := range e.procFree {
+		p.wake <- struct{}{}
+		<-e.yield
+	}
+	e.procFree = nil
 }
 
 // DeadlockError reports processes that were still blocked when the event

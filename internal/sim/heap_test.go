@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+// TestEventHeapOrdering drives the d-ary heap with deterministic pseudo-
+// random timestamps (including many ties) and checks that pop returns
+// events in strict (at, seq) order — the invariant the engine's
+// determinism rests on.
+func TestEventHeapOrdering(t *testing.T) {
+	const n = 10_000
+	h := newEventHeap()
+	rng := uint64(42)
+	for j := 0; j < n; j++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		// Only 64 distinct timestamps, so seq tie-breaking is exercised hard.
+		h.push(event{at: Time(rng % 64), seq: uint64(j)})
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	prev := h.pop()
+	for j := 1; j < n; j++ {
+		cur := h.pop()
+		if cur.at < prev.at || (cur.at == prev.at && cur.seq <= prev.seq) {
+			t.Fatalf("pop %d out of order: (%v, %d) after (%v, %d)",
+				j, cur.at, cur.seq, prev.at, prev.seq)
+		}
+		prev = cur
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty after draining: Len = %d", h.Len())
+	}
+}
+
+// TestEventHeapInterleaved mixes pushes and pops so the heap repeatedly
+// shrinks and regrows, the engine's steady-state pattern.
+func TestEventHeapInterleaved(t *testing.T) {
+	h := newEventHeap()
+	var seq uint64
+	var popped []event
+	rng := uint64(7)
+	for round := 0; round < 100; round++ {
+		for j := 0; j < 37; j++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			seq++
+			h.push(event{at: Time(rng % 16), seq: seq})
+		}
+		for j := 0; j < 29; j++ {
+			popped = append(popped, h.pop())
+		}
+	}
+	for h.Len() > 0 {
+		popped = append(popped, h.pop())
+	}
+	// Within the drained tail, order must be non-decreasing in (at, seq);
+	// across interleaved rounds only the heap-local invariant applies, so
+	// check each pop against what remained: simplest is a full re-sort
+	// comparison on the tail after the last push.
+	tail := popped[len(popped)-(100*37-100*29):]
+	for i := 1; i < len(tail); i++ {
+		a, b := tail[i-1], tail[i]
+		if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+			t.Fatalf("tail pop %d out of order: (%v, %d) after (%v, %d)",
+				i, b.at, b.seq, a.at, a.seq)
+		}
+	}
+}

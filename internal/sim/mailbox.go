@@ -4,15 +4,23 @@ package sim
 // blocks; Get blocks the receiving process until a message is available.
 // When several processes wait on the same mailbox, messages are handed to
 // waiters in their arrival order, preserving determinism.
+//
+// Both internal queues are head-indexed: popping advances a head cursor
+// instead of re-slicing, so the backing arrays are reused once the queue
+// drains and steady-state traffic through a mailbox allocates nothing.
 type Mailbox[T any] struct {
 	eng   *Engine
 	name  string
 	items []T
+	iHead int
 
 	// waiters are receivers parked in Get. When a message arrives for a
 	// waiter, the value is stored in its slot before the process is woken,
-	// so a later Get by another process cannot steal it.
+	// so a later Get by another process cannot steal it. Spent waiters are
+	// recycled through free.
 	waiters []*boxWaiter[T]
+	wHead   int
+	free    []*boxWaiter[T]
 
 	puts, gets uint64
 }
@@ -33,7 +41,7 @@ func NewMailbox[T any](eng *Engine, name string) *Mailbox[T] {
 func (m *Mailbox[T]) Name() string { return m.name }
 
 // Len returns the number of queued (undelivered) messages.
-func (m *Mailbox[T]) Len() int { return len(m.items) }
+func (m *Mailbox[T]) Len() int { return len(m.items) - m.iHead }
 
 // Puts returns the total number of messages ever Put.
 func (m *Mailbox[T]) Puts() uint64 { return m.puts }
@@ -43,9 +51,14 @@ func (m *Mailbox[T]) Puts() uint64 { return m.puts }
 // current time. Put never blocks and may be called from any process.
 func (m *Mailbox[T]) Put(v T) {
 	m.puts++
-	if len(m.waiters) > 0 {
-		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
+	if m.wHead < len(m.waiters) {
+		w := m.waiters[m.wHead]
+		m.waiters[m.wHead] = nil
+		m.wHead++
+		if m.wHead == len(m.waiters) {
+			m.waiters = m.waiters[:0]
+			m.wHead = 0
+		}
 		w.val = v
 		w.ready = true
 		m.eng.schedule(m.eng.now, w.proc)
@@ -57,28 +70,54 @@ func (m *Mailbox[T]) Put(v T) {
 // Get dequeues the oldest message, blocking the process until one exists.
 func (m *Mailbox[T]) Get(p *Proc) T {
 	m.gets++
-	if len(m.items) > 0 {
-		v := m.items[0]
-		m.items = m.items[1:]
+	if v, ok := m.popItem(); ok {
 		return v
 	}
-	w := &boxWaiter[T]{proc: p}
+	var w *boxWaiter[T]
+	if n := len(m.free); n > 0 {
+		w = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		w.proc, w.ready = p, false
+	} else {
+		w = &boxWaiter[T]{proc: p}
+	}
 	m.waiters = append(m.waiters, w)
-	p.park("recv " + m.name)
+	p.park("recv", m.name)
 	if !w.ready {
 		panic("sim: mailbox woke receiver without a message")
 	}
-	return w.val
+	v := w.val
+	var zero T
+	w.val, w.proc = zero, nil
+	m.free = append(m.free, w)
+	return v
 }
 
 // TryGet dequeues a message if one is queued, without blocking.
 func (m *Mailbox[T]) TryGet() (T, bool) {
+	if v, ok := m.popItem(); ok {
+		m.gets++
+		return v, true
+	}
 	var zero T
-	if len(m.items) == 0 {
+	return zero, false
+}
+
+// popItem removes the oldest queued message, zeroing its slot so the
+// mailbox does not pin message payloads after delivery.
+func (m *Mailbox[T]) popItem() (T, bool) {
+	if m.iHead == len(m.items) {
+		var zero T
 		return zero, false
 	}
-	v := m.items[0]
-	m.items = m.items[1:]
-	m.gets++
+	v := m.items[m.iHead]
+	var zero T
+	m.items[m.iHead] = zero
+	m.iHead++
+	if m.iHead == len(m.items) {
+		m.items = m.items[:0]
+		m.iHead = 0
+	}
 	return v, true
 }

@@ -7,6 +7,7 @@ type Proc struct {
 	eng    *Engine
 	name   string
 	wake   chan struct{}
+	fn     func(p *Proc)
 	done   bool
 	daemon bool
 }
@@ -21,10 +22,12 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Now() Time { return p.eng.now }
 
 // park returns control to the engine and blocks until the engine delivers
-// the next wake-up for this process. reason is recorded for deadlock
-// diagnostics.
-func (p *Proc) park(reason string) {
-	p.eng.blocked[p] = reason
+// the next wake-up for this process. The (verb, name) pair is recorded for
+// deadlock diagnostics; keeping it as two parts avoids a string
+// concatenation on every block, which the strip I/O hot paths hit millions
+// of times per run.
+func (p *Proc) park(verb, name string) {
+	p.eng.blocked[p] = blockReason{verb: verb, name: name}
 	p.eng.yield <- struct{}{}
 	<-p.wake
 	if p.eng.stopping {
@@ -40,7 +43,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	p.eng.schedule(p.eng.now+d, p)
-	p.park("sleep")
+	p.park("sleep", "")
 }
 
 // Spawn starts a child process at the current simulated time. It is a

@@ -15,7 +15,11 @@ type Resource struct {
 	cap  int64
 	used int64
 
+	// waiters is a head-indexed FIFO: entries [wHead:len) are queued.
+	// Popping advances wHead instead of re-slicing so the backing array is
+	// reused once the queue drains, keeping contention allocation-free.
 	waiters []resWaiter
+	wHead   int
 
 	// Utilization accounting.
 	busy      Time // integral of used>0 time (any utilization)
@@ -80,14 +84,14 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	if n > r.cap {
 		panic(fmt.Sprintf("sim: resource %q: acquire %d exceeds capacity %d", r.name, n, r.cap))
 	}
-	if len(r.waiters) == 0 && r.used+n <= r.cap {
+	if r.wHead == len(r.waiters) && r.used+n <= r.cap {
 		r.tick()
 		r.used += n
 		r.grants++
 		return
 	}
 	r.waiters = append(r.waiters, resWaiter{proc: p, n: n, since: r.eng.now})
-	p.park("acquire " + r.name)
+	p.park("acquire", r.name)
 	// By the time we are woken, release has already granted our units.
 }
 
@@ -102,14 +106,19 @@ func (r *Resource) Release(n int64) {
 	if r.used < 0 {
 		panic(fmt.Sprintf("sim: resource %q: released more than held", r.name))
 	}
-	for len(r.waiters) > 0 && r.used+r.waiters[0].n <= r.cap {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	for r.wHead < len(r.waiters) && r.used+r.waiters[r.wHead].n <= r.cap {
+		w := r.waiters[r.wHead]
+		r.waiters[r.wHead] = resWaiter{}
+		r.wHead++
 		r.used += w.n
 		r.grants++
 		r.waited += r.eng.now - w.since
 		r.waitCount++
 		r.eng.schedule(r.eng.now, w.proc)
+	}
+	if r.wHead == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.wHead = 0
 	}
 }
 
@@ -122,7 +131,7 @@ func (r *Resource) Use(p *Proc, n int64, d Time) {
 }
 
 // QueueLen returns the number of processes waiting for this resource.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.wHead }
 
 // WaitTime returns the total time granted acquirers spent queued — the
 // congestion signal: zero on an idle device, large on an overloaded one.

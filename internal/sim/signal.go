@@ -41,7 +41,7 @@ func (s *Signal[T]) Wait(p *Proc) T {
 		return s.val
 	}
 	s.waiters = append(s.waiters, p)
-	p.park("wait " + s.name)
+	p.park("wait", s.name)
 	return s.val
 }
 

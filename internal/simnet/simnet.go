@@ -54,6 +54,12 @@ type Network struct {
 	cfg     Config
 	nodes   map[int]*Node
 	traffic *metrics.Traffic
+
+	// replyFree recycles the private reply mailboxes Call creates, one per
+	// in-flight request. A mailbox returns to the list once its single
+	// response has been consumed, so request/response traffic allocates no
+	// mailboxes at steady state.
+	replyFree []*sim.Mailbox[Message]
 }
 
 // Node is one endpoint on the network.
@@ -152,8 +158,10 @@ func (n *Network) Send(p *sim.Proc, msg Message) {
 // that fires after delivery. Use it to overlap independent transfers, e.g.
 // a PFS client striping a file across many servers.
 func (n *Network) SendAsync(p *sim.Proc, msg Message) *sim.Signal[struct{}] {
-	done := sim.NewSignal[struct{}](n.eng, fmt.Sprintf("send:%d→%d", msg.From, msg.To))
-	p.Spawn(fmt.Sprintf("xfer:%d→%d:%s", msg.From, msg.To, msg.Port), func(c *sim.Proc) {
+	// Static diagnostic names: this runs once per message, and per-message
+	// formatted names were a dominant allocation source in read-heavy runs.
+	done := sim.NewSignal[struct{}](n.eng, "send")
+	p.Spawn("xfer", func(c *sim.Proc) {
 		n.Send(c, msg)
 		done.Fire(struct{}{})
 	})
@@ -164,10 +172,21 @@ func (n *Network) SendAsync(p *sim.Proc, msg Message) *sim.Signal[struct{}] {
 // returned message is the response. The request's Reply mailbox is created
 // here and is private to this call.
 func (n *Network) Call(p *sim.Proc, msg Message) Message {
-	reply := sim.NewMailbox[Message](n.eng, fmt.Sprintf("reply:%d→%d", msg.From, msg.To))
+	var reply *sim.Mailbox[Message]
+	if k := len(n.replyFree); k > 0 {
+		reply = n.replyFree[k-1]
+		n.replyFree[k-1] = nil
+		n.replyFree = n.replyFree[:k-1]
+	} else {
+		reply = sim.NewMailbox[Message](n.eng, "reply")
+	}
 	msg.Reply = reply
 	n.Send(p, msg)
-	return reply.Get(p)
+	resp := reply.Get(p)
+	// The protocol delivers exactly one response per request, so the
+	// mailbox is empty again and can serve the next Call.
+	n.replyFree = append(n.replyFree, reply)
+	return resp
 }
 
 // Respond delivers a response to the Reply mailbox of req, charging the
