@@ -26,7 +26,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, faults, ablations")
+	faults := flag.Bool("faults", false, "run the storage-server fault/failover comparison (shorthand for -exp faults)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
 	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
@@ -63,7 +64,11 @@ func main() {
 		if *benchJSONPath != "" {
 			return benchJSON(cfg, *benchJSONPath)
 		}
-		return run(cfg, strings.ToLower(*exp), *csv, *chart)
+		name := strings.ToLower(*exp)
+		if *faults {
+			name = "faults"
+		}
+		return run(cfg, name, *csv, *chart)
 	}()
 
 	if *memprofile != "" {
@@ -104,6 +109,7 @@ func run(cfg experiments.Config, exp string, csv, chart bool) error {
 		"fig12":                      cfg.Fig12,
 		"fig13":                      cfg.Fig13,
 		"fig14":                      cfg.Fig14,
+		"faults":                     cfg.FaultFailover,
 		"ablation-group-size":        cfg.AblationGroupSize,
 		"ablation-predictor":         cfg.AblationPredictor,
 		"ablation-reconfig":          cfg.AblationReconfig,

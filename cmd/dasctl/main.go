@@ -9,6 +9,7 @@
 //	dasctl -servers 12 -strips 24                        # placement maps
 //	dasctl -servers 12 -op flow-routing -width 8192 \
 //	       -size 25165824                                # fetch plan summary
+//	dasctl -servers 4 -faults crash@10ms:s1              # crash coverage
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/hpcio/das/internal/fault"
 	"github.com/hpcio/das/internal/grid"
 	"github.com/hpcio/das/internal/kernels"
 	"github.com/hpcio/das/internal/layout"
@@ -31,15 +33,17 @@ func main() {
 	op := flag.String("op", "", "operator whose fetch plan to analyze (e.g. flow-routing)")
 	width := flag.Int("width", 8192, "raster width in elements")
 	size := flag.Int64("size", 0, "file size in bytes (required with -op)")
+	faults := flag.String("faults", "",
+		"fault plan to analyze, e.g. 'crash@10ms:s1,restart@60ms:s1,loss@0:0.05' — reports which strips survive the servers the plan leaves down")
 	flag.Parse()
 
-	if err := run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size); err != nil {
+	if err := run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "dasctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers int, strips int64, r, halo int, stripSize int64, op string, width int, size int64) error {
+func run(servers int, strips int64, r, halo int, stripSize int64, op string, width int, size int64, faultSpec string) error {
 	if servers <= 0 || strips <= 0 {
 		return fmt.Errorf("servers and strips must be positive")
 	}
@@ -56,6 +60,48 @@ func run(servers int, strips int64, r, halo int, stripSize int64, op string, wid
 				fmt.Printf("  strip %3d → server %d\n", s, lay.Primary(s))
 			} else {
 				fmt.Printf("  strip %3d → server %d  (replicas %v)\n", s, lay.Primary(s), reps)
+			}
+		}
+		fmt.Println()
+	}
+
+	var down func(srv int) bool
+	if faultSpec != "" {
+		plan, err := fault.ParsePlan(faultSpec)
+		if err != nil {
+			return err
+		}
+		if err := plan.Validate(servers); err != nil {
+			return err
+		}
+		fmt.Printf("fault plan: %s\n", plan.String())
+		// End-state liveness: a crash the plan never undoes leaves the
+		// server down for good.
+		downSet := make(map[int]bool)
+		for _, ev := range plan.Sorted() {
+			switch ev.Kind {
+			case fault.Crash:
+				downSet[ev.Server] = true
+			case fault.Restart:
+				delete(downSet, ev.Server)
+			}
+		}
+		down = func(srv int) bool { return downSet[srv] }
+		if len(downSet) == 0 {
+			fmt.Println("no server stays down; every strip keeps its primary")
+		} else {
+			for _, lay := range layouts {
+				var lost []int64
+				for s := int64(0); s < strips; s++ {
+					if _, ok := layout.FirstLiveHolder(lay, s, func(srv int) bool { return !downSet[srv] }); !ok {
+						lost = append(lost, s)
+					}
+				}
+				if len(lost) == 0 {
+					fmt.Printf("%-40s all %d strips still have a live copy\n", lay.Name(), strips)
+				} else {
+					fmt.Printf("%-40s %d/%d strips with NO live copy: %v\n", lay.Name(), len(lost), strips, lost)
+				}
 			}
 		}
 		fmt.Println()
@@ -79,12 +125,22 @@ func run(servers int, strips int64, r, halo int, stripSize int64, op string, wid
 		Width: width, OutputFactor: 1,
 	}
 	for _, lay := range layouts {
-		d, err := predict.Decide(pat, params, lay)
+		var d predict.Decision
+		var err error
+		if down != nil {
+			d, err = predict.DecideDegraded(pat, params, lay, down)
+		} else {
+			d, err = predict.Decide(pat, params, lay)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-40s offload=%v  strip fetches=%d (%d bytes)  %s\n",
-			lay.Name(), d.Offload, d.Analysis.StripFetches, d.Analysis.StripFetchBytes, d.Reason)
+		extra := ""
+		if d.Analysis.UnservableStrips > 0 {
+			extra = fmt.Sprintf("  unservable strips=%d", d.Analysis.UnservableStrips)
+		}
+		fmt.Printf("%-40s offload=%v  strip fetches=%d (%d bytes)%s  %s\n",
+			lay.Name(), d.Offload, d.Analysis.StripFetches, d.Analysis.StripFetchBytes, extra, d.Reason)
 	}
 	rec, ok, err := predict.RecommendLayout(pat, params, servers, 0.5)
 	if err != nil {

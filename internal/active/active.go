@@ -69,6 +69,11 @@ type execReq struct {
 	Input  string
 	Output string
 	Mode   FetchMode
+	// Strips, when non-nil, is the explicit ascending set of input strips
+	// this server must process — the degraded dispatch path assigns a dead
+	// server's strips to their replica holders this way. Nil means "your
+	// primary strips", the healthy-cluster contract.
+	Strips []int64
 }
 
 // Phases breaks one worker's elapsed time into the pipeline stages the
@@ -129,6 +134,10 @@ type ExecStats struct {
 	// PhaseMax holds, per phase, the busiest server's time — the
 	// critical-path decomposition of the operation.
 	PhaseMax Phases
+	// Rounds is the number of dispatch rounds the operation took: 1 on a
+	// healthy cluster, more when mid-execution crashes forced strips to be
+	// reassigned to replica holders.
+	Rounds int
 }
 
 // Service runs the AS helper process on every storage server.
@@ -215,7 +224,7 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 	var resp execResp
 	var forwards []*sim.Signal[error]
 	var pooledOut [][]byte // output encodings, released once forwards finish
-	for _, run := range primaryRuns(srv, in) {
+	for _, run := range assignedRuns(srv, in, req.Strips) {
 		e0 := run.lo / in.ElemSize
 		e1 := run.hi / in.ElemSize
 		lo, hi := grid.HaloRange(e0, e1, maxAbs, total)
@@ -389,6 +398,26 @@ type stripRun struct {
 	lo, hi      int64
 }
 
+// assignedRuns returns the strip runs this exec request covers: the
+// explicitly assigned strips when the request carries them (degraded
+// dispatch), the server's primary strips otherwise.
+func assignedRuns(srv *pfs.Server, m *pfs.FileMeta, strips []int64) []stripRun {
+	if strips == nil {
+		return primaryRuns(srv, m)
+	}
+	var runs []stripRun
+	for _, s := range strips {
+		lo, hi := m.StripBounds(s)
+		if n := len(runs); n > 0 && runs[n-1].last == s-1 {
+			runs[n-1].last = s
+			runs[n-1].hi = hi
+			continue
+		}
+		runs = append(runs, stripRun{first: s, last: s, lo: lo, hi: hi})
+	}
+	return runs
+}
+
 // primaryRuns enumerates the server's primary strips as consecutive runs:
 // single strips under round-robin, whole groups under the improved
 // distribution. Processing per run reads shared halo data once instead of
@@ -426,9 +455,14 @@ func NewClient(fs *pfs.FileSystem, nodeID int) *Client {
 
 // Exec offloads op over input, producing output (which must already be
 // created with the same geometry). It returns once every server has
-// finished its share.
+// finished its share. Once the cluster's fault layer is active, dispatch
+// goes through the degraded path: strips are assigned to their first live
+// holders and reassigned when a server crashes mid-execution.
 func (c *Client) Exec(p *sim.Proc, op, input, output string, mode FetchMode) (ExecStats, error) {
 	clu := c.fs.Cluster()
+	if clu.Faults.Active() {
+		return c.execDegraded(p, op, input, output, mode)
+	}
 	sigs := make([]*sim.Signal[execResp], 0, c.fs.Servers())
 	for s := 0; s < c.fs.Servers(); s++ {
 		s := s
@@ -443,10 +477,15 @@ func (c *Client) Exec(p *sim.Proc, op, input, output string, mode FetchMode) (Ex
 				Class:   clu.ClassBetween(c.nodeID, clu.StorageID(s)),
 				Payload: execReq{Op: op, Input: input, Output: output, Mode: mode},
 			})
-			done.Fire(resp.Payload.(execResp))
+			r, ok := resp.Payload.(execResp)
+			if !ok {
+				r = execResp{Err: fmt.Sprintf("unexpected response type %T", resp.Payload)}
+			}
+			done.Fire(r)
 		})
 	}
 	var stats ExecStats
+	stats.Rounds = 1
 	for _, r := range sim.WaitAll(p, sigs) {
 		if r.Err != "" {
 			return ExecStats{}, fmt.Errorf("active: %s", r.Err)

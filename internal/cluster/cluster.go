@@ -10,6 +10,7 @@ package cluster
 import (
 	"fmt"
 
+	"github.com/hpcio/das/internal/fault"
 	"github.com/hpcio/das/internal/metrics"
 	"github.com/hpcio/das/internal/sim"
 	"github.com/hpcio/das/internal/simdisk"
@@ -40,6 +41,9 @@ type Config struct {
 	// init, metadata opens). It produces the sub-linear scaling the
 	// paper's Figs. 12–13 exhibit.
 	Startup sim.Time
+	// FaultSeed seeds the fault layer's randomness (message-loss draws).
+	// Zero means 1; fault-free runs never draw from it.
+	FaultSeed int64
 }
 
 // Default returns the parameters used throughout the reproduction. The
@@ -102,6 +106,15 @@ type Cluster struct {
 	Eng     *sim.Engine
 	Net     *simnet.Network
 	Traffic *metrics.Traffic
+	// Faults is the live fault state: which servers are down, degraded
+	// NICs, message loss. It starts healthy and inactive; InstallFaultPlan
+	// (or direct ApplyFault calls from tests) perturbs it at simulated
+	// times.
+	Faults *fault.State
+	// Recovery counts fault-handling actions (timeouts, retries, failover
+	// reads); FaultLog records every applied fault event.
+	Recovery *metrics.Recovery
+	FaultLog *metrics.FaultLog
 	// Trace, when non-nil, receives annotated events from the DAS layers
 	// (scheme workers, AS helpers); see the trace package and cmd/dastrace.
 	Trace *trace.Recorder
@@ -116,13 +129,19 @@ func New(cfg Config) (*Cluster, error) {
 	eng := sim.NewEngine()
 	traffic := metrics.NewTraffic()
 	net := simnet.New(eng, cfg.Net, traffic)
+	recovery := metrics.NewRecovery()
+	faultLog := metrics.NewFaultLog()
 	c := &Cluster{
-		Cfg:     cfg,
-		Eng:     eng,
-		Net:     net,
-		Traffic: traffic,
-		disks:   make(map[int]*simdisk.Disk),
+		Cfg:      cfg,
+		Eng:      eng,
+		Net:      net,
+		Traffic:  traffic,
+		Faults:   fault.NewState(cfg.FaultSeed, recovery, faultLog),
+		Recovery: recovery,
+		FaultLog: faultLog,
+		disks:    make(map[int]*simdisk.Disk),
 	}
+	net.SetFaults(c.Faults)
 	for i := 0; i < cfg.TotalNodes(); i++ {
 		net.AddNode(i)
 	}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/hpcio/das/internal/fault"
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/workload"
+)
+
+// crashSurvivableLayout is a grouped-replicated layout with halo == r:
+// every strip is mirrored to both neighboring servers, so any single
+// server crash leaves a live copy of everything. (The paper's halo < r
+// configurations trade that coverage for capacity: their interior strips
+// have no replicas.)
+func crashSurvivableLayout(d int) layout.Layout {
+	return layout.NewGroupedReplicated(d, 2, 2)
+}
+
+// ingested builds a system and ingests the test terrain under lay.
+func ingested(t *testing.T, g *grid.Grid, lay layout.Layout) *System {
+	t.Helper()
+	s, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IngestGrid("in", g, lay, testStrip); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDASSurvivesMidRunCrashByteIdentical is the headline fault e2e: one
+// storage server crashes in the middle of an offloaded DAS run under the
+// fully replicated layout, the dead server's strips are reassigned to
+// their replica holders, and the output matches the sequential reference
+// byte for byte.
+func TestDASSurvivesMidRunCrashByteIdentical(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	k, _ := kernels.Default().Lookup("flow-routing")
+	want := kernels.Apply(k, g)
+
+	// Fault-free baseline on the same layout, to aim the crash mid-run.
+	// Full mirroring pays more replica-maintenance bytes than normal I/O
+	// moves, so the bandwidth criterion alone would reject it — the
+	// availability layout is chosen for coverage, and the run forces the
+	// offload the way the ablation flag exists for.
+	base := ingested(t, g, crashSurvivableLayout(4))
+	baseRep, err := base.Execute(Request{
+		Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS, DisablePrediction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !baseRep.Offloaded {
+		t.Fatalf("baseline DAS did not offload: %+v", baseRep.Decision)
+	}
+
+	s := ingested(t, g, crashSurvivableLayout(4))
+	plan := fault.Plan{Events: []fault.Event{
+		{At: baseRep.ExecTime / 2, Kind: fault.Crash, Server: 1},
+	}}
+	if err := s.Clu.InstallFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Execute(Request{
+		Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS, DisablePrediction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Offloaded {
+		t.Errorf("DAS under crash did not offload: %+v", rep.Decision)
+	}
+	got, err := s.FetchGrid("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("crashed run output differs from reference (max diff %g)", got.MaxAbsDiff(want))
+	}
+	if s.Clu.FaultLog.Len() != 1 {
+		t.Errorf("fault log has %d records, want 1", s.Clu.FaultLog.Len())
+	}
+	if s.Clu.Recovery.ExecRetries() == 0 && s.Clu.Recovery.FailoverReads() == 0 {
+		t.Error("mid-run crash triggered no recovery actions at all")
+	}
+}
+
+// TestNASDegradesToTSWhenStripsLoseTheirServer: under round-robin there
+// are no replicas, so a crashed server makes offloading impossible — the
+// NAS request must fall back to normal I/O, which bridges the planned
+// restart and still produces the right answer.
+func TestNASDegradesToTSWhenStripsLoseTheirServer(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	s := ingested(t, g, layout.NewRoundRobin(4))
+	plan := fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.Crash, Server: 1},
+		{At: 80 * sim.Millisecond, Kind: fault.Restart, Server: 1},
+	}}
+	if err := s.Clu.InstallFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: NAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offloaded {
+		t.Error("NAS offloaded with a dead unreplicated server")
+	}
+	if !rep.Degraded || rep.DegradedReason == "" {
+		t.Errorf("report not marked degraded: %+v", rep)
+	}
+	k, _ := kernels.Default().Lookup("flow-routing")
+	want := kernels.Apply(k, g)
+	got, err := s.FetchGrid("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("degraded run output differs from reference")
+	}
+}
+
+// TestDASPermanentCrashWithoutReplicasFailsTyped: no replicas and no
+// restart means the data is simply unreachable. The run must fail with the
+// typed no-live-copy error — never a panic — after the degraded decision
+// already routed it away from offloading.
+func TestDASPermanentCrashWithoutReplicasFailsTyped(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	s := ingested(t, g, layout.NewRoundRobin(4))
+	plan := fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.Crash, Server: 2},
+	}}
+	if err := s.Clu.InstallFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS})
+	if err == nil {
+		t.Fatal("DAS run with permanently lost strips succeeded")
+	}
+	if !errors.Is(err, pfs.ErrNoLiveCopy) {
+		t.Errorf("error %v, want ErrNoLiveCopy", err)
+	}
+}
+
+// TestDegradedDecisionVetoesOffload checks the prediction side on its own:
+// with a server down under round-robin, DecideDegraded must reject and
+// count the unservable strips.
+func TestDegradedDecisionVetoesOffload(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	s := ingested(t, g, layout.NewRoundRobin(4))
+	plan := fault.Plan{Events: []fault.Event{{At: 0, Kind: fault.Crash, Server: 1}}}
+	if err := s.Clu.InstallFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	// Fire the plan's events by running an empty workload.
+	if _, err := s.run("tick", func(p *sim.Proc) error { p.Sleep(sim.Millisecond); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.FS.Meta("in")
+	pat, _ := s.Features.Lookup("flow-routing")
+	d, err := s.DecideDegraded(pat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Offload {
+		t.Errorf("degraded decision offloaded: %+v", d)
+	}
+	if d.Analysis.UnservableStrips == 0 {
+		t.Error("no unservable strips counted with a dead round-robin server")
+	}
+	if !d.Analysis.Approximated {
+		t.Error("degraded analysis not marked approximated")
+	}
+}
+
+// TestFaultedDASIsDeterministic: the same plan against the same workload
+// reproduces the same simulated completion time and recovery counts.
+func TestFaultedDASIsDeterministic(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	run := func() (sim.Time, int64) {
+		s := ingested(t, g, crashSurvivableLayout(4))
+		plan := fault.Plan{Seed: 11, Events: []fault.Event{
+			{At: 5 * sim.Millisecond, Kind: fault.Crash, Server: 1},
+			{At: 60 * sim.Millisecond, Kind: fault.Restart, Server: 1},
+		}}
+		if err := s.Clu.InstallFaultPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Execute(Request{
+			Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS, DisablePrediction: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ExecTime, s.Clu.Recovery.ExecRetries() + s.Clu.Recovery.FailoverReads()
+	}
+	t1, r1 := run()
+	t2, r2 := run()
+	if t1 != t2 || r1 != r2 {
+		t.Errorf("nondeterministic faulted run: (%v,%d) vs (%v,%d)", t1, r1, t2, r2)
+	}
+}

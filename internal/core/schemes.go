@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hpcio/das/internal/active"
@@ -162,15 +163,41 @@ func tsActor(w int) string { return fmt.Sprintf("ts-worker-%d", w) }
 
 // runNAS executes the operation as existing active storage systems do:
 // offload unconditionally, each server processing its local strips and
-// fetching dependent strips from its peers.
+// fetching dependent strips from its peers. When server faults leave a
+// strip with no live copy the offload degrades to normal I/O.
 func (s *System) runNAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	job, err := s.offloadJob(rep, req, in, req.NASFetchMode)
 	if err != nil {
 		return err
 	}
 	rep.Offloaded = true
+	attemptStart := s.Clu.Eng.Now()
 	rep.ExecTime, err = s.run("nas-"+req.Op, job)
-	return err
+	if err != nil {
+		return s.degradeToTS(rep, req, in, err, s.Clu.Eng.Now()-attemptStart)
+	}
+	return nil
+}
+
+// degradeToTS serves a request as normal I/O after an offload attempt
+// failed because input strips lost their last live copy. The partially
+// produced output is deleted (the TS job re-creates it), the abandoned
+// attempt's simulated time is charged to the report, and any error that is
+// not the no-live-copy condition propagates unchanged.
+func (s *System) degradeToTS(rep *Report, req Request, in *pfs.FileMeta, cause error, wasted sim.Time) error {
+	if !errors.Is(cause, pfs.ErrNoLiveCopy) {
+		return cause
+	}
+	s.FS.Delete(req.Output)
+	rep.Stats = active.ExecStats{}
+	rep.Offloaded = false
+	rep.Degraded = true
+	rep.DegradedReason = cause.Error()
+	if err := s.runTS(rep, req, in); err != nil {
+		return err
+	}
+	rep.ExecTime += wasted
+	return nil
 }
 
 // offloadJob prepares an active storage execution (used by both NAS and
@@ -198,11 +225,14 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 		return fmt.Errorf("core: no kernel features for %q", req.Op)
 	}
 	params := predictParams(in)
+	anyDown := s.Clu.AnyStorageDown()
 
 	// 2–3. Get the file distribution; if the workload allows
 	// redistribution, find a reasonable distribution and reconfigure.
+	// Migration needs every strip's primary alive, so a degraded cluster
+	// keeps the layout it has.
 	targetLay := in.Layout
-	if req.Reconfigure {
+	if req.Reconfigure && !anyDown {
 		planned, err := s.PlanLayout(req.Op, in.Width, in.ElemSize, in.StripSize, in.Size, req.MaxOverhead)
 		if err != nil {
 			return err
@@ -226,7 +256,16 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	}
 
 	// 4. Predict the bandwidth cost against the (possibly new) layout.
-	decision, err := predict.Decide(pat, params, targetLay)
+	// With servers down the degraded analysis runs instead: strips are
+	// costed at their first live holder, and any strip without a live copy
+	// vetoes offloading outright.
+	var decision predict.Decision
+	var err error
+	if anyDown {
+		decision, err = predict.DecideDegraded(pat, params, targetLay, s.Clu.ServerDown)
+	} else {
+		decision, err = predict.Decide(pat, params, targetLay)
+	}
 	if err != nil {
 		return err
 	}
@@ -236,6 +275,10 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	if !decision.Offload && !req.DisablePrediction {
 		// Rejected: serve as normal I/O (TS path), as the workflow chart
 		// prescribes.
+		if decision.Analysis.UnservableStrips > 0 {
+			rep.Degraded = true
+			rep.DegradedReason = decision.Reason
+		}
 		if err := s.runTS(rep, req, in); err != nil {
 			return err
 		}
@@ -255,9 +298,16 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	if err != nil {
 		return err
 	}
+	attemptStart := s.Clu.Eng.Now()
 	execTime, err := s.run("das-"+req.Op, job)
 	if err != nil {
-		return err
+		// A crash racing the execution can strand strips with no live
+		// copy mid-run; scrap the partial output and serve as normal I/O.
+		if derr := s.degradeToTS(rep, req, in, err, s.Clu.Eng.Now()-attemptStart); derr != nil {
+			return derr
+		}
+		rep.ExecTime += rep.ReconfigTime
+		return nil
 	}
 	rep.Offloaded = true
 	rep.ExecTime = execTime + rep.ReconfigTime

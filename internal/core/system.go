@@ -131,6 +131,14 @@ func predictParams(m *pfs.FileMeta) predict.Params {
 	}
 }
 
+// DecideDegraded runs the fault-aware accept/reject decision for a raster
+// file against the cluster's current fault state: strips are costed at
+// their first live holder and any strip without a live copy vetoes
+// offloading.
+func (s *System) DecideDegraded(pat features.Pattern, m *pfs.FileMeta) (predict.Decision, error) {
+	return predict.DecideDegraded(pat, predictParams(m), m.Layout, s.Clu.ServerDown)
+}
+
 // LoadFeatures merges kernel-features records (§III-B, text format) into
 // the system's feature registry, overriding derived patterns for
 // operators that appear in the stream. This is the file-based Kernel
@@ -282,6 +290,12 @@ type Report struct {
 	ReconfigTime sim.Time
 	ExecTime     sim.Time
 	Stats        active.ExecStats
+	// Degraded notes that storage-server faults forced the request off its
+	// preferred path — an offload that fell back to normal I/O, or a DAS
+	// decision vetoed because strips had no live copy. DegradedReason says
+	// why; ExecTime includes any time the abandoned attempt consumed.
+	Degraded       bool
+	DegradedReason string
 	// Traffic holds the byte deltas this operation moved, per class.
 	Traffic map[metrics.TrafficClass]int64
 	// ServerLoad holds the per-storage-server resource busy time this

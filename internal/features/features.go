@@ -60,11 +60,55 @@ func coefString(c int64) string {
 	}
 }
 
+// Limits on offset magnitude. The coefficient is in units of whole raster
+// rows, so no real dependence pattern needs more than a few of them; the
+// caps keep Resolve far from int64 overflow for any plausible raster width
+// and turn typo'd N*imgWidth coefficients into immediate parse errors.
+const (
+	MaxCoef  int64 = 1 << 16 // |Coef| bound, rows of reach
+	MaxConst int64 = 1 << 32 // |Const| bound, elements of reach
+)
+
+func checkBounds(o Offset) error {
+	if o.Coef > MaxCoef || o.Coef < -MaxCoef {
+		return fmt.Errorf("coefficient %d*imgWidth exceeds %d rows of reach", o.Coef, MaxCoef)
+	}
+	if o.Const > MaxConst || o.Const < -MaxConst {
+		return fmt.Errorf("constant %d exceeds %d elements of reach", o.Const, MaxConst)
+	}
+	return nil
+}
+
 // Pattern is a named dependence pattern: the offsets an operator reads
 // relative to each element it processes.
 type Pattern struct {
 	Name    string
 	Offsets []Offset
+}
+
+// Validate checks that the pattern is usable: named, with a non-empty
+// dependence list, no repeated offsets, and every offset within the reach
+// limits. Parse applies it to each record and Register to each pattern, so
+// a malformed description file fails loudly instead of feeding the
+// prediction model a degenerate dependence set.
+func (p Pattern) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("features: pattern with empty name")
+	}
+	if len(p.Offsets) == 0 {
+		return fmt.Errorf("features: pattern %q has an empty dependence list", p.Name)
+	}
+	seen := make(map[Offset]bool, len(p.Offsets))
+	for _, o := range p.Offsets {
+		if seen[o] {
+			return fmt.Errorf("features: pattern %q repeats offset %q in its dependence list", p.Name, o.String())
+		}
+		seen[o] = true
+		if err := checkBounds(o); err != nil {
+			return fmt.Errorf("features: pattern %q: %w", p.Name, err)
+		}
+	}
+	return nil
 }
 
 // Resolve returns the concrete offsets for a raster of the given width,
@@ -170,10 +214,11 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]Pattern)}
 }
 
-// Register adds or replaces a pattern. An empty name is rejected.
+// Register adds or replaces a pattern after validating it; see
+// Pattern.Validate for what is rejected.
 func (r *Registry) Register(p Pattern) error {
-	if p.Name == "" {
-		return fmt.Errorf("features: pattern with empty name")
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	if _, exists := r.byName[p.Name]; !exists {
 		r.order = append(r.order, p.Name)

@@ -1,0 +1,130 @@
+package features
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseRejectsDegenerateRecords covers the malformed description files
+// that used to slip through (or panic downstream): duplicate offsets in a
+// Dependence list, empty lists, orphan Dependence lines, and imgWidth
+// coefficients far beyond any plausible raster.
+func TestParseRejectsDegenerateRecords(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{
+			"duplicate offsets on one line",
+			"Name:a\nDependence: -1, 1, -1\n",
+			"repeats offset",
+		},
+		{
+			"duplicate symbolic offsets",
+			"Name:a\nDependence: imgWidth+1, imgWidth + 1\n",
+			"repeats offset",
+		},
+		{
+			"duplicate across wrapped lines",
+			"Name:a\nDependence: -imgWidth, 1,\n-imgWidth\n",
+			"repeats offset",
+		},
+		{
+			"empty dependence list",
+			"Name:a\nDependence:\n",
+			"empty dependence list",
+		},
+		{
+			"dependence list of only separators",
+			"Name:a\nDependence: ,,\n",
+			"empty dependence list",
+		},
+		{
+			"dependence with no preceding name",
+			"Dependence: 1\n",
+			"Dependence before Name",
+		},
+		{
+			"oversized imgWidth coefficient",
+			"Name:a\nDependence: 1048576*imgWidth\n",
+			"rows of reach",
+		},
+		{
+			"oversized negative coefficient",
+			"Name:a\nDependence: -1048576*imgWidth\n",
+			"rows of reach",
+		},
+		{
+			"oversized constant",
+			"Name:a\nDependence: 8589934592\n",
+			"elements of reach",
+		},
+		{
+			"sum of terms wraps int64",
+			"Name:a\nDependence: 9223372036854775807 + 9223372036854775807\n",
+			"elements of reach",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.src))
+		if err == nil {
+			t.Errorf("%s: Parse succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestParseAcceptsBoundaryMagnitudes pins the caps as inclusive: the
+// largest representable reach parses, one past it does not.
+func TestParseAcceptsBoundaryMagnitudes(t *testing.T) {
+	if _, err := ParseOffset(fmt.Sprintf("%d*imgWidth", MaxCoef)); err != nil {
+		t.Errorf("coefficient at the cap rejected: %v", err)
+	}
+	if _, err := ParseOffset(fmt.Sprintf("%d*imgWidth", MaxCoef+1)); err == nil {
+		t.Error("coefficient one past the cap accepted")
+	}
+	if _, err := ParseOffset(fmt.Sprintf("-%d", MaxConst)); err != nil {
+		t.Errorf("constant at the cap rejected: %v", err)
+	}
+	if _, err := ParseOffset(fmt.Sprintf("%d", MaxConst+1)); err == nil {
+		t.Error("constant one past the cap accepted")
+	}
+}
+
+// TestRegisterValidatesPatterns checks the registry applies the same
+// validation to programmatic registrations as Parse does to files.
+func TestRegisterValidatesPatterns(t *testing.T) {
+	cases := []struct {
+		name    string
+		pat     Pattern
+		wantSub string
+	}{
+		{"empty name", Pattern{Offsets: Stride(1)}, "empty name"},
+		{"empty dependence list", Pattern{Name: "a"}, "empty dependence list"},
+		{"duplicate offsets", Pattern{Name: "a", Offsets: []Offset{{0, 3}, {0, 3}}}, "repeats offset"},
+		{"degenerate stride zero", Pattern{Name: "a", Offsets: Stride(0)}, "repeats offset"},
+		{"oversized coefficient", Pattern{Name: "a", Offsets: []Offset{{MaxCoef + 1, 0}}}, "rows of reach"},
+		{"oversized constant", Pattern{Name: "a", Offsets: []Offset{{0, -MaxConst - 1}}}, "elements of reach"},
+	}
+	for _, c := range cases {
+		r := NewRegistry()
+		err := r.Register(c.pat)
+		if err == nil {
+			t.Errorf("%s: Register succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+		if r.Len() != 0 {
+			t.Errorf("%s: rejected pattern still stored", c.name)
+		}
+	}
+	r := NewRegistry()
+	if err := r.Register(Pattern{Name: "ok", Offsets: EightNeighbor()}); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+}

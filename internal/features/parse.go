@@ -32,6 +32,9 @@ func Parse(r io.Reader) ([]Pattern, error) {
 		if !inDeps {
 			return fmt.Errorf("features: record %q has no Dependence line", cur.Name)
 		}
+		if err := cur.Validate(); err != nil {
+			return err
+		}
 		pats = append(pats, *cur)
 		cur, inDeps = nil, false
 		return nil
@@ -131,6 +134,12 @@ func ParseOffset(s string) (Offset, error) {
 			}
 			out.Coef += sign * coef
 			out.Const += sign * cons
+			// Bound the running totals, not just the result: each term can
+			// be any int64, so an unchecked sum could wrap around and land
+			// back in range.
+			if err := checkBounds(out); err != nil {
+				return Offset{}, fmt.Errorf("offset %q: %w", s, err)
+			}
 			sign = 1
 			expectTerm = false
 			i += consumed - 1

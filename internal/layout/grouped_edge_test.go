@@ -1,0 +1,145 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReplicaStripsOfTruncatedLastGroup: a file whose strip count is not a
+// multiple of the group size ends mid-group. The halo replicates group
+// edges, not file edges, so the truncated group's existing edge strips
+// still replicate to their neighbor while its missing tail contributes
+// nothing.
+func TestReplicaStripsOfTruncatedLastGroup(t *testing.T) {
+	l := NewGroupedReplicated(2, 3, 1)
+	const strips = 8 // groups: {0,1,2}→s0, {3,4,5}→s1, {6,7}→s0 (short)
+
+	if got, want := PrimaryStripsOf(l, 0, strips), []int64{0, 1, 2, 6, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PrimaryStripsOf(0) = %v, want %v", got, want)
+	}
+	if got, want := PrimaryStripsOf(l, 1, strips), []int64{3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PrimaryStripsOf(1) = %v, want %v", got, want)
+	}
+	if got, want := ReplicaStripsOf(l, 0, strips), []int64{3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ReplicaStripsOf(0) = %v, want %v", got, want)
+	}
+	// Strip 6 is the short group's leading edge and still replicates back;
+	// strip 7 sits mid-group (its trailing edge, strip 8, does not exist)
+	// and has no copy anywhere else.
+	if got, want := ReplicaStripsOf(l, 1, strips), []int64{0, 2, 6}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ReplicaStripsOf(1) = %v, want %v", got, want)
+	}
+	if reps := l.Replicas(7); len(reps) != 0 {
+		t.Errorf("Replicas(7) = %v, want none: the halo guards group edges, not file edges", reps)
+	}
+}
+
+// TestHaloEqualsGroupSizeMirrorsEverything: halo == r is the
+// crash-survivable configuration — every strip, interior included, is
+// mirrored to both neighboring servers.
+func TestHaloEqualsGroupSizeMirrorsEverything(t *testing.T) {
+	l := NewGroupedReplicated(4, 2, 2)
+	for s := int64(0); s < 16; s++ {
+		reps := l.Replicas(s)
+		if len(reps) != 2 {
+			t.Fatalf("strip %d: replicas %v, want both neighbors", s, reps)
+		}
+		p := l.Primary(s)
+		for _, r := range reps {
+			if r == p {
+				t.Fatalf("strip %d: replica list %v contains primary %d", s, reps, p)
+			}
+		}
+		// Any single crash must leave a live copy.
+		for down := 0; down < 4; down++ {
+			if _, ok := FirstLiveHolder(l, s, func(srv int) bool { return srv != down }); !ok {
+				t.Fatalf("strip %d unreachable with only server %d down", s, down)
+			}
+		}
+	}
+	// With two servers the previous and next neighbor are the same node, so
+	// full mirroring collapses to a single replica rather than listing it
+	// twice.
+	l2 := NewGroupedReplicated(2, 2, 2)
+	for s := int64(0); s < 8; s++ {
+		reps := l2.Replicas(s)
+		if len(reps) != 1 || reps[0] == l2.Primary(s) {
+			t.Fatalf("D=2 strip %d: replicas %v, want exactly the other server", s, reps)
+		}
+	}
+	// A single server already holds everything; no replicas at all.
+	if reps := NewGroupedReplicated(1, 2, 2).Replicas(3); len(reps) != 0 {
+		t.Errorf("D=1 replicas = %v, want none", reps)
+	}
+}
+
+// TestSingleGroupFile: a file small enough to fit inside the first group
+// lives entirely on server 0. Only its leading halo reaches another server
+// (the wrap-around predecessor); nothing maps to the middle servers, and
+// interior strips vanish with server 0.
+func TestSingleGroupFile(t *testing.T) {
+	l := NewGroupedReplicated(4, 8, 2)
+	const strips = 5 // group 0 only, and even that is short
+
+	if got, want := PrimaryStripsOf(l, 0, strips), []int64{0, 1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PrimaryStripsOf(0) = %v, want %v", got, want)
+	}
+	for srv := 1; srv <= 2; srv++ {
+		if got := PrimaryStripsOf(l, srv, strips); len(got) != 0 {
+			t.Errorf("PrimaryStripsOf(%d) = %v, want none", srv, got)
+		}
+		if got := ReplicaStripsOf(l, srv, strips); len(got) != 0 {
+			t.Errorf("ReplicaStripsOf(%d) = %v, want none", srv, got)
+		}
+	}
+	// The leading halo (strips 0,1) wraps to the predecessor server 3.
+	if got, want := ReplicaStripsOf(l, 3, strips), []int64{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ReplicaStripsOf(3) = %v, want %v", got, want)
+	}
+	// Interior strip 4 has no second copy: with server 0 down it is gone.
+	if _, ok := FirstLiveHolder(l, 4, func(srv int) bool { return srv != 0 }); ok {
+		t.Error("interior strip of a single-group file survived its only holder")
+	}
+}
+
+// TestFirstLiveHolderOrder pins the failover preference: the primary when
+// it is live, otherwise replicas in Holders order, otherwise nothing.
+func TestFirstLiveHolderOrder(t *testing.T) {
+	l := NewReplicatedRoundRobin(4, 3) // strip 1: primary 1, replicas 2,3
+	allUp := func(int) bool { return true }
+	if srv, ok := FirstLiveHolder(l, 1, allUp); !ok || srv != 1 {
+		t.Errorf("healthy FirstLiveHolder = %d,%v, want primary 1", srv, ok)
+	}
+	if srv, ok := FirstLiveHolder(l, 1, func(s int) bool { return s != 1 }); !ok || srv != 2 {
+		t.Errorf("primary-down FirstLiveHolder = %d,%v, want first replica 2", srv, ok)
+	}
+	if srv, ok := FirstLiveHolder(l, 1, func(s int) bool { return s == 3 }); !ok || srv != 3 {
+		t.Errorf("two-down FirstLiveHolder = %d,%v, want last replica 3", srv, ok)
+	}
+	if _, ok := FirstLiveHolder(l, 1, func(int) bool { return false }); ok {
+		t.Error("FirstLiveHolder found a holder with every server down")
+	}
+}
+
+// TestRequiredHaloBoundaries: exact strip multiples must not round up, and
+// sub-element reaches still demand a full halo strip.
+func TestRequiredHaloBoundaries(t *testing.T) {
+	lc := NewLocator(8, 64, NewRoundRobin(4)) // 8 elements per strip
+	cases := []struct {
+		off  int64
+		want int
+	}{
+		{-3, 0}, // negative reach means no dependence
+		{0, 0},  // independence
+		{7, 1},  // strictly inside one strip width
+		{8, 1},  // exactly one strip: 64 bytes, no round-up
+		{24, 3}, // exactly three strips
+		{25, 4}, // one element past three strips rounds up
+		{800, 100},
+	}
+	for _, c := range cases {
+		if got := lc.RequiredHalo(c.off); got != c.want {
+			t.Errorf("RequiredHalo(%d) = %d, want %d", c.off, got, c.want)
+		}
+	}
+}

@@ -173,6 +173,23 @@ func Holders(l Layout, s int64) []int {
 	return append([]int{l.Primary(s)}, l.Replicas(s)...)
 }
 
+// FirstLiveHolder returns the first holder of strip s that live reports
+// alive — the primary when it is up, otherwise the first live replica in
+// Holders order — and ok = false when no copy of the strip is on a live
+// server. It is the placement rule degraded reads and degraded offload
+// assignment share, so both layers fail over to the same server.
+func FirstLiveHolder(l Layout, s int64, live func(srv int) bool) (int, bool) {
+	if p := l.Primary(s); live(p) {
+		return p, true
+	}
+	for _, r := range l.Replicas(s) {
+		if live(r) {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
 // Holds reports whether server srv stores strip s, either as primary or as
 // a replica.
 func Holds(l Layout, s int64, srv int) bool {

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Recovery counts fault-handling actions taken during a run: requests that
+// timed out, retries issued, reads served from a replica because the
+// primary was down, replica forwards skipped because the target was down,
+// messages lost to injected faults, and offload dispatch rounds repeated
+// after a server died mid-execution. Like Traffic, the simulator core is
+// single-threaded but collectors may be read from test goroutines, so
+// access is guarded.
+type Recovery struct {
+	mu              sync.Mutex
+	timeouts        int64
+	retries         int64
+	failoverReads   int64
+	skippedForwards int64
+	droppedMessages int64
+	execRetries     int64
+}
+
+// NewRecovery returns an empty collector.
+func NewRecovery() *Recovery { return &Recovery{} }
+
+// AddTimeout records a request that ran out its per-request timeout.
+func (r *Recovery) AddTimeout() { r.add(&r.timeouts) }
+
+// AddRetry records a request re-issued after a timeout or restart.
+func (r *Recovery) AddRetry() { r.add(&r.retries) }
+
+// AddFailoverRead records a strip read served by a replica holder because
+// the primary was unavailable.
+func (r *Recovery) AddFailoverRead() { r.add(&r.failoverReads) }
+
+// AddSkippedForward records a replica forward skipped because its target
+// server was down.
+func (r *Recovery) AddSkippedForward() { r.add(&r.skippedForwards) }
+
+// AddDroppedMessage records a message lost to an injected fault (crashed
+// endpoint or random loss).
+func (r *Recovery) AddDroppedMessage() { r.add(&r.droppedMessages) }
+
+// AddExecRetry records an offload dispatch round repeated after a server
+// failed mid-execution.
+func (r *Recovery) AddExecRetry() { r.add(&r.execRetries) }
+
+func (r *Recovery) add(field *int64) {
+	r.mu.Lock()
+	*field++
+	r.mu.Unlock()
+}
+
+// Timeouts returns the number of per-request timeouts.
+func (r *Recovery) Timeouts() int64 { return r.get(&r.timeouts) }
+
+// Retries returns the number of re-issued requests.
+func (r *Recovery) Retries() int64 { return r.get(&r.retries) }
+
+// FailoverReads returns the number of reads served from a replica.
+func (r *Recovery) FailoverReads() int64 { return r.get(&r.failoverReads) }
+
+// SkippedForwards returns the number of replica forwards skipped.
+func (r *Recovery) SkippedForwards() int64 { return r.get(&r.skippedForwards) }
+
+// DroppedMessages returns the number of messages lost to faults.
+func (r *Recovery) DroppedMessages() int64 { return r.get(&r.droppedMessages) }
+
+// ExecRetries returns the number of repeated offload dispatch rounds.
+func (r *Recovery) ExecRetries() int64 { return r.get(&r.execRetries) }
+
+func (r *Recovery) get(field *int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return *field
+}
+
+// Reset zeroes every counter.
+func (r *Recovery) Reset() {
+	r.mu.Lock()
+	*r = Recovery{}
+	r.mu.Unlock()
+}
+
+// String renders the non-zero counters, e.g.
+// "timeouts=2 retries=2 failover-reads=14".
+func (r *Recovery) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var parts []string
+	for _, c := range []struct {
+		label string
+		n     int64
+	}{
+		{"timeouts", r.timeouts},
+		{"retries", r.retries},
+		{"failover-reads", r.failoverReads},
+		{"skipped-forwards", r.skippedForwards},
+		{"dropped-messages", r.droppedMessages},
+		{"exec-retries", r.execRetries},
+	} {
+		if c.n != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c.label, c.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no recovery actions)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// FaultRecord is one fault event as it was applied to the cluster. AtNs is
+// the simulated time in nanoseconds (metrics stays independent of the sim
+// package's Time type).
+type FaultRecord struct {
+	AtNs   int64
+	Kind   string
+	Node   int // cluster node id, -1 when the fault is not node-scoped
+	Detail string
+}
+
+// FaultLog records the fault events applied during a run, in order.
+type FaultLog struct {
+	mu   sync.Mutex
+	recs []FaultRecord
+}
+
+// NewFaultLog returns an empty log.
+func NewFaultLog() *FaultLog { return &FaultLog{} }
+
+// Record appends one applied fault.
+func (l *FaultLog) Record(rec FaultRecord) {
+	l.mu.Lock()
+	l.recs = append(l.recs, rec)
+	l.mu.Unlock()
+}
+
+// Records returns a copy of the applied faults in application order.
+func (l *FaultLog) Records() []FaultRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]FaultRecord, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// Len returns the number of applied faults.
+func (l *FaultLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Reset clears the log.
+func (l *FaultLog) Reset() {
+	l.mu.Lock()
+	l.recs = nil
+	l.mu.Unlock()
+}

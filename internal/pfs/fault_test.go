@@ -1,0 +1,285 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/hpcio/das/internal/cluster"
+	"github.com/hpcio/das/internal/fault"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// crash downs dense storage server s immediately.
+func crash(t *testing.T, clu *cluster.Cluster, s int) {
+	t.Helper()
+	if err := clu.ApplyFault(fault.Event{Kind: fault.Crash, Server: s}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeHealthy creates the file and writes data before any fault is applied.
+func writeHealthy(t *testing.T, clu *cluster.Cluster, fs *FileSystem, lay layout.Layout, data []byte, stripSize int64) {
+	t.Helper()
+	if _, err := fs.Create("f", int64(len(data)), lay, CreateOptions{StripSize: stripSize}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, clu, func(p *sim.Proc) {
+		c := fs.NewClient(clu.ComputeID(0))
+		if err := c.WriteAll(p, "f", data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestReadFailsOverToReplica(t *testing.T) {
+	clu, fs := testFS(t)
+	lay := layout.NewReplicatedRoundRobin(4, 2)
+	data := pattern(8 * 64)
+	writeHealthy(t, clu, fs, lay, data, 64)
+
+	// Server 2 is primary for strips 2 and 6; their replicas live on 3.
+	crash(t, clu, 2)
+	run(t, clu, func(p *sim.Proc) {
+		c := fs.NewClient(clu.ComputeID(0))
+		got, err := c.ReadAll(p, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("failover read corrupted data")
+		}
+	})
+	if clu.Recovery.FailoverReads() == 0 {
+		t.Error("crash of a primary produced no failover reads")
+	}
+}
+
+func TestReadWithoutReplicasReturnsNoLiveCopy(t *testing.T) {
+	clu, fs := testFS(t)
+	data := pattern(4 * 64)
+	writeHealthy(t, clu, fs, layout.NewRoundRobin(4), data, 64)
+
+	crash(t, clu, 1)
+	run(t, clu, func(p *sim.Proc) {
+		c := fs.NewClient(clu.ComputeID(0))
+		_, err := c.ReadAll(p, "f")
+		if err == nil {
+			t.Fatal("read of a crashed, unreplicated strip succeeded")
+		}
+		if !errors.Is(err, ErrNoLiveCopy) {
+			t.Errorf("error %v, want ErrNoLiveCopy", err)
+		}
+		// Strips on live servers are still individually readable.
+		got, rerr := c.Read(p, "f", 0, 64)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if !bytes.Equal(got, data[:64]) {
+			t.Error("healthy strip corrupted after failed read")
+		}
+	})
+}
+
+func TestReadBridgesPlannedRestart(t *testing.T) {
+	clu, fs := testFS(t)
+	data := pattern(4 * 64)
+	writeHealthy(t, clu, fs, layout.NewRoundRobin(4), data, 64)
+
+	// Crash immediately, restart 50 ms later: inside the failover loop's
+	// DownBackoff budget (20+40 ms), so the read should wait it out.
+	plan := fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.Crash, Server: 1},
+		{At: 50 * sim.Millisecond, Kind: fault.Restart, Server: 1},
+	}}
+	if err := clu.InstallFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	run(t, clu, func(p *sim.Proc) {
+		c := fs.NewClient(clu.ComputeID(0))
+		got, err := c.ReadAll(p, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("read after restart corrupted data")
+		}
+	})
+	if clu.Recovery.Retries() == 0 {
+		t.Error("bridging a restart recorded no retries")
+	}
+}
+
+func TestLossWindowTimesOutThenRecovers(t *testing.T) {
+	clu, fs := testFS(t)
+	data := pattern(64)
+	writeHealthy(t, clu, fs, layout.NewRoundRobin(4), data, 64)
+
+	// Drop every message for 260 ms — past one request timeout (250 ms) —
+	// then heal. The first attempt times out, a retry lands after the
+	// window closes.
+	plan := fault.Plan{Events: []fault.Event{
+		{At: 0, Kind: fault.Loss, Server: -1, Frac: 1},
+		{At: 260 * sim.Millisecond, Kind: fault.Loss, Server: -1, Frac: 0},
+	}}
+	if err := clu.InstallFaultPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	run(t, clu, func(p *sim.Proc) {
+		c := fs.NewClient(clu.ComputeID(0))
+		got, err := c.ReadAll(p, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("read after loss window corrupted data")
+		}
+	})
+	if clu.Recovery.Timeouts() == 0 {
+		t.Error("total loss window produced no timeouts")
+	}
+	if clu.Recovery.Retries() == 0 {
+		t.Error("total loss window produced no retries")
+	}
+	if clu.Recovery.DroppedMessages() == 0 {
+		t.Error("total loss window dropped no messages")
+	}
+}
+
+func TestDelayedMessagesStillDeliver(t *testing.T) {
+	healthy := func(delay sim.Time) sim.Time {
+		clu, fs := testFS(t)
+		data := pattern(4 * 64)
+		writeHealthy(t, clu, fs, layout.NewRoundRobin(4), data, 64)
+		if delay > 0 {
+			if err := clu.ApplyFault(fault.Event{Kind: fault.Loss, Server: -1, Frac: 1, Delay: delay}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := clu.Eng.Now()
+		run(t, clu, func(p *sim.Proc) {
+			c := fs.NewClient(clu.ComputeID(0))
+			got, err := c.ReadAll(p, "f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Error("delayed read corrupted data")
+			}
+		})
+		if clu.Recovery.DroppedMessages() != 0 {
+			t.Error("delayed messages were counted as dropped")
+		}
+		return clu.Eng.Now() - start
+	}
+	if fast, slow := healthy(0), healthy(2*sim.Millisecond); slow <= fast {
+		t.Errorf("delayed run took %v, healthy %v", slow, fast)
+	}
+}
+
+func TestLateReplyNeverCrossesCalls(t *testing.T) {
+	clu, fs := testFS(t)
+	data := pattern(4 * 64)
+	writeHealthy(t, clu, fs, layout.NewRoundRobin(4), data, 64)
+
+	// Delay every message past the request timeout: responses always arrive
+	// after their caller gave up, parking in abandoned reply mailboxes.
+	if err := clu.ApplyFault(fault.Event{Kind: fault.Loss, Server: -1, Frac: 1, Delay: 300 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, clu, func(p *sim.Proc) {
+		if _, err := fs.ReadStripFrom(p, clu.ComputeID(0), 0, "f", 0, 0, 0); err == nil {
+			t.Error("read with all replies late succeeded")
+		}
+	})
+	// Heal and read a different strip. If any parked late reply (strip 0
+	// data) leaked into a recycled mailbox, this read would return the
+	// wrong bytes or a mismatched payload.
+	if err := clu.ApplyFault(fault.Event{Kind: fault.Loss, Server: -1, Frac: 0}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, clu, func(p *sim.Proc) {
+		got, err := fs.ReadStripFrom(p, clu.ComputeID(0), 1, "f", 1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[64:128]) {
+			t.Error("late reply crossed into a later call")
+		}
+	})
+}
+
+func TestWriteSkipsDownReplicaTarget(t *testing.T) {
+	clu, fs := testFS(t)
+	lay := layout.NewReplicatedRoundRobin(4, 2)
+	data := pattern(64) // one strip: primary 0, replica 1
+	if _, err := fs.Create("f", 64, lay, CreateOptions{StripSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	crash(t, clu, 1)
+	run(t, clu, func(p *sim.Proc) {
+		c := fs.NewClient(clu.ComputeID(0))
+		if err := c.WriteAll(p, "f", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ReadAll(p, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("write with down replica corrupted data")
+		}
+	})
+	if clu.Recovery.SkippedForwards() == 0 {
+		t.Error("down replica target was not skipped")
+	}
+}
+
+func TestWriteToDownPrimaryFails(t *testing.T) {
+	clu, fs := testFS(t)
+	data := pattern(4 * 64)
+	if _, err := fs.Create("f", 4*64, layout.NewRoundRobin(4), CreateOptions{StripSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	crash(t, clu, 0)
+	run(t, clu, func(p *sim.Proc) {
+		c := fs.NewClient(clu.ComputeID(0))
+		err := c.WriteAll(p, "f", data)
+		if err == nil {
+			t.Fatal("write to a crashed primary succeeded")
+		}
+		if !errors.Is(err, ErrServerDown) {
+			t.Errorf("error %v, want ErrServerDown", err)
+		}
+	})
+}
+
+func TestFaultPlanTimingIsDeterministic(t *testing.T) {
+	elapsed := func() (sim.Time, int64, string) {
+		clu, fs := testFS(t)
+		data := pattern(16 * 64)
+		writeHealthy(t, clu, fs, layout.NewReplicatedRoundRobin(4, 2), data, 64)
+		plan := fault.Plan{Seed: 7, Events: []fault.Event{
+			{At: 0, Kind: fault.Loss, Server: -1, Frac: 0.2},
+			{At: 10 * sim.Millisecond, Kind: fault.Crash, Server: 3},
+		}}
+		if err := clu.InstallFaultPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		var errStr string
+		start := clu.Eng.Now()
+		run(t, clu, func(p *sim.Proc) {
+			c := fs.NewClient(clu.ComputeID(0))
+			if _, err := c.ReadAll(p, "f"); err != nil {
+				errStr = err.Error()
+			}
+		})
+		return clu.Eng.Now() - start, clu.Recovery.DroppedMessages(), errStr
+	}
+	t1, d1, e1 := elapsed()
+	t2, d2, e2 := elapsed()
+	if t1 != t2 || d1 != d2 || e1 != e2 {
+		t.Errorf("nondeterministic faulted run: (%v,%d,%q) vs (%v,%d,%q)", t1, d1, e1, t2, d2, e2)
+	}
+}

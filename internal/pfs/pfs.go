@@ -9,6 +9,7 @@
 package pfs
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hpcio/das/internal/cluster"
@@ -68,14 +69,18 @@ type FileSystem struct {
 	clu     *cluster.Cluster
 	servers []*Server
 	meta    map[string]*FileMeta
+	// Retry bounds timeouts, re-sends, and failover waiting once the
+	// cluster's fault layer is active; healthy runs never consult it.
+	Retry RetryPolicy
 }
 
 // New deploys the file system on a cluster: one data server process per
 // storage node, started immediately.
 func New(clu *cluster.Cluster) *FileSystem {
 	fs := &FileSystem{
-		clu:  clu,
-		meta: make(map[string]*FileMeta),
+		clu:   clu,
+		meta:  make(map[string]*FileMeta),
+		Retry: DefaultRetryPolicy(),
 	}
 	for s := 0; s < clu.Cfg.StorageNodes; s++ {
 		srv := newServer(fs, s)
@@ -167,66 +172,227 @@ func (fs *FileSystem) SetLayout(name string, lay layout.Layout) error {
 }
 
 // call sends a request to server srv on behalf of a process running on
-// node fromID and returns the response payload.
-func (fs *FileSystem) call(p *sim.Proc, fromID, srv int, payload any, size int64) any {
+// node fromID and returns the response payload. On a healthy cluster it
+// is a plain blocking RPC. Once the fault layer is active it fails fast
+// against crashed endpoints, bounds each attempt by the retry policy's
+// timeout (polling target liveness every quantum), and re-sends with
+// doubling backoff — returning ErrServerDown or ErrTimeout when the
+// budget runs out.
+func (fs *FileSystem) call(p *sim.Proc, fromID, srv int, payload any, size int64) (any, error) {
 	toID := fs.clu.StorageID(srv)
-	resp := fs.clu.Net.Call(p, simnet.Message{
+	msg := simnet.Message{
 		From:    fromID,
 		To:      toID,
 		Port:    Port,
 		Size:    size,
 		Class:   fs.clu.ClassBetween(fromID, toID),
 		Payload: payload,
-	})
-	return resp.Payload
+	}
+	f := fs.clu.Faults
+	if !f.Active() {
+		return fs.clu.Net.Call(p, msg).Payload, nil
+	}
+	if f.Down(fromID) {
+		// A crashed node's frozen processes cannot issue RPCs; their
+		// in-flight work fails instantly instead of hanging the handler.
+		return nil, fmt.Errorf("pfs: request from node %d: %w", fromID, ErrServerDown)
+	}
+	pol := fs.Retry
+	backoff := pol.Backoff
+	for attempt := 0; ; attempt++ {
+		if f.Down(toID) {
+			return nil, fmt.Errorf("pfs: server %d: %w", srv, ErrServerDown)
+		}
+		inc := f.Incarnation(toID)
+		crashed := func() bool { return f.Down(toID) || f.Incarnation(toID) != inc }
+		resp, ok := fs.clu.Net.CallCancelable(p, msg, pol.Quantum, pol.Timeout, crashed)
+		if ok {
+			return resp.Payload, nil
+		}
+		if !crashed() {
+			fs.clu.Recovery.AddTimeout()
+		}
+		// A crash+restart while waiting means the request (or its
+		// response) died with the old incarnation; re-send like a timeout.
+		if attempt >= pol.Retries {
+			return nil, fmt.Errorf("pfs: server %d: no response after %d attempts: %w", srv, attempt+1, ErrTimeout)
+		}
+		fs.clu.Recovery.AddRetry()
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// callWrite issues a write-path request. Writes never fail over — a
+// strip's primary is its single write point — but they do wait out the
+// retry policy's down-window for a crashed target to restart before
+// surfacing ErrServerDown, so a planned crash+restart bridges instead of
+// killing an otherwise healthy run. A permanently dead target still fails.
+func (fs *FileSystem) callWrite(p *sim.Proc, fromID, srv int, payload any, size int64) (any, error) {
+	f := fs.clu.Faults
+	if !f.Active() {
+		return fs.call(p, fromID, srv, payload, size)
+	}
+	pol := fs.Retry
+	backoff := pol.DownBackoff
+	for round := 0; ; round++ {
+		resp, err := fs.call(p, fromID, srv, payload, size)
+		if err == nil || !errors.Is(err, ErrServerDown) || f.Down(fromID) {
+			return resp, err
+		}
+		if round >= pol.DownRetries {
+			return nil, err
+		}
+		fs.clu.Recovery.AddRetry()
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// respError converts an errResp into a typed client-side error.
+func respError(r errResp, context string) error {
+	if r.Code == codeNotFound {
+		return fmt.Errorf("%s: %s: %w", context, r.Err, ErrStripNotHeld)
+	}
+	return fmt.Errorf("%s: %s", context, r.Err)
+}
+
+// unexpectedResponse reports a reply payload of the wrong type. It is an
+// error, never a panic: a malformed reply fails one request, not the
+// engine.
+func unexpectedResponse(resp any, context string) error {
+	return fmt.Errorf("%s: got %T: %w", context, resp, ErrUnexpectedResponse)
 }
 
 // ReadStripFrom reads bytes [lo, hi) of strip (relative to the strip
 // start) from server srv, as a process on node fromID. It is the
 // transport used by clients and by active storage servers fetching
 // dependent strips from their peers.
+//
+// When the addressed server is down, times out, or lost its copy, the
+// read fails over to the strip's other holders under the file's layout,
+// and — per the retry policy — waits for a possible restart before giving
+// up with ErrNoLiveCopy.
 func (fs *FileSystem) ReadStripFrom(p *sim.Proc, fromID, srv int, file string, strip, lo, hi int64) ([]byte, error) {
-	resp := fs.call(p, fromID, srv, readReq{File: file, Strip: strip, Lo: lo, Hi: hi}, headerBytes)
+	data, err := fs.readStripOnce(p, fromID, srv, file, strip, lo, hi)
+	if err == nil || !failoverEligible(err) {
+		return data, err
+	}
+	return fs.readStripFailover(p, fromID, srv, file, strip, lo, hi, err)
+}
+
+// readStripOnce is one read attempt against one server, no failover.
+func (fs *FileSystem) readStripOnce(p *sim.Proc, fromID, srv int, file string, strip, lo, hi int64) ([]byte, error) {
+	resp, err := fs.call(p, fromID, srv, readReq{File: file, Strip: strip, Lo: lo, Hi: hi}, headerBytes)
+	if err != nil {
+		return nil, err
+	}
 	switch r := resp.(type) {
 	case readResp:
 		return r.Data, nil
 	case errResp:
-		return nil, fmt.Errorf("pfs: read %s strip %d from server %d: %s", file, strip, srv, r.Err)
+		return nil, respError(r, fmt.Sprintf("pfs: read %s strip %d from server %d", file, strip, srv))
 	default:
-		panic("pfs: unexpected response type")
+		return nil, unexpectedResponse(resp, fmt.Sprintf("pfs: read %s strip %d from server %d", file, strip, srv))
+	}
+}
+
+// readStripFailover scans the strip's holders for a live copy after the
+// preferred server failed, retrying with backoff to bridge a planned
+// restart before surfacing ErrNoLiveCopy.
+func (fs *FileSystem) readStripFailover(p *sim.Proc, fromID, preferred int, file string, strip, lo, hi int64, cause error) ([]byte, error) {
+	m, ok := fs.meta[file]
+	if !ok {
+		return nil, cause
+	}
+	pol := fs.Retry
+	backoff := pol.DownBackoff
+	for round := 0; ; round++ {
+		for _, holder := range layout.Holders(m.Layout, strip) {
+			if round == 0 && holder == preferred {
+				continue // just failed above
+			}
+			if fs.clu.ServerDown(holder) {
+				continue
+			}
+			data, err := fs.readStripOnce(p, fromID, holder, file, strip, lo, hi)
+			if err == nil {
+				if holder != preferred {
+					fs.clu.Recovery.AddFailoverRead()
+				}
+				return data, nil
+			}
+			if !failoverEligible(err) {
+				return nil, err
+			}
+			cause = err
+		}
+		if round >= pol.DownRetries {
+			return nil, fmt.Errorf("pfs: read %s strip %d: %w (last: %v)", file, strip, ErrNoLiveCopy, cause)
+		}
+		fs.clu.Recovery.AddRetry()
+		p.Sleep(backoff)
+		backoff *= 2
 	}
 }
 
 // WriteStripTo writes a full or partial strip to server srv. When forward
 // is set, the receiving server forwards copies to the strip's replica
 // holders (server↔server traffic), implementing the replica-maintaining
-// write path of the improved distribution.
+// write path of the improved distribution. Writes do not fail over: a
+// strip's primary is its write point, and a primary that never comes back
+// is an error the caller must see — though a crashed one is waited on for
+// the retry policy's down-window first (see callWrite).
 func (fs *FileSystem) WriteStripTo(p *sim.Proc, fromID, srv int, file string, strip int64, data []byte, forward bool) error {
-	resp := fs.call(p, fromID, srv, writeReq{File: file, Strip: strip, Data: data, Forward: forward},
+	resp, err := fs.callWrite(p, fromID, srv, writeReq{File: file, Strip: strip, Data: data, Forward: forward},
 		headerBytes+int64(len(data)))
+	if err != nil {
+		return err
+	}
 	switch r := resp.(type) {
 	case ackResp:
 		return nil
 	case errResp:
-		return fmt.Errorf("pfs: write %s strip %d to server %d: %s", file, strip, srv, r.Err)
+		return respError(r, fmt.Sprintf("pfs: write %s strip %d to server %d", file, strip, srv))
 	default:
-		_ = r
-		panic("pfs: unexpected response type")
+		return unexpectedResponse(resp, fmt.Sprintf("pfs: write %s strip %d to server %d", file, strip, srv))
 	}
 }
 
 // ReadSpansFrom fetches several spans of one file from server srv in a
-// single request (one disk pass, one response message).
+// single request (one disk pass, one response message). If the batch
+// fails for a failover-eligible reason, each span is re-fetched
+// individually through ReadStripFrom's replica failover.
 func (fs *FileSystem) ReadSpansFrom(p *sim.Proc, fromID, srv int, file string, spans []Span) ([][]byte, error) {
-	resp := fs.call(p, fromID, srv, readManyReq{File: file, Spans: spans}, headerBytes)
-	switch r := resp.(type) {
-	case readManyResp:
-		return r.Data, nil
-	case errResp:
-		return nil, fmt.Errorf("pfs: readMany %s from server %d: %s", file, srv, r.Err)
-	default:
-		panic("pfs: unexpected response type")
+	resp, err := fs.call(p, fromID, srv, readManyReq{File: file, Spans: spans}, headerBytes)
+	if err == nil {
+		switch r := resp.(type) {
+		case readManyResp:
+			return r.Data, nil
+		case errResp:
+			err = respError(r, fmt.Sprintf("pfs: readMany %s from server %d", file, srv))
+		default:
+			err = unexpectedResponse(resp, fmt.Sprintf("pfs: readMany %s from server %d", file, srv))
+		}
 	}
+	if !failoverEligible(err) {
+		return nil, err
+	}
+	// Degraded path: the batch's server is gone; recover span by span from
+	// whatever live holders exist. Slower (one request per span), but this
+	// only runs once a fault has already disrupted the batch.
+	out := make([][]byte, len(spans))
+	for i, sp := range spans {
+		data, rerr := fs.ReadStripFrom(p, fromID, srv, file, sp.Strip, sp.Lo, sp.Hi)
+		if rerr != nil {
+			for j := 0; j < i; j++ {
+				ReleaseBuffer(out[j])
+			}
+			return nil, rerr
+		}
+		out[i] = data
+	}
+	return out, nil
 }
 
 // WriteStripsTo writes several whole strips to server srv in a single
@@ -236,29 +402,33 @@ func (fs *FileSystem) WriteStripsTo(p *sim.Proc, fromID, srv int, file string, s
 	for _, d := range data {
 		size += int64(len(d))
 	}
-	resp := fs.call(p, fromID, srv, writeManyReq{File: file, Strips: strips, Data: data, Forward: forward}, size)
+	resp, err := fs.callWrite(p, fromID, srv, writeManyReq{File: file, Strips: strips, Data: data, Forward: forward}, size)
+	if err != nil {
+		return err
+	}
 	switch r := resp.(type) {
 	case ackResp:
 		return nil
 	case errResp:
-		return fmt.Errorf("pfs: writeMany %s to server %d: %s", file, srv, r.Err)
+		return respError(r, fmt.Sprintf("pfs: writeMany %s to server %d", file, srv))
 	default:
-		_ = r
-		panic("pfs: unexpected response type")
+		return unexpectedResponse(resp, fmt.Sprintf("pfs: writeMany %s to server %d", file, srv))
 	}
 }
 
 // MigrateStrip asks server srv (a current holder) to push its copy of a
 // strip to the given target servers.
 func (fs *FileSystem) MigrateStrip(p *sim.Proc, fromID, srv int, file string, strip int64, targets []int) error {
-	resp := fs.call(p, fromID, srv, migrateReq{File: file, Strip: strip, Targets: targets}, headerBytes)
+	resp, err := fs.callWrite(p, fromID, srv, migrateReq{File: file, Strip: strip, Targets: targets}, headerBytes)
+	if err != nil {
+		return err
+	}
 	switch r := resp.(type) {
 	case ackResp:
 		return nil
 	case errResp:
-		return fmt.Errorf("pfs: migrate %s strip %d via server %d: %s", file, strip, srv, r.Err)
+		return respError(r, fmt.Sprintf("pfs: migrate %s strip %d via server %d", file, strip, srv))
 	default:
-		_ = r
-		panic("pfs: unexpected response type")
+		return unexpectedResponse(resp, fmt.Sprintf("pfs: migrate %s strip %d via server %d", file, strip, srv))
 	}
 }

@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hpcio/das/internal/sim"
@@ -45,7 +46,10 @@ type (
 	readResp     struct{ Data []byte }
 	readManyResp struct{ Data [][]byte }
 	ackResp      struct{}
-	errResp      struct{ Err string }
+	errResp      struct {
+		Err  string
+		Code errCode
+	}
 )
 
 // Span addresses bytes [Lo, Hi) within one strip (relative to the strip's
@@ -106,18 +110,25 @@ func (s *Server) handle(p *sim.Proc, msg simnet.Message) {
 	respond := func(payload any, size int64) {
 		s.fs.clu.Net.Respond(p, msg, payload, size, s.fs.clu.ClassBetween(s.nodeID, msg.From))
 	}
+	fail := func(err error) {
+		code := codeInternal
+		if errors.Is(err, errNotHeld) {
+			code = codeNotFound
+		}
+		respond(errResp{Err: err.Error(), Code: code}, headerBytes)
+	}
 	switch req := msg.Payload.(type) {
 	case readReq:
 		data, err := s.LocalRead(p, req.File, req.Strip, req.Lo, req.Hi)
 		if err != nil {
-			respond(errResp{Err: err.Error()}, headerBytes)
+			fail(err)
 			return
 		}
 		respond(readResp{Data: data}, headerBytes+int64(len(data)))
 	case readManyReq:
 		data, err := s.LocalReadMany(p, req.File, req.Spans)
 		if err != nil {
-			respond(errResp{Err: err.Error()}, headerBytes)
+			fail(err)
 			return
 		}
 		var total int64
@@ -127,24 +138,24 @@ func (s *Server) handle(p *sim.Proc, msg simnet.Message) {
 		respond(readManyResp{Data: data}, headerBytes+total)
 	case writeManyReq:
 		if err := s.LocalWriteMany(p, req.File, req.Strips, req.Data, req.Forward); err != nil {
-			respond(errResp{Err: err.Error()}, headerBytes)
+			fail(err)
 			return
 		}
 		respond(ackResp{}, headerBytes)
 	case writeReq:
 		if err := s.LocalWrite(p, req.File, req.Strip, req.Data, req.Forward); err != nil {
-			respond(errResp{Err: err.Error()}, headerBytes)
+			fail(err)
 			return
 		}
 		respond(ackResp{}, headerBytes)
 	case migrateReq:
 		if err := s.migrate(p, req); err != nil {
-			respond(errResp{Err: err.Error()}, headerBytes)
+			fail(err)
 			return
 		}
 		respond(ackResp{}, headerBytes)
 	default:
-		respond(errResp{Err: fmt.Sprintf("unknown request %T", msg.Payload)}, headerBytes)
+		respond(errResp{Err: fmt.Sprintf("unknown request %T", msg.Payload), Code: codeBadRequest}, headerBytes)
 	}
 }
 
@@ -163,11 +174,11 @@ func (s *Server) Holds(file string, strip int64) bool {
 func (s *Server) peek(file string, strip, lo, hi int64) ([]byte, error) {
 	strips, ok := s.store[file]
 	if !ok {
-		return nil, fmt.Errorf("server %d holds no strips of %q", s.srv, file)
+		return nil, fmt.Errorf("server %d holds no strips of %q: %w", s.srv, file, errNotHeld)
 	}
 	data, ok := strips[strip]
 	if !ok {
-		return nil, fmt.Errorf("server %d does not hold %q strip %d", s.srv, file, strip)
+		return nil, fmt.Errorf("server %d does not hold %q strip %d: %w", s.srv, file, strip, errNotHeld)
 	}
 	if hi == 0 {
 		hi = int64(len(data))
@@ -240,6 +251,14 @@ func (s *Server) LocalWrite(p *sim.Proc, file string, strip int64, data []byte, 
 			continue
 		}
 		if err := s.fs.WriteStripTo(p, s.nodeID, rep, file, strip, data, false); err != nil {
+			if errors.Is(err, ErrServerDown) || errors.Is(err, ErrTimeout) {
+				// Best-effort replication under faults: a down replica
+				// target loses this copy rather than failing the write. The
+				// primary copy is durable; DESIGN.md documents the
+				// divergence window.
+				s.fs.clu.Recovery.AddSkippedForward()
+				continue
+			}
 			return err
 		}
 	}
@@ -310,7 +329,16 @@ func (s *Server) ForwardReplicas(p *sim.Proc, file string, strips []int64, data 
 		for _, d := range fwd.Data {
 			size += int64(len(d))
 		}
-		resp := s.fs.call(p, s.nodeID, target, fwd, size)
+		resp, err := s.fs.call(p, s.nodeID, target, fwd, size)
+		if err != nil {
+			if errors.Is(err, ErrServerDown) || errors.Is(err, ErrTimeout) {
+				// Best-effort replication under faults: skip the down
+				// target instead of failing the whole batch.
+				s.fs.clu.Recovery.AddSkippedForward()
+				continue
+			}
+			return err
+		}
 		if e, isErr := resp.(errResp); isErr {
 			return fmt.Errorf("replica forward to server %d: %s", target, e.Err)
 		}

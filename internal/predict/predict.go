@@ -71,6 +71,11 @@ type Analysis struct {
 	StripFetches    int64 // whole-strip transfers between servers
 	StripFetchBytes int64
 
+	// UnservableStrips counts strips with no copy on any live server.
+	// Always zero for the healthy-cluster Analyze; AnalyzeDegraded fills it
+	// in, and any non-zero value vetoes offloading.
+	UnservableStrips int64
+
 	// LocalByLayout is true when every dependence of every element
 	// resolves on its processing server (the aj ≡ 0 case; under the
 	// improved distribution this is the paper's Eq. (17) holding).

@@ -22,6 +22,7 @@ type Engine struct {
 	yield chan struct{}
 
 	live    int                   // processes spawned and not yet finished
+	fg      int                   // queued foreground events (everything but daemon timers)
 	blocked map[*Proc]blockReason // parked processes, with a reason for diagnostics
 
 	panicVal any // panic captured from a process, re-raised by Run
@@ -81,7 +82,62 @@ func (e *Engine) schedule(at Time, p *Proc) {
 		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", at, e.now))
 	}
 	e.seq++
+	e.fg++
 	e.queue.push(event{at: at, seq: e.seq, proc: p})
+}
+
+// Timer is a pending AfterFunc callback. Stop cancels it; a canceled timer
+// is skipped by the dispatch loop without advancing the clock or counting
+// as an event, so cancellation leaves no trace in the simulation.
+type Timer struct {
+	fn       func()
+	canceled bool
+	fired    bool
+	daemon   bool
+}
+
+// Stop cancels the timer and reports whether it was still pending. Stop
+// must not be called again after the callback has run and the handle has
+// been discarded.
+func (t *Timer) Stop() bool {
+	if t.fired || t.canceled {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// Fired reports whether the callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// AfterFunc schedules fn to run on the engine goroutine after d simulated
+// time. The callback may schedule processes, fire signals, or put into
+// mailboxes, but must not block. A pending AfterFunc counts as foreground
+// work: Run keeps dispatching until it fires or is stopped.
+func (e *Engine) AfterFunc(d Time, fn func()) *Timer {
+	return e.afterFunc(d, fn, false)
+}
+
+// AfterFuncDaemon is AfterFunc for background callbacks: like daemon
+// processes, a pending daemon timer does not keep Run alive. If the event
+// queue drains to daemon timers only, Run returns and the callbacks stay
+// queued for a later Run (or are dropped with the engine). Fault-injection
+// plans use this so trailing fault events never extend a measured run.
+func (e *Engine) AfterFuncDaemon(d Time, fn func()) *Timer {
+	return e.afterFunc(d, fn, true)
+}
+
+func (e *Engine) afterFunc(d Time, fn func(), daemon bool) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{fn: fn, daemon: daemon}
+	e.seq++
+	if !daemon {
+		e.fg++
+	}
+	e.queue.push(event{at: e.now + d, seq: e.seq, timer: t})
+	return t
 }
 
 // Spawn creates a new process running fn and schedules it to start at the
@@ -175,13 +231,28 @@ func runProcFn(p *Proc) {
 	p.fn(p)
 }
 
-// Run dispatches events until the queue is empty. It returns an error if
-// processes remain blocked with no pending events (a deadlock), listing the
-// stuck processes and what they are waiting on. If a process panicked, Run
+// Run dispatches events until no foreground work remains: the queue is
+// empty, or only daemon timers are left. It returns an error if processes
+// remain blocked with no pending events (a deadlock), listing the stuck
+// processes and what they are waiting on. If a process panicked, Run
 // re-raises the panic on the caller's goroutine.
 func (e *Engine) Run() error {
-	for e.queue.Len() > 0 {
+	for e.queue.Len() > 0 && e.fg > 0 {
 		ev := e.queue.pop()
+		if t := ev.timer; t != nil {
+			if !t.daemon {
+				e.fg--
+			}
+			if t.canceled {
+				continue // no clock advance, no event counted
+			}
+			e.now = ev.at
+			e.events++
+			t.fired = true
+			t.fn()
+			continue
+		}
+		e.fg--
 		e.now = ev.at
 		e.events++
 		delete(e.blocked, ev.proc)

@@ -1,11 +1,13 @@
 package sim
 
-// event is a scheduled wake-up for a process. seq breaks timestamp ties in
-// schedule order, which keeps the simulation deterministic.
+// event is a scheduled wake-up for a process, or — when timer is non-nil —
+// a pending AfterFunc callback. seq breaks timestamp ties in schedule
+// order, which keeps the simulation deterministic.
 type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc
+	at    Time
+	seq   uint64
+	proc  *Proc
+	timer *Timer
 }
 
 // heapArity is the fan-out of the event queue. A 4-ary heap halves the

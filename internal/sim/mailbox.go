@@ -29,6 +29,7 @@ type boxWaiter[T any] struct {
 	proc  *Proc
 	val   T
 	ready bool
+	dead  bool // timed out in GetTimeout; Put recycles it instead of delivering
 }
 
 // NewMailbox creates an empty mailbox. The name is used in deadlock
@@ -51,13 +52,20 @@ func (m *Mailbox[T]) Puts() uint64 { return m.puts }
 // current time. Put never blocks and may be called from any process.
 func (m *Mailbox[T]) Put(v T) {
 	m.puts++
-	if m.wHead < len(m.waiters) {
+	for m.wHead < len(m.waiters) {
 		w := m.waiters[m.wHead]
 		m.waiters[m.wHead] = nil
 		m.wHead++
 		if m.wHead == len(m.waiters) {
 			m.waiters = m.waiters[:0]
 			m.wHead = 0
+		}
+		if w.dead {
+			// Receiver already timed out and moved on; recycle its slot and
+			// try the next waiter.
+			w.proc, w.dead = nil, false
+			m.free = append(m.free, w)
+			continue
 		}
 		w.val = v
 		w.ready = true
@@ -73,15 +81,7 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 	if v, ok := m.popItem(); ok {
 		return v
 	}
-	var w *boxWaiter[T]
-	if n := len(m.free); n > 0 {
-		w = m.free[n-1]
-		m.free[n-1] = nil
-		m.free = m.free[:n-1]
-		w.proc, w.ready = p, false
-	} else {
-		w = &boxWaiter[T]{proc: p}
-	}
+	w := m.acquireWaiter(p)
 	m.waiters = append(m.waiters, w)
 	p.park("recv", m.name)
 	if !w.ready {
@@ -92,6 +92,58 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 	w.val, w.proc = zero, nil
 	m.free = append(m.free, w)
 	return v
+}
+
+// GetTimeout dequeues the oldest message, blocking the process for at most
+// d simulated time. It returns ok=false if no message arrived in time. A
+// message Put at the exact timeout instant is delivered only if the Put
+// was scheduled before the timeout fired; otherwise it stays queued for
+// the next receiver — it is never lost.
+func (m *Mailbox[T]) GetTimeout(p *Proc, d Time) (T, bool) {
+	if v, ok := m.popItem(); ok {
+		m.gets++
+		return v, true
+	}
+	var zero T
+	if d <= 0 {
+		return zero, false
+	}
+	w := m.acquireWaiter(p)
+	m.waiters = append(m.waiters, w)
+	t := m.eng.AfterFunc(d, func() {
+		if w.ready {
+			// Delivery was scheduled at this same instant before the timer
+			// fired; the receiver already has exactly one pending wake.
+			return
+		}
+		w.dead = true
+		m.eng.schedule(m.eng.now, w.proc)
+	})
+	p.park("recv", m.name)
+	if !w.ready {
+		// Timed out. The dead waiter stays in the queue until a later Put
+		// skips over and recycles it.
+		return zero, false
+	}
+	t.Stop()
+	m.gets++
+	v := w.val
+	w.val, w.proc = zero, nil
+	m.free = append(m.free, w)
+	return v, true
+}
+
+// acquireWaiter returns a reset waiter slot for p, reusing a spent one when
+// possible.
+func (m *Mailbox[T]) acquireWaiter(p *Proc) *boxWaiter[T] {
+	if n := len(m.free); n > 0 {
+		w := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		w.proc, w.ready, w.dead = p, false, false
+		return w
+	}
+	return &boxWaiter[T]{proc: p}
 }
 
 // TryGet dequeues a message if one is queued, without blocking.

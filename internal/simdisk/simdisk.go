@@ -30,6 +30,10 @@ type Disk struct {
 	cfg     Config
 	traffic *metrics.Traffic
 
+	// factor scales both transfer rates; fault injection degrades a drive
+	// by lowering it below 1. Engine-goroutine state, like the resource.
+	factor float64
+
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 	reads        atomic.Int64
@@ -43,15 +47,32 @@ func New(eng *sim.Engine, name string, cfg Config, traffic *metrics.Traffic) *Di
 		res:     sim.NewResource(eng, fmt.Sprintf("disk:%s", name), 1),
 		cfg:     cfg,
 		traffic: traffic,
+		factor:  1,
 	}
 }
+
+// SetSpeedFactor scales the disk's sequential bandwidth: 0 < f < 1
+// degrades the drive, 1 restores it. Non-positive factors are clamped to
+// a sliver rather than zero so in-flight requests still terminate.
+func (d *Disk) SetSpeedFactor(f float64) {
+	if f <= 0 {
+		f = 1e-3
+	}
+	if f > 1 {
+		f = 1
+	}
+	d.factor = f
+}
+
+// SpeedFactor returns the current bandwidth scale (1 = healthy).
+func (d *Disk) SpeedFactor() float64 { return d.factor }
 
 // Read charges the time to read size bytes and records the traffic.
 func (d *Disk) Read(p *sim.Proc, size int64) {
 	if size <= 0 {
 		return
 	}
-	d.res.Use(p, 1, d.cfg.SeekTime+sim.TransferTime(size, d.cfg.ReadBytesPerSec))
+	d.res.Use(p, 1, d.cfg.SeekTime+sim.TransferTime(size, d.cfg.ReadBytesPerSec*d.factor))
 	d.bytesRead.Add(size)
 	d.reads.Add(1)
 	if d.traffic != nil {
@@ -64,7 +85,7 @@ func (d *Disk) Write(p *sim.Proc, size int64) {
 	if size <= 0 {
 		return
 	}
-	d.res.Use(p, 1, d.cfg.SeekTime+sim.TransferTime(size, d.cfg.WriteBytesPerSec))
+	d.res.Use(p, 1, d.cfg.SeekTime+sim.TransferTime(size, d.cfg.WriteBytesPerSec*d.factor))
 	d.bytesWritten.Add(size)
 	d.writes.Add(1)
 	if d.traffic != nil {

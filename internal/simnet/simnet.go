@@ -48,12 +48,32 @@ type Config struct {
 	Latency sim.Time
 }
 
+// FaultPolicy is the hook through which an injected fault layer perturbs
+// delivery. The network consults it on every remote transfer once Active
+// reports true; implementations must be cheap and engine-goroutine-safe.
+type FaultPolicy interface {
+	// Active reports whether any fault has ever been applied. While it
+	// returns false the network takes the exact fault-free fast path.
+	Active() bool
+	// Down reports whether a node is crashed. Messages from or to a down
+	// node are lost.
+	Down(node int) bool
+	// NICFactor scales a node's NIC bandwidth (1 = healthy).
+	NICFactor(node int) float64
+	// DropMessage decides whether one remote message is dropped, or
+	// delivered late by the returned extra delay.
+	DropMessage(from, to int) (drop bool, delay sim.Time)
+	// NoteDropped records a message lost to a fault.
+	NoteDropped(from, to int)
+}
+
 // Network is the interconnect connecting a fixed set of nodes.
 type Network struct {
 	eng     *sim.Engine
 	cfg     Config
 	nodes   map[int]*Node
 	traffic *metrics.Traffic
+	faults  FaultPolicy
 
 	// replyFree recycles the private reply mailboxes Call creates, one per
 	// in-flight request. A mailbox returns to the list once its single
@@ -82,6 +102,10 @@ func New(eng *sim.Engine, cfg Config, traffic *metrics.Traffic) *Network {
 
 // Traffic returns the collector recording this network's byte counts.
 func (n *Network) Traffic() *metrics.Traffic { return n.traffic }
+
+// SetFaults installs the fault layer the network consults on every remote
+// transfer. Pass nil to remove it.
+func (n *Network) SetFaults(f FaultPolicy) { n.faults = f }
 
 // Config returns the interconnect parameters.
 func (n *Network) Config() Config { return n.cfg }
@@ -133,25 +157,57 @@ func (nd *Node) EgressBusy() sim.Time { return nd.egress.BusyTime() }
 func (nd *Node) IngressBusy() sim.Time { return nd.ingress.BusyTime() }
 
 // transfer performs the timed store-and-forward movement of size bytes
-// from src to dst on behalf of process p. Loopback transfers cost nothing.
-func (n *Network) transfer(p *sim.Proc, src, dst *Node, size int64, class metrics.TrafficClass) {
+// from src to dst on behalf of process p, reporting whether the message
+// survived any injected faults. Loopback transfers cost nothing and cannot
+// be lost: a node always reaches itself.
+func (n *Network) transfer(p *sim.Proc, src, dst *Node, size int64, class metrics.TrafficClass) bool {
 	if src.id == dst.id {
-		return
+		return true
 	}
-	src.egress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec))
+	f := n.faults
+	if f == nil || !f.Active() {
+		src.egress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec))
+		p.Sleep(n.cfg.Latency)
+		dst.ingress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec))
+		n.traffic.Add(class, size)
+		return true
+	}
+	if f.Down(src.id) {
+		// The sender's node is crashed: whatever its frozen processes were
+		// emitting never reaches the wire.
+		f.NoteDropped(src.id, dst.id)
+		return false
+	}
+	src.egress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec*f.NICFactor(src.id)))
 	p.Sleep(n.cfg.Latency)
-	dst.ingress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec))
+	if drop, delay := f.DropMessage(src.id, dst.id); drop {
+		f.NoteDropped(src.id, dst.id)
+		return false
+	} else if delay > 0 {
+		p.Sleep(delay)
+	}
+	if f.Down(dst.id) {
+		// Crashed before the message arrived: the bytes crossed the wire
+		// but nobody is listening.
+		f.NoteDropped(src.id, dst.id)
+		return false
+	}
+	dst.ingress.Use(p, 1, sim.TransferTime(size, n.cfg.BytesPerSec*f.NICFactor(dst.id)))
 	n.traffic.Add(class, size)
+	return true
 }
 
 // Send moves msg from msg.From to msg.To, blocking p for the transfer
 // time, then delivers it to the destination port. The sending process
 // models the full store-and-forward pipeline, so back-to-back Sends from
-// one process are serialized, as they would be through one socket.
+// one process are serialized, as they would be through one socket. A
+// message lost to an injected fault simply never arrives; senders that
+// need delivery confirmation use Call with a timeout.
 func (n *Network) Send(p *sim.Proc, msg Message) {
 	src, dst := n.Node(msg.From), n.Node(msg.To)
-	n.transfer(p, src, dst, msg.Size, msg.Class)
-	dst.Port(msg.Port).Put(msg)
+	if n.transfer(p, src, dst, msg.Size, msg.Class) {
+		dst.Port(msg.Port).Put(msg)
+	}
 }
 
 // SendAsync starts the transfer on a child process and returns a signal
@@ -172,14 +228,7 @@ func (n *Network) SendAsync(p *sim.Proc, msg Message) *sim.Signal[struct{}] {
 // returned message is the response. The request's Reply mailbox is created
 // here and is private to this call.
 func (n *Network) Call(p *sim.Proc, msg Message) Message {
-	var reply *sim.Mailbox[Message]
-	if k := len(n.replyFree); k > 0 {
-		reply = n.replyFree[k-1]
-		n.replyFree[k-1] = nil
-		n.replyFree = n.replyFree[:k-1]
-	} else {
-		reply = sim.NewMailbox[Message](n.eng, "reply")
-	}
+	reply := n.acquireReply()
 	msg.Reply = reply
 	n.Send(p, msg)
 	resp := reply.Get(p)
@@ -189,15 +238,67 @@ func (n *Network) Call(p *sim.Proc, msg Message) Message {
 	return resp
 }
 
+// CallCancelable sends a request and waits for the response, giving up
+// when deadline elapses (if deadline > 0) or when abort reports true —
+// checked every quantum of simulated time. It returns ok=false on
+// give-up. The abandoned reply mailbox is not recycled, so a late
+// response parks there harmlessly instead of crossing into a later call:
+// late replies are dropped, never double-delivered.
+//
+// With quantum and deadline both zero and a nil abort it degenerates to
+// Call.
+func (n *Network) CallCancelable(p *sim.Proc, msg Message, quantum, deadline sim.Time, abort func() bool) (Message, bool) {
+	reply := n.acquireReply()
+	msg.Reply = reply
+	n.Send(p, msg)
+	start := p.Now()
+	for {
+		wait := quantum
+		if deadline > 0 {
+			remain := deadline - (p.Now() - start)
+			if remain <= 0 {
+				return Message{}, false
+			}
+			if wait <= 0 || remain < wait {
+				wait = remain
+			}
+		} else if wait <= 0 {
+			resp := reply.Get(p)
+			n.replyFree = append(n.replyFree, reply)
+			return resp, true
+		}
+		if resp, ok := reply.GetTimeout(p, wait); ok {
+			n.replyFree = append(n.replyFree, reply)
+			return resp, true
+		}
+		if abort != nil && abort() {
+			return Message{}, false
+		}
+	}
+}
+
+func (n *Network) acquireReply() *sim.Mailbox[Message] {
+	if k := len(n.replyFree); k > 0 {
+		reply := n.replyFree[k-1]
+		n.replyFree[k-1] = nil
+		n.replyFree = n.replyFree[:k-1]
+		return reply
+	}
+	return sim.NewMailbox[Message](n.eng, "reply")
+}
+
 // Respond delivers a response to the Reply mailbox of req, charging the
 // wire cost of moving size bytes from the responder back to the
-// requester. It must be called by the process handling req.
+// requester. It must be called by the process handling req. Responses
+// from or to a crashed node are lost like any other message.
 func (n *Network) Respond(p *sim.Proc, req Message, payload any, size int64, class metrics.TrafficClass) {
 	if req.Reply == nil {
 		panic("simnet: Respond to a message without a Reply mailbox")
 	}
 	src, dst := n.Node(req.To), n.Node(req.From)
-	n.transfer(p, src, dst, size, class)
+	if !n.transfer(p, src, dst, size, class) {
+		return
+	}
 	req.Reply.Put(Message{
 		From:    req.To,
 		To:      req.From,
