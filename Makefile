@@ -1,4 +1,4 @@
-.PHONY: tier1 extended
+.PHONY: tier1 extended bench-smoke
 
 # Tier-1 gate: must stay green on every PR.
 tier1:
@@ -9,3 +9,9 @@ tier1:
 extended: tier1
 	go vet ./...
 	go test -race ./...
+
+# Bench smoke: a short cache experiment end to end (writes BENCH_cache.json
+# from the reduced sweep) plus the cache subsystem under the race detector.
+bench-smoke:
+	go run ./cmd/dasbench -quick -cache -cache-rounds 2 -json BENCH_cache_smoke.json
+	go test -race ./internal/cache/...

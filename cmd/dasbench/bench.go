@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/core"
 	"github.com/hpcio/das/internal/experiments"
 	"github.com/hpcio/das/internal/grid"
@@ -39,14 +40,15 @@ type schemeBenchResult struct {
 }
 
 type benchReport struct {
-	GoMaxProcs  int                 `json:"go_max_procs"`
-	NumCPU      int                 `json:"num_cpu"`
-	GridWidth   int                 `json:"grid_width"`
-	GridHeight  int                 `json:"grid_height"`
-	SchemeSize  int                 `json:"scheme_size_gb"`
-	SchemeNodes int                 `json:"scheme_nodes"`
-	Kernels     []kernelBenchResult `json:"kernels"`
-	Schemes     []schemeBenchResult `json:"schemes"`
+	GoMaxProcs  int                          `json:"go_max_procs"`
+	NumCPU      int                          `json:"num_cpu"`
+	GridWidth   int                          `json:"grid_width"`
+	GridHeight  int                          `json:"grid_height"`
+	SchemeSize  int                          `json:"scheme_size_gb"`
+	SchemeNodes int                          `json:"scheme_nodes"`
+	Kernels     []kernelBenchResult          `json:"kernels"`
+	Schemes     []schemeBenchResult          `json:"schemes"`
+	Recovery    []experiments.SchemeRecovery `json:"recovery"`
 }
 
 // benchJSON runs the kernel and scheme micro-benchmarks and writes the
@@ -133,14 +135,42 @@ func benchJSON(cfg experiments.Config, path string) error {
 		})
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	// The crashed-run recovery counters: previously these appeared only in
+	// the -faults human-readable notes, so the JSON trajectory lost the
+	// degrade and failover events.
+	_, recs, err := cfg.FaultFailoverRecovery()
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	rep.Recovery = recs
+
+	if err := writeJSON(path, rep); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d kernel rows, %d scheme rows)\n", path, len(rep.Kernels), len(rep.Schemes))
+	fmt.Printf("wrote %s (%d kernel rows, %d scheme rows, %d recovery rows)\n",
+		path, len(rep.Kernels), len(rep.Schemes), len(rep.Recovery))
 	return nil
+}
+
+// cacheJSON runs the halo-strip cache experiment and writes its report to
+// path (the BENCH_cache.json artifact).
+func cacheJSON(cfg experiments.Config, rounds int, path string) error {
+	r, report, err := cfg.CacheExperiment(rounds, cache.Config{})
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(path, report); err != nil {
+		return err
+	}
+	fmt.Println(r.Table())
+	fmt.Printf("wrote %s (%d variants)\n", path, len(report.Variants))
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -10,7 +10,9 @@
 //	dasbench -exp ablations   # the four ablations
 //	dasbench -csv             # machine-readable output
 //	dasbench -quick           # reduced sizes/nodes
-//	dasbench -json BENCH_kernels.json   # kernel/scheme micro-benchmarks
+//	dasbench -json BENCH_kernels.json   # kernel/scheme micro-benchmarks + recovery counters
+//	dasbench -cache                     # halo-strip cache experiment, text table
+//	dasbench -cache -json BENCH_cache.json   # same, JSON report
 //	dasbench -cpuprofile cpu.out -exp fig11   # profile a run
 package main
 
@@ -22,12 +24,15 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, faults, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, faults, cache, ablations")
 	faults := flag.Bool("faults", false, "run the storage-server fault/failover comparison (shorthand for -exp faults)")
+	cacheExp := flag.Bool("cache", false, "run the halo-strip cache experiment (shorthand for -exp cache; with -json, writes the cache report instead of micro-benchmarks)")
+	cacheRounds := flag.Int("cache-rounds", 3, "rounds per variant in the cache experiment")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
 	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
@@ -62,13 +67,19 @@ func main() {
 
 	err := func() error {
 		if *benchJSONPath != "" {
+			if *cacheExp {
+				return cacheJSON(cfg, *cacheRounds, *benchJSONPath)
+			}
 			return benchJSON(cfg, *benchJSONPath)
 		}
 		name := strings.ToLower(*exp)
 		if *faults {
 			name = "faults"
 		}
-		return run(cfg, name, *csv, *chart)
+		if *cacheExp {
+			name = "cache"
+		}
+		return run(cfg, name, *cacheRounds, *csv, *chart)
 	}()
 
 	if *memprofile != "" {
@@ -92,7 +103,7 @@ func main() {
 	}
 }
 
-func run(cfg experiments.Config, exp string, csv, chart bool) error {
+func run(cfg experiments.Config, exp string, cacheRounds int, csv, chart bool) error {
 	emit := func(r *experiments.Result) {
 		if csv {
 			fmt.Printf("# %s\n%s\n", r.ID, r.CSV())
@@ -104,12 +115,16 @@ func run(cfg experiments.Config, exp string, csv, chart bool) error {
 		}
 	}
 	single := map[string]func() (*experiments.Result, error){
-		"fig10":                      cfg.Fig10,
-		"fig11":                      cfg.Fig11,
-		"fig12":                      cfg.Fig12,
-		"fig13":                      cfg.Fig13,
-		"fig14":                      cfg.Fig14,
-		"faults":                     cfg.FaultFailover,
+		"fig10":  cfg.Fig10,
+		"fig11":  cfg.Fig11,
+		"fig12":  cfg.Fig12,
+		"fig13":  cfg.Fig13,
+		"fig14":  cfg.Fig14,
+		"faults": cfg.FaultFailover,
+		"cache": func() (*experiments.Result, error) {
+			r, _, err := cfg.CacheExperiment(cacheRounds, cache.Config{})
+			return r, err
+		},
 		"ablation-group-size":        cfg.AblationGroupSize,
 		"ablation-predictor":         cfg.AblationPredictor,
 		"ablation-reconfig":          cfg.AblationReconfig,

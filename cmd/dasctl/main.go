@@ -10,12 +10,14 @@
 //	dasctl -servers 12 -op flow-routing -width 8192 \
 //	       -size 25165824                                # fetch plan summary
 //	dasctl -servers 4 -faults crash@10ms:s1              # crash coverage
+//	dasctl -servers 4 -cache -cache-policy arc           # halo-strip cache stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/hpcio/das/internal/fault"
 	"github.com/hpcio/das/internal/grid"
@@ -35,12 +37,44 @@ func main() {
 	size := flag.Int64("size", 0, "file size in bytes (required with -op)")
 	faults := flag.String("faults", "",
 		"fault plan to analyze, e.g. 'crash@10ms:s1,restart@60ms:s1,loss@0:0.05' — reports which strips survive the servers the plan leaves down")
+	cacheDemo := flag.Bool("cache", false,
+		"run a short offloaded workload with the halo-strip cache enabled and report per-server cache stats")
+	cachePolicy := flag.String("cache-policy", "lru", "cache eviction policy for -cache: lru or arc")
+	cacheRounds := flag.Int("cache-rounds", 3, "offloaded rounds for -cache")
 	flag.Parse()
 
-	if err := run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size, *faults); err != nil {
+	err := checkExclusive(*op, *faults, *cacheDemo)
+	if err == nil {
+		if *cacheDemo {
+			err = cacheReport(os.Stdout, *servers, *cachePolicy, *cacheRounds)
+		} else {
+			err = run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size, *faults)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dasctl:", err)
 		os.Exit(1)
 	}
+}
+
+// checkExclusive rejects flag combinations that would otherwise be
+// silently ignored: -cache produces its own report and composes with
+// neither the fetch-plan (-op) nor the fault-coverage (-faults) analyses.
+func checkExclusive(op, faultSpec string, cacheDemo bool) error {
+	if !cacheDemo {
+		return nil
+	}
+	conflicts := []string{}
+	if op != "" {
+		conflicts = append(conflicts, "-op")
+	}
+	if faultSpec != "" {
+		conflicts = append(conflicts, "-faults")
+	}
+	if len(conflicts) > 0 {
+		return fmt.Errorf("-cache cannot be combined with %s", strings.Join(conflicts, " or "))
+	}
+	return nil
 }
 
 func run(servers int, strips int64, r, halo int, stripSize int64, op string, width int, size int64, faultSpec string) error {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckExclusiveRejectsCacheWithOtherReports(t *testing.T) {
+	cases := []struct {
+		op, faults string
+		cache      bool
+		wantErr    string
+	}{
+		{"", "", false, ""},
+		{"flow-routing", "", false, ""},
+		{"flow-routing", "crash@10ms:s1", false, ""}, // -op and -faults compose
+		{"", "", true, ""},
+		{"flow-routing", "", true, "-op"},
+		{"", "crash@10ms:s1", true, "-faults"},
+		{"flow-routing", "crash@10ms:s1", true, "-op or -faults"},
+	}
+	for _, c := range cases {
+		err := checkExclusive(c.op, c.faults, c.cache)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("checkExclusive(%q, %q, %v) = %v, want nil", c.op, c.faults, c.cache, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("checkExclusive(%q, %q, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("checkExclusive(%q, %q, %v) = %q, want mention of %s", c.op, c.faults, c.cache, err, c.wantErr)
+		}
+	}
+}
+
+func TestCacheReportRunsAndPrintsStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := cacheReport(&out, 4, "arc", 2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"policy arc", "server 0:", "server 3:", "cluster:", "hits="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCacheReportRejectsBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := cacheReport(&out, 0, "lru", 1); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if err := cacheReport(&out, 4, "fifo", 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

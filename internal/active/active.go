@@ -21,6 +21,7 @@ package active
 import (
 	"fmt"
 
+	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/grid"
 	"github.com/hpcio/das/internal/kernels"
 	"github.com/hpcio/das/internal/pfs"
@@ -121,6 +122,8 @@ type execResp struct {
 	Elements      int64 // elements produced
 	RemoteFetches int64 // remote strip (or row-range) requests issued
 	RemoteBytes   int64 // bytes fetched from other servers
+	CacheHits     int64 // dependent ranges served by the halo-strip cache
+	CacheHitBytes int64 // bytes those hits kept off the network
 	Phases        Phases
 }
 
@@ -131,6 +134,8 @@ type ExecStats struct {
 	Elements      int64
 	RemoteFetches int64
 	RemoteBytes   int64
+	CacheHits     int64
+	CacheHitBytes int64
 	// PhaseMax holds, per phase, the busiest server's time — the
 	// critical-path decomposition of the operation.
 	PhaseMax Phases
@@ -145,7 +150,14 @@ type Service struct {
 	fs       *pfs.FileSystem
 	registry *kernels.Registry
 	reducers *kernels.ReducerRegistry
+	// cache, when set, is the halo-strip cache subsystem: dependent
+	// fetches consult the fetching server's cache first and feed every
+	// miss back as a fresh entry plus a latency observation.
+	cache *cache.Manager
 }
+
+// SetCache attaches the halo-strip cache manager (nil detaches).
+func (svc *Service) SetCache(m *cache.Manager) { svc.cache = m }
 
 // Deploy starts an AS helper daemon on each storage node of an existing
 // file system. A nil reducer registry installs the defaults.
@@ -280,6 +292,7 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		type fetched struct {
 			data  []byte
 			gotLo int64
+			hit   bool
 			err   error
 		}
 		fetchStart := p.Now()
@@ -289,16 +302,21 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 			sig := sim.NewSignal[fetched](clu.Eng, fmt.Sprintf("as-fetch-%d-%d", srv.Index(), rm.strip))
 			fetchSigs[i] = sig
 			p.Spawn(fmt.Sprintf("as-fetch-%d-%d", srv.Index(), rm.strip), func(f *sim.Proc) {
-				data, gotLo, err := svc.fetchRemote(f, srv, in, req.Mode, rm.strip, rm.needLo, rm.needHi)
-				sig.Fire(fetched{data: data, gotLo: gotLo, err: err})
+				data, gotLo, hit, err := svc.fetchRemote(f, srv, in, req.Mode, rm.strip, rm.needLo, rm.needHi)
+				sig.Fire(fetched{data: data, gotLo: gotLo, hit: hit, err: err})
 			})
 		}
 		for _, got := range sim.WaitAll(p, fetchSigs) {
 			if got.err != nil {
 				return execResp{}, got.err
 			}
-			resp.RemoteFetches++
-			resp.RemoteBytes += int64(len(got.data))
+			if got.hit {
+				resp.CacheHits++
+				resp.CacheHitBytes += int64(len(got.data))
+			} else {
+				resp.RemoteFetches++
+				resp.RemoteBytes += int64(len(got.data))
+			}
 			band.FillBytes(got.gotLo/in.ElemSize, got.data)
 			pfs.ReleaseBuffer(got.data)
 		}
@@ -369,23 +387,45 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 }
 
 // fetchRemote resolves a byte range of a strip this server does not hold.
-func (svc *Service) fetchRemote(p *sim.Proc, srv *pfs.Server, in *pfs.FileMeta, mode FetchMode, t, needLo, needHi int64) (data []byte, gotLo int64, err error) {
+// With the cache subsystem attached, the server's halo-strip cache is
+// consulted first: a hit serves the range from local memory (free on the
+// DES clock — the bytes already sit on this node, and the caller's copy
+// into the band is the same work either way); a miss pays the remote
+// fetch, then feeds the bytes and the observed latency back to the cache.
+func (svc *Service) fetchRemote(p *sim.Proc, srv *pfs.Server, in *pfs.FileMeta, mode FetchMode, t, needLo, needHi int64) (data []byte, gotLo int64, hit bool, err error) {
 	if mode == LocalOnly {
-		return nil, 0, fmt.Errorf("active: server %d needs strip %d of %q but mode is local-only (layout violates the locality the predictor verified)",
+		return nil, 0, false, fmt.Errorf("active: server %d needs strip %d of %q but mode is local-only (layout violates the locality the predictor verified)",
 			srv.Index(), t, in.Name)
 	}
 	owner := in.Layout.Primary(t)
-	tLo, _ := in.StripBounds(t)
+	tLo, tHi := in.StripBounds(t)
+	// The cached range is strip-relative: whole strips want [0, len),
+	// row fetches want the needed slice.
+	wantLo, wantHi := int64(0), tHi-tLo
+	if mode == FetchRows {
+		wantLo, wantHi = needLo-tLo, needHi-tLo
+	}
+	if svc.cache != nil {
+		if cached, ok := svc.cache.Get(srv.Index(), in.Name, t, wantLo, wantHi); ok {
+			return cached, tLo + wantLo, true, nil
+		}
+	}
+	fetchStart := p.Now()
 	switch mode {
 	case FetchWholeStrips:
 		data, err = svc.fs.ReadStripFrom(p, srv.NodeID(), owner, in.Name, t, 0, 0)
-		return data, tLo, err
 	case FetchRows:
 		data, err = svc.fs.ReadStripFrom(p, srv.NodeID(), owner, in.Name, t, needLo-tLo, needHi-tLo)
-		return data, needLo, err
 	default:
-		return nil, 0, fmt.Errorf("active: unsupported fetch mode %v", mode)
+		return nil, 0, false, fmt.Errorf("active: unsupported fetch mode %v", mode)
 	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if svc.cache != nil {
+		svc.cache.RecordFetch(srv.Index(), in.Name, t, wantLo, data, p.Now()-fetchStart)
+	}
+	return data, tLo + wantLo, false, nil
 }
 
 // actor names a storage server for trace events.
@@ -495,6 +535,8 @@ func (c *Client) Exec(p *sim.Proc, op, input, output string, mode FetchMode) (Ex
 		stats.Elements += r.Elements
 		stats.RemoteFetches += r.RemoteFetches
 		stats.RemoteBytes += r.RemoteBytes
+		stats.CacheHits += r.CacheHits
+		stats.CacheHitBytes += r.CacheHitBytes
 		stats.PhaseMax.MaxWith(r.Phases)
 	}
 	return stats, nil

@@ -138,6 +138,8 @@ func (c *Client) execDegraded(p *sim.Proc, op, input, output string, mode FetchM
 			stats.Elements += r.resp.Elements
 			stats.RemoteFetches += r.resp.RemoteFetches
 			stats.RemoteBytes += r.resp.RemoteBytes
+			stats.CacheHits += r.resp.CacheHits
+			stats.CacheHitBytes += r.resp.CacheHitBytes
 			stats.PhaseMax.MaxWith(r.resp.Phases)
 		}
 		sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })

@@ -1,0 +1,329 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// Config tunes the halo-strip cache subsystem. The zero value is usable:
+// Normalize fills in defaults sized for the experiment cluster.
+type Config struct {
+	// BudgetBytes is each server's resident byte budget.
+	BudgetBytes int64
+	// MaxPinnedFrac bounds pinned bytes as a fraction of the budget so
+	// the tuning loop cannot starve the adaptive part of the cache.
+	MaxPinnedFrac float64
+	// Policy names the eviction policy: "lru" (default) or "arc".
+	Policy string
+	// SampleEvery is the manager's tuning-tick period on the DES clock.
+	SampleEvery sim.Time
+	// LatencyHigh promotes: when a server's mean halo-fetch latency over
+	// a window exceeds it, the server's hottest cached strips get pinned.
+	LatencyHigh sim.Time
+	// LatencyLow demotes: when the mean latency falls below it, pinned
+	// strips that saw no hits in the window get unpinned.
+	LatencyLow sim.Time
+	// MaxPromotionsPerTick bounds how many strips one tick may pin on one
+	// server, keeping the loop incremental like DynamicCache's.
+	MaxPromotionsPerTick int
+}
+
+// Normalize fills zero fields with defaults and validates the rest.
+func (c Config) Normalize() (Config, error) {
+	if c.BudgetBytes == 0 {
+		c.BudgetBytes = 8 << 20 // 8 MiB per server
+	}
+	if c.BudgetBytes < 0 {
+		return c, fmt.Errorf("cache: negative budget %d", c.BudgetBytes)
+	}
+	if c.MaxPinnedFrac == 0 {
+		c.MaxPinnedFrac = 0.5
+	}
+	if c.MaxPinnedFrac < 0 || c.MaxPinnedFrac > 1 {
+		return c, fmt.Errorf("cache: MaxPinnedFrac %v outside [0,1]", c.MaxPinnedFrac)
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 5 * sim.Millisecond
+	}
+	if c.SampleEvery < 0 {
+		return c, fmt.Errorf("cache: negative sample period %v", c.SampleEvery)
+	}
+	if c.LatencyHigh == 0 {
+		c.LatencyHigh = 500 * sim.Microsecond
+	}
+	if c.LatencyLow == 0 {
+		c.LatencyLow = 100 * sim.Microsecond
+	}
+	if c.LatencyLow > c.LatencyHigh {
+		return c, fmt.Errorf("cache: LatencyLow %v > LatencyHigh %v", c.LatencyLow, c.LatencyHigh)
+	}
+	if c.MaxPromotionsPerTick == 0 {
+		c.MaxPromotionsPerTick = 4
+	}
+	if _, err := NewPolicy(c.Policy, c.BudgetBytes); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// Action is one replica-tuning decision, logged for reports and the
+// determinism tests.
+type Action struct {
+	At     sim.Time
+	Server int
+	Kind   string // "promote" or "demote"
+	File   string
+	Strip  int64
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("[%v] server %d %s %s strip %d", a.At, a.Server, a.Kind, a.File, a.Strip)
+}
+
+// Manager owns one ServerCache per storage server and runs the
+// latency-driven replica-tuning loop as a goroutine-free chain of daemon
+// timers on the DES clock: each tick samples every server's fetch-latency
+// and hit window, pins the hottest strips on servers whose halo fetches
+// run slow, unpins idle strips on servers whose fetches run fast, and
+// reschedules itself. Daemon timers do not keep Engine.Run alive, so an
+// idle manager never deadlocks a finished workload.
+type Manager struct {
+	eng     *sim.Engine
+	cfg     Config
+	servers []*ServerCache
+	agg     *metrics.Cache
+
+	// per-file byte hit/miss windows feed HitRateEstimate for predict.
+	fileHit  map[string]int64
+	fileMiss map[string]int64
+
+	actions []Action
+	ticks   int64
+	timer   *sim.Timer
+	started bool
+}
+
+// NewManager builds the subsystem: one cache per storage server. incFn
+// reports a server's current incarnation (nil means "never restarts");
+// agg is the cluster-wide counter collector (nil allocates a private one).
+func NewManager(eng *sim.Engine, nServers int, cfg Config, incFn func(srv int) uint64, agg *metrics.Cache) (*Manager, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if agg == nil {
+		agg = metrics.NewCache()
+	}
+	m := &Manager{
+		eng:      eng,
+		cfg:      cfg,
+		agg:      agg,
+		fileHit:  make(map[string]int64),
+		fileMiss: make(map[string]int64),
+	}
+	maxPinned := int64(float64(cfg.BudgetBytes) * cfg.MaxPinnedFrac)
+	for i := 0; i < nServers; i++ {
+		i := i
+		var fn func() uint64
+		if incFn != nil {
+			fn = func() uint64 { return incFn(i) }
+		}
+		pol, _ := NewPolicy(cfg.Policy, cfg.BudgetBytes) // validated by Normalize
+		m.servers = append(m.servers, newServerCache(i, cfg.BudgetBytes, maxPinned, pol, fn, agg))
+	}
+	return m, nil
+}
+
+// Config returns the normalized configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Server returns the cache of storage server i, or nil out of range.
+func (m *Manager) Server(i int) *ServerCache {
+	if i < 0 || i >= len(m.servers) {
+		return nil
+	}
+	return m.servers[i]
+}
+
+// NumServers returns the number of per-server caches.
+func (m *Manager) NumServers() int { return len(m.servers) }
+
+// Counters returns the cluster-wide counter collector.
+func (m *Manager) Counters() *metrics.Cache { return m.agg }
+
+// Start arms the tuning loop. Safe to call once per engine run; ticks are
+// daemon timers, so an idle system still terminates.
+func (m *Manager) Start() {
+	if m.started || m.cfg.SampleEvery <= 0 {
+		return
+	}
+	m.started = true
+	m.timer = m.eng.AfterFuncDaemon(m.cfg.SampleEvery, m.tick)
+}
+
+// Stop disarms the tuning loop.
+func (m *Manager) Stop() {
+	if m.timer != nil {
+		m.timer.Stop()
+		m.timer = nil
+	}
+	m.started = false
+}
+
+// Get serves bytes [lo, hi) of a strip from server srv's cache. Hits are
+// free on the DES clock: the data already sits in the server's memory, so
+// the simulated cost is the in-memory copy the caller performs anyway.
+func (m *Manager) Get(srv int, file string, strip, lo, hi int64) ([]byte, bool) {
+	c := m.Server(srv)
+	if c == nil {
+		return nil, false
+	}
+	data, ok := c.Get(file, strip, lo, hi)
+	if ok {
+		m.fileHit[file] += hi - lo
+	}
+	return data, ok
+}
+
+// RecordFetch accounts a remote halo fetch server srv had to perform —
+// a cache miss — and admits a copy of the fetched bytes. lat is the
+// observed DES latency of the fetch, which drives the tuning loop.
+func (m *Manager) RecordFetch(srv int, file string, strip, lo int64, data []byte, lat sim.Time) {
+	c := m.Server(srv)
+	if c == nil {
+		return
+	}
+	c.RecordMiss(int64(len(data)), lat)
+	m.fileMiss[file] += int64(len(data))
+	c.Put(file, strip, lo, data)
+}
+
+// InvalidateStrip drops every server's cached copy of a strip. The pfs
+// write path calls this from storePut so a write anywhere kills stale
+// halo copies everywhere.
+func (m *Manager) InvalidateStrip(file string, strip int64) {
+	for _, c := range m.servers {
+		c.Invalidate(file, strip)
+	}
+}
+
+// InvalidateFile drops every server's cached strips of a file.
+func (m *Manager) InvalidateFile(file string) {
+	for _, c := range m.servers {
+		c.InvalidateFile(file)
+	}
+}
+
+// HitRateEstimate returns the observed byte hit fraction for a file's
+// halo fetches, 0 before any observation — the discount predict applies
+// to dependent bytes in the cache-aware offload decision.
+func (m *Manager) HitRateEstimate(file string) float64 {
+	h, ms := m.fileHit[file], m.fileMiss[file]
+	if h+ms == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+ms)
+}
+
+// Actions returns the replica-tuning log in decision order.
+func (m *Manager) Actions() []Action { return m.actions }
+
+// Ticks returns how many tuning ticks have run.
+func (m *Manager) Ticks() int64 { return m.ticks }
+
+// Stats returns per-server snapshots in server order.
+func (m *Manager) Stats() []Stats {
+	out := make([]Stats, 0, len(m.servers))
+	for _, c := range m.servers {
+		out = append(out, c.Snapshot())
+	}
+	return out
+}
+
+// tick is one pass of the tuning loop: servers in index order, candidate
+// strips in (hits desc, file asc, strip asc) order — fully deterministic.
+func (m *Manager) tick() {
+	m.ticks++
+	for _, c := range m.servers {
+		c.checkIncarnation()
+		if c.winFetches > 0 {
+			mean := c.winFetchLat / sim.Time(c.winFetches)
+			if mean >= m.cfg.LatencyHigh {
+				m.promoteHot(c)
+			}
+		} else if c.winHits > 0 {
+			// No fetches but hits: the cache already absorbs the halo
+			// traffic cheaply; release pins that went idle.
+			m.demoteIdle(c)
+		}
+		if c.winFetches > 0 {
+			mean := c.winFetchLat / sim.Time(c.winFetches)
+			if mean <= m.cfg.LatencyLow {
+				m.demoteIdle(c)
+			}
+		}
+		// reset the sampling window
+		c.winFetches, c.winFetchLat, c.winHits = 0, 0, 0
+		for _, e := range c.entries {
+			e.winHits = 0
+		}
+	}
+	m.timer = m.eng.AfterFuncDaemon(m.cfg.SampleEvery, m.tick)
+}
+
+// promoteHot pins the most-hit unpinned strips of a slow server.
+func (m *Manager) promoteHot(c *ServerCache) {
+	type cand struct {
+		k    Key
+		hits int64
+	}
+	var cands []cand
+	for k, e := range c.entries {
+		if !e.pinned && e.winHits > 0 {
+			cands = append(cands, cand{k, e.winHits})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hits != cands[j].hits {
+			return cands[i].hits > cands[j].hits
+		}
+		if cands[i].k.File != cands[j].k.File {
+			return cands[i].k.File < cands[j].k.File
+		}
+		return cands[i].k.Strip < cands[j].k.Strip
+	})
+	n := 0
+	for _, cd := range cands {
+		if n >= m.cfg.MaxPromotionsPerTick {
+			break
+		}
+		if c.Pin(cd.k.File, cd.k.Strip) {
+			m.actions = append(m.actions, Action{At: m.eng.Now(), Server: c.srv, Kind: "promote", File: cd.k.File, Strip: cd.k.Strip})
+			n++
+		}
+	}
+}
+
+// demoteIdle unpins pinned strips that saw no hits in the window.
+func (m *Manager) demoteIdle(c *ServerCache) {
+	var keys []Key
+	for k, e := range c.entries {
+		if e.pinned && e.winHits == 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].File != keys[j].File {
+			return keys[i].File < keys[j].File
+		}
+		return keys[i].Strip < keys[j].Strip
+	})
+	for _, k := range keys {
+		if c.Unpin(k.File, k.Strip) {
+			m.actions = append(m.actions, Action{At: m.eng.Now(), Server: c.srv, Kind: "demote", File: k.File, Strip: k.Strip})
+		}
+	}
+}

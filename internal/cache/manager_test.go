@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		BudgetBytes:          1024,
+		SampleEvery:          sim.Millisecond,
+		LatencyHigh:          100 * sim.Microsecond,
+		LatencyLow:           10 * sim.Microsecond,
+		MaxPromotionsPerTick: 2,
+	}
+}
+
+func TestConfigNormalizeDefaultsAndErrors(t *testing.T) {
+	cfg, err := Config{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BudgetBytes <= 0 || cfg.SampleEvery <= 0 || cfg.LatencyHigh <= cfg.LatencyLow {
+		t.Errorf("bad defaults: %+v", cfg)
+	}
+	for _, bad := range []Config{
+		{BudgetBytes: -1},
+		{MaxPinnedFrac: 1.5},
+		{LatencyLow: 2 * sim.Millisecond, LatencyHigh: sim.Millisecond},
+		{Policy: "fifo"},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestManagerPromotesHotStripsOnSlowFetches(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := NewManager(eng, 2, testConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	buf := make([]byte, 64)
+	eng.Spawn("workload", func(p *sim.Proc) {
+		// Server 0 pays slow fetches for three strips, then hits two of
+		// them — strip 2 twice, strip 1 once.
+		for s := int64(1); s <= 3; s++ {
+			m.RecordFetch(0, "f", s, 0, buf, 200*sim.Microsecond)
+		}
+		for _, s := range []int64{2, 2, 1} {
+			if _, ok := m.Get(0, "f", s, 0, 64); !ok {
+				t.Errorf("warm lookup for strip %d missed", s)
+			}
+		}
+		p.Sleep(1500 * sim.Microsecond) // past the first tick
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ticks() == 0 {
+		t.Fatal("tuning loop never ticked")
+	}
+	acts := m.Actions()
+	if len(acts) != 2 {
+		t.Fatalf("actions = %v, want 2 promotions", acts)
+	}
+	// MaxPromotionsPerTick = 2: the two hottest strips, hit-count order.
+	if acts[0].Kind != "promote" || acts[0].Strip != 2 {
+		t.Errorf("first action %v, want promote strip 2", acts[0])
+	}
+	if acts[1].Kind != "promote" || acts[1].Strip != 1 {
+		t.Errorf("second action %v, want promote strip 1", acts[1])
+	}
+	if !m.Server(0).Pinned("f", 2) || !m.Server(0).Pinned("f", 1) {
+		t.Error("promoted strips not pinned")
+	}
+	if m.Server(0).Pinned("f", 3) {
+		t.Error("cold strip pinned")
+	}
+	if m.Server(1).UsedBytes() != 0 {
+		t.Error("idle server's cache touched")
+	}
+}
+
+func TestManagerDemotesIdlePinsWhenFetchesRunFast(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := NewManager(eng, 1, testConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	buf := make([]byte, 64)
+	eng.Spawn("workload", func(p *sim.Proc) {
+		// Window 1: slow fetch + hit → promotion at the first tick.
+		m.RecordFetch(0, "f", 1, 0, buf, 500*sim.Microsecond)
+		m.Get(0, "f", 1, 0, 64)
+		p.Sleep(1500 * sim.Microsecond)
+		if !m.Server(0).Pinned("f", 1) {
+			t.Error("strip not pinned after slow window")
+		}
+		// Window 2: fast fetch traffic elsewhere, the pinned strip idle →
+		// demotion at the next tick.
+		m.RecordFetch(0, "f", 9, 0, buf, sim.Microsecond)
+		p.Sleep(sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Server(0).Pinned("f", 1) {
+		t.Error("idle pin survived a fast window")
+	}
+	acts := m.Actions()
+	if len(acts) != 2 || acts[1].Kind != "demote" {
+		t.Errorf("actions = %v, want promote then demote", acts)
+	}
+}
+
+func TestManagerHitRateEstimatePerFile(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := NewManager(eng, 1, testConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HitRateEstimate("f") != 0 {
+		t.Error("estimate nonzero before observations")
+	}
+	buf := make([]byte, 100)
+	m.RecordFetch(0, "f", 1, 0, buf, sim.Microsecond)
+	if m.HitRateEstimate("f") != 0 {
+		t.Error("estimate nonzero after a miss only")
+	}
+	m.Get(0, "f", 1, 0, 100)
+	if got := m.HitRateEstimate("f"); got != 0.5 {
+		t.Errorf("estimate = %v, want 0.5", got)
+	}
+	if m.HitRateEstimate("g") != 0 {
+		t.Error("another file's estimate leaked")
+	}
+}
+
+func TestManagerInvalidateBroadcasts(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := NewManager(eng, 3, testConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for srv := 0; srv < 3; srv++ {
+		m.RecordFetch(srv, "f", 1, 0, buf, sim.Microsecond)
+		m.RecordFetch(srv, "f", 2, 0, buf, sim.Microsecond)
+	}
+	m.InvalidateStrip("f", 1)
+	for srv := 0; srv < 3; srv++ {
+		if m.Server(srv).Holds("f", 1) {
+			t.Errorf("server %d kept the invalidated strip", srv)
+		}
+		if !m.Server(srv).Holds("f", 2) {
+			t.Errorf("server %d lost an unrelated strip", srv)
+		}
+	}
+	m.InvalidateFile("f")
+	for srv := 0; srv < 3; srv++ {
+		if m.Server(srv).UsedBytes() != 0 {
+			t.Errorf("server %d kept bytes after file invalidation", srv)
+		}
+	}
+}
+
+func TestManagerRestartPurgeViaIncarnation(t *testing.T) {
+	eng := sim.NewEngine()
+	incs := []uint64{1, 1}
+	m, err := NewManager(eng, 2, testConfig(), func(srv int) uint64 { return incs[srv] }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	m.RecordFetch(0, "f", 1, 0, buf, sim.Microsecond)
+	m.RecordFetch(1, "f", 2, 0, buf, sim.Microsecond)
+	incs[0] = 2 // server 0 restarts
+	if m.Server(0).Holds("f", 1) {
+		t.Error("server 0's cache survived its restart")
+	}
+	if !m.Server(1).Holds("f", 2) {
+		t.Error("server 1's cache purged by server 0's restart")
+	}
+}
+
+func TestManagerStopHaltsTicks(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := NewManager(eng, 1, testConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	eng.Spawn("workload", func(p *sim.Proc) {
+		p.Sleep(1500 * sim.Microsecond)
+		m.Stop()
+		p.Sleep(3 * sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Ticks() != 1 {
+		t.Errorf("ticks = %d after Stop, want 1", m.Ticks())
+	}
+}

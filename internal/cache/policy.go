@@ -1,0 +1,300 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy orders a ServerCache's resident entries for eviction. Policies
+// track keys and sizes only; the cache owns the bytes. All bookkeeping
+// structures are lists and maps keyed by insertion/access order, never
+// iterated by map order, so identical call sequences produce identical
+// victims — the determinism the DES contract demands.
+type Policy interface {
+	// Name identifies the policy for reports and configs.
+	Name() string
+	// Touch records a hit on a resident key.
+	Touch(k Key)
+	// Insert records a newly admitted resident entry of the given size.
+	Insert(k Key, size int64)
+	// Remove forgets a resident entry (invalidation, purge, or eviction
+	// decided by the cache itself).
+	Remove(k Key)
+	// Victim proposes the next resident entry to evict, skipping keys the
+	// filter rejects (pinned entries). ok is false when nothing evictable
+	// remains.
+	Victim(evictable func(Key) bool) (Key, bool)
+}
+
+// NewPolicy builds a policy by name: "lru" or "arc". The budget is the
+// cache's byte budget; ARC uses it to bound its ghost lists.
+func NewPolicy(name string, budget int64) (Policy, error) {
+	switch name {
+	case "", "lru":
+		return NewLRU(), nil
+	case "arc":
+		return NewARC(budget), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q (known: lru, arc)", name)
+	}
+}
+
+// LRU is the classic least-recently-used order: hits and inserts move a
+// key to the front, the victim is the rearmost evictable key.
+type LRU struct {
+	order *list.List // front = most recent; values are Key
+	elems map[Key]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), elems: make(map[Key]*list.Element)}
+}
+
+// Name returns "lru".
+func (l *LRU) Name() string { return "lru" }
+
+// Touch moves the key to the most-recent position.
+func (l *LRU) Touch(k Key) {
+	if e, ok := l.elems[k]; ok {
+		l.order.MoveToFront(e)
+	}
+}
+
+// Insert admits a key at the most-recent position.
+func (l *LRU) Insert(k Key, size int64) {
+	if e, ok := l.elems[k]; ok {
+		l.order.MoveToFront(e)
+		return
+	}
+	l.elems[k] = l.order.PushFront(k)
+}
+
+// Remove forgets the key.
+func (l *LRU) Remove(k Key) {
+	if e, ok := l.elems[k]; ok {
+		l.order.Remove(e)
+		delete(l.elems, k)
+	}
+}
+
+// Victim returns the least-recent evictable key.
+func (l *LRU) Victim(evictable func(Key) bool) (Key, bool) {
+	for e := l.order.Back(); e != nil; e = e.Prev() {
+		k := e.Value.(Key)
+		if evictable(k) {
+			return k, true
+		}
+	}
+	return Key{}, false
+}
+
+// ARC is a byte-weighted adaptation of the ARC (Adaptive Replacement
+// Cache) policy: resident entries live in T1 (seen once, recency) or T2
+// (seen more than once, frequency), and two ghost lists B1/B2 remember
+// the keys (not the bytes) of recent evictions from each side. A miss
+// that hits a ghost steers the adaptation target p — ghost hits in B1
+// grow p (favor recency), ghost hits in B2 shrink it (favor frequency) —
+// which is what lets the policy track a drifting halo workload without a
+// tuning knob.
+type ARC struct {
+	budget int64 // byte budget the cache enforces; bounds ghosts too
+	p      int64 // adaptation target: desired T1 bytes
+
+	t1, t2 *list.List // resident; front = most recent; values are Key
+	b1, b2 *list.List // ghosts: keys of recent evictions
+
+	elems map[Key]*arcElem
+	// ghost byte accounting uses the evicted entry's size so the ghost
+	// window covers roughly one budget's worth of history per side.
+	t1Bytes, t2Bytes, b1Bytes, b2Bytes int64
+}
+
+type arcElem struct {
+	where *list.List // which of t1/t2/b1/b2 holds the key
+	elem  *list.Element
+	size  int64
+}
+
+// NewARC returns an empty adaptive policy for the given byte budget.
+func NewARC(budget int64) *ARC {
+	if budget <= 0 {
+		budget = 1
+	}
+	return &ARC{
+		budget: budget,
+		t1:     list.New(), t2: list.New(),
+		b1: list.New(), b2: list.New(),
+		elems: make(map[Key]*arcElem),
+	}
+}
+
+// Name returns "arc".
+func (a *ARC) Name() string { return "arc" }
+
+// TargetT1Bytes exposes the adaptation target for tests and reports.
+func (a *ARC) TargetT1Bytes() int64 { return a.p }
+
+// Touch promotes a resident key to the frequent side.
+func (a *ARC) Touch(k Key) {
+	ae, ok := a.elems[k]
+	if !ok || (ae.where != a.t1 && ae.where != a.t2) {
+		return
+	}
+	if ae.where == a.t1 {
+		a.t1.Remove(ae.elem)
+		a.t1Bytes -= ae.size
+		ae.where = a.t2
+		ae.elem = a.t2.PushFront(k)
+		a.t2Bytes += ae.size
+		return
+	}
+	a.t2.MoveToFront(ae.elem)
+}
+
+// Insert admits a key. A key remembered by a ghost list re-enters on the
+// frequent side and moves the adaptation target toward the side that
+// proved useful; a cold key enters the recency side.
+func (a *ARC) Insert(k Key, size int64) {
+	if ae, ok := a.elems[k]; ok {
+		switch ae.where {
+		case a.t1, a.t2:
+			a.Touch(k)
+			return
+		case a.b1:
+			// Ghost hit on the recency side: recency deserved more room.
+			a.p = minInt64(a.budget, a.p+maxInt64(size, a.b2Bytes/maxInt64(int64(a.b1.Len()), 1)))
+			a.b1.Remove(ae.elem)
+			a.b1Bytes -= ae.size
+		case a.b2:
+			// Ghost hit on the frequency side: frequency deserved more room.
+			a.p = maxInt64(0, a.p-maxInt64(size, a.b1Bytes/maxInt64(int64(a.b2.Len()), 1)))
+			a.b2.Remove(ae.elem)
+			a.b2Bytes -= ae.size
+		}
+		ae.where = a.t2
+		ae.elem = a.t2.PushFront(k)
+		ae.size = size
+		a.t2Bytes += size
+		return
+	}
+	a.elems[k] = &arcElem{where: a.t1, elem: a.t1.PushFront(k), size: size}
+	a.t1Bytes += size
+	a.trimGhosts()
+}
+
+// Remove forgets a key wherever it lives, resident or ghost.
+func (a *ARC) Remove(k Key) {
+	ae, ok := a.elems[k]
+	if !ok {
+		return
+	}
+	switch ae.where {
+	case a.t1:
+		a.t1Bytes -= ae.size
+	case a.t2:
+		a.t2Bytes -= ae.size
+	case a.b1:
+		a.b1Bytes -= ae.size
+	case a.b2:
+		a.b2Bytes -= ae.size
+	}
+	ae.where.Remove(ae.elem)
+	delete(a.elems, k)
+}
+
+// Victim proposes the LRU key of whichever resident side exceeds its
+// adaptation share — T1 when it holds more than p bytes, T2 otherwise —
+// and remembers the choice in the matching ghost list when the cache
+// confirms the eviction by calling Evicted.
+func (a *ARC) Victim(evictable func(Key) bool) (Key, bool) {
+	pick := func(side *list.List) (Key, bool) {
+		for e := side.Back(); e != nil; e = e.Prev() {
+			k := e.Value.(Key)
+			if evictable(k) {
+				return k, true
+			}
+		}
+		return Key{}, false
+	}
+	if a.t1Bytes > a.p {
+		if k, ok := pick(a.t1); ok {
+			return k, true
+		}
+		return pick(a.t2)
+	}
+	if k, ok := pick(a.t2); ok {
+		return k, true
+	}
+	return pick(a.t1)
+}
+
+// Evicted tells the policy the cache dropped a resident key to make room
+// (as opposed to an invalidation): the key moves to the matching ghost
+// list so a near-future re-reference steers the adaptation.
+func (a *ARC) Evicted(k Key) {
+	ae, ok := a.elems[k]
+	if !ok || (ae.where != a.t1 && ae.where != a.t2) {
+		return
+	}
+	ghost := a.b1
+	if ae.where == a.t2 {
+		ghost = a.b2
+	}
+	ae.where.Remove(ae.elem)
+	if ghost == a.b1 {
+		a.t1Bytes -= ae.size
+		a.b1Bytes += ae.size
+	} else {
+		a.t2Bytes -= ae.size
+		a.b2Bytes += ae.size
+	}
+	ae.where = ghost
+	ae.elem = ghost.PushFront(k)
+	a.trimGhosts()
+}
+
+// trimGhosts bounds each ghost list to one budget's worth of history.
+func (a *ARC) trimGhosts() {
+	for a.b1Bytes > a.budget {
+		e := a.b1.Back()
+		if e == nil {
+			break
+		}
+		k := e.Value.(Key)
+		a.b1Bytes -= a.elems[k].size
+		a.b1.Remove(e)
+		delete(a.elems, k)
+	}
+	for a.b2Bytes > a.budget {
+		e := a.b2.Back()
+		if e == nil {
+			break
+		}
+		k := e.Value.(Key)
+		a.b2Bytes -= a.elems[k].size
+		a.b2.Remove(e)
+		delete(a.elems, k)
+	}
+}
+
+// ghostEvicter is implemented by policies that want to be told when the
+// cache confirms an eviction (ARC's ghost-list bookkeeping). The cache
+// calls Evicted instead of Remove for capacity evictions.
+type ghostEvicter interface {
+	Evicted(k Key)
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package cache
+
+import "testing"
+
+func key(s string, n int64) Key { return Key{File: s, Strip: n} }
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range []string{"", "lru", "arc"} {
+		p, err := NewPolicy(name, 1024)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != "lru" && p.Name() != "arc" {
+			t.Errorf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("clock", 1024); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	l := NewLRU()
+	l.Insert(key("f", 1), 10)
+	l.Insert(key("f", 2), 10)
+	l.Insert(key("f", 3), 10)
+	l.Touch(key("f", 1)) // order (MRU→LRU): 1, 3, 2
+
+	all := func(Key) bool { return true }
+	v, ok := l.Victim(all)
+	if !ok || v != key("f", 2) {
+		t.Fatalf("victim = %v, want f/2", v)
+	}
+	// Skipping non-evictable keys walks toward MRU.
+	v, ok = l.Victim(func(k Key) bool { return k != key("f", 2) })
+	if !ok || v != key("f", 3) {
+		t.Fatalf("filtered victim = %v, want f/3", v)
+	}
+	l.Remove(key("f", 2))
+	l.Remove(key("f", 3))
+	v, ok = l.Victim(all)
+	if !ok || v != key("f", 1) {
+		t.Fatalf("victim after removals = %v, want f/1", v)
+	}
+	l.Remove(key("f", 1))
+	if _, ok := l.Victim(all); ok {
+		t.Error("empty LRU produced a victim")
+	}
+}
+
+func TestARCTouchPromotesToFrequentSide(t *testing.T) {
+	a := NewARC(100)
+	a.Insert(key("f", 1), 10)
+	a.Insert(key("f", 2), 10)
+	if a.t1Bytes != 20 || a.t2Bytes != 0 {
+		t.Fatalf("after inserts t1=%d t2=%d", a.t1Bytes, a.t2Bytes)
+	}
+	a.Touch(key("f", 1))
+	if a.t1Bytes != 10 || a.t2Bytes != 10 {
+		t.Fatalf("after touch t1=%d t2=%d, want 10/10", a.t1Bytes, a.t2Bytes)
+	}
+}
+
+func TestARCGhostHitGrowsRecencyTarget(t *testing.T) {
+	a := NewARC(100)
+	a.Insert(key("f", 1), 40)
+	all := func(Key) bool { return true }
+	v, ok := a.Victim(all)
+	if !ok || v != key("f", 1) {
+		t.Fatalf("victim = %v, want f/1", v)
+	}
+	a.Evicted(v) // moves to B1 ghost
+	if a.b1Bytes != 40 || a.t1Bytes != 0 {
+		t.Fatalf("after eviction b1=%d t1=%d", a.b1Bytes, a.t1Bytes)
+	}
+	p0 := a.TargetT1Bytes()
+	a.Insert(key("f", 1), 40) // ghost hit in B1
+	if a.TargetT1Bytes() <= p0 {
+		t.Errorf("B1 ghost hit did not grow p: %d -> %d", p0, a.TargetT1Bytes())
+	}
+	// The re-entered key sits in T2 now.
+	if a.t2Bytes != 40 {
+		t.Errorf("re-entered key not on frequent side: t2=%d", a.t2Bytes)
+	}
+}
+
+func TestARCGhostHitShrinksRecencyTarget(t *testing.T) {
+	a := NewARC(100)
+	a.Insert(key("f", 1), 40)
+	a.Touch(key("f", 1)) // T2 resident
+	a.p = 80             // force T2 to be the victim side
+	v, ok := a.Victim(func(Key) bool { return true })
+	if !ok || v != key("f", 1) {
+		t.Fatalf("victim = %v, want f/1", v)
+	}
+	a.Evicted(v)
+	if a.b2Bytes != 40 {
+		t.Fatalf("evicted T2 key not in B2: b2=%d", a.b2Bytes)
+	}
+	p0 := a.TargetT1Bytes()
+	a.Insert(key("f", 1), 40) // ghost hit in B2
+	if a.TargetT1Bytes() >= p0 {
+		t.Errorf("B2 ghost hit did not shrink p: %d -> %d", p0, a.TargetT1Bytes())
+	}
+}
+
+func TestARCGhostListsBounded(t *testing.T) {
+	a := NewARC(100)
+	for i := int64(0); i < 50; i++ {
+		a.Insert(key("f", i), 10)
+		if v, ok := a.Victim(func(Key) bool { return true }); ok {
+			a.Evicted(v)
+		}
+	}
+	if a.b1Bytes > 100 || a.b2Bytes > 100 {
+		t.Errorf("ghost lists exceed one budget: b1=%d b2=%d", a.b1Bytes, a.b2Bytes)
+	}
+}
+
+func TestARCRemoveForgetsResidentAndGhost(t *testing.T) {
+	a := NewARC(100)
+	a.Insert(key("f", 1), 10)
+	a.Remove(key("f", 1))
+	if a.t1Bytes != 0 || len(a.elems) != 0 {
+		t.Fatalf("resident remove left state: t1=%d elems=%d", a.t1Bytes, len(a.elems))
+	}
+	a.Insert(key("f", 2), 10)
+	v, _ := a.Victim(func(Key) bool { return true })
+	a.Evicted(v)
+	a.Remove(key("f", 2))
+	if a.b1Bytes != 0 || len(a.elems) != 0 {
+		t.Fatalf("ghost remove left state: b1=%d elems=%d", a.b1Bytes, len(a.elems))
+	}
+}

@@ -115,6 +115,9 @@ type Cluster struct {
 	// reads); FaultLog records every applied fault event.
 	Recovery *metrics.Recovery
 	FaultLog *metrics.FaultLog
+	// CacheStats aggregates halo-strip cache activity across servers once
+	// core.EnableCache wires the subsystem; it stays all-zero otherwise.
+	CacheStats *metrics.Cache
 	// Trace, when non-nil, receives annotated events from the DAS layers
 	// (scheme workers, AS helpers); see the trace package and cmd/dastrace.
 	Trace *trace.Recorder
@@ -132,14 +135,15 @@ func New(cfg Config) (*Cluster, error) {
 	recovery := metrics.NewRecovery()
 	faultLog := metrics.NewFaultLog()
 	c := &Cluster{
-		Cfg:      cfg,
-		Eng:      eng,
-		Net:      net,
-		Traffic:  traffic,
-		Faults:   fault.NewState(cfg.FaultSeed, recovery, faultLog),
-		Recovery: recovery,
-		FaultLog: faultLog,
-		disks:    make(map[int]*simdisk.Disk),
+		Cfg:        cfg,
+		Eng:        eng,
+		Net:        net,
+		Traffic:    traffic,
+		Faults:     fault.NewState(cfg.FaultSeed, recovery, faultLog),
+		Recovery:   recovery,
+		FaultLog:   faultLog,
+		CacheStats: metrics.NewCache(),
+		disks:      make(map[int]*simdisk.Disk),
 	}
 	net.SetFaults(c.Faults)
 	for i := 0; i < cfg.TotalNodes(); i++ {

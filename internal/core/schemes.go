@@ -261,9 +261,12 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	// vetoes offloading outright.
 	var decision predict.Decision
 	var err error
-	if anyDown {
+	switch {
+	case anyDown:
 		decision, err = predict.DecideDegraded(pat, params, targetLay, s.Clu.ServerDown)
-	} else {
+	case s.Cache != nil:
+		decision, err = predict.DecideCached(pat, params, targetLay, s.Cache.HitRateEstimate(req.Input))
+	default:
 		decision, err = predict.Decide(pat, params, targetLay)
 	}
 	if err != nil {

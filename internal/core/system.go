@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"github.com/hpcio/das/internal/active"
+	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/cluster"
 	"github.com/hpcio/das/internal/features"
 	"github.com/hpcio/das/internal/grid"
@@ -74,6 +75,28 @@ type System struct {
 	Registry *kernels.Registry
 	Reducers *kernels.ReducerRegistry
 	Features *features.Registry
+	// Cache is the halo-strip cache subsystem, nil until EnableCache.
+	Cache *cache.Manager
+}
+
+// EnableCache deploys the halo-strip cache subsystem: one byte-budgeted
+// cache per storage server consulted by dependent fetches, the pfs write
+// path invalidating cached strips, the tuning manager sampling on the DES
+// clock, and the DAS accept/reject step discounting dependent bytes by
+// the observed hit rate. Server restarts purge via the fault layer's
+// incarnation counters.
+func (s *System) EnableCache(cfg cache.Config) error {
+	mgr, err := cache.NewManager(s.Clu.Eng, s.FS.Servers(), cfg,
+		func(srv int) uint64 { return s.Clu.Faults.Incarnation(s.Clu.StorageID(srv)) },
+		s.Clu.CacheStats)
+	if err != nil {
+		return err
+	}
+	s.Cache = mgr
+	s.FS.SetInvalidator(mgr)
+	s.AS.SetCache(mgr)
+	mgr.Start()
+	return nil
 }
 
 // NewSystem builds a platform with the default kernel and reducer

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/cache"
+)
+
+// TestCacheExperimentNASCacheMovesFewerBytes is the PR's acceptance
+// criterion: on the Fig. 11 dependent-kernel workload, NAS+cache moves
+// measurably fewer server-to-server bytes than NAS, every round of every
+// variant stays byte-identical to the sequential reference (verified
+// inside CacheExperiment), and the decision-flip demo turns a rejected
+// DAS request into an accepted one after warm-up.
+func TestCacheExperimentNASCacheMovesFewerBytes(t *testing.T) {
+	c := quick()
+	r, report, err := c.CacheExperiment(3, cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Variants) != 4 {
+		t.Fatalf("got %d variants, want 4", len(report.Variants))
+	}
+	nas, nasCache := report.Variants[0], report.Variants[1]
+	if nas.Name != "NAS" || nasCache.Name != "NAS+cache" {
+		t.Fatalf("unexpected variant order: %s, %s", nas.Name, nasCache.Name)
+	}
+	if nasCache.TotalS2SBytes >= nas.TotalS2SBytes {
+		t.Errorf("NAS+cache moved %d server-to-server bytes, not fewer than NAS's %d",
+			nasCache.TotalS2SBytes, nas.TotalS2SBytes)
+	}
+	// The warm rounds should hit: the first round misses everything, the
+	// later rounds serve the same halo strips from cache.
+	if nasCache.CacheHits == 0 {
+		t.Error("NAS+cache recorded no cache hits across warm rounds")
+	}
+	if nasCache.ByteHitRate <= 0 {
+		t.Errorf("NAS+cache byte hit rate %v, want > 0", nasCache.ByteHitRate)
+	}
+	// Per-round shape: round 1 pays full fetch traffic, later rounds less.
+	if len(nasCache.S2SBytes) != 3 {
+		t.Fatalf("got %d rounds, want 3", len(nasCache.S2SBytes))
+	}
+	if nasCache.S2SBytes[1] >= nasCache.S2SBytes[0] {
+		t.Errorf("round 2 s2s bytes %d not below round 1's %d", nasCache.S2SBytes[1], nasCache.S2SBytes[0])
+	}
+	if !report.Verified {
+		t.Error("report not marked verified")
+	}
+	if report.Flip == nil {
+		t.Fatal("missing decision-flip report")
+	}
+	if report.Flip.ColdOffload {
+		t.Error("cold DAS request over round-robin should be rejected")
+	}
+	if !report.Flip.WarmOffload {
+		t.Error("warm DAS request should be accepted")
+	}
+	if report.Flip.WarmHitFrac <= 0 {
+		t.Errorf("warm decision hit fraction %v, want > 0", report.Flip.WarmHitFrac)
+	}
+	if report.Flip.WarmRunHits == 0 {
+		t.Error("warm offloaded run served no dependent ranges from cache")
+	}
+	if len(r.Notes) == 0 {
+		t.Error("result carries no notes")
+	}
+}
+
+// TestCacheExperimentARCPolicy exercises the adaptive policy end-to-end.
+func TestCacheExperimentARCPolicy(t *testing.T) {
+	c := quick()
+	_, report, err := c.CacheExperiment(2, cache.Config{Policy: "arc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Policy != "arc" {
+		t.Fatalf("policy %q, want arc", report.Policy)
+	}
+	if report.Variants[1].CacheHits == 0 {
+		t.Error("NAS+arc recorded no cache hits")
+	}
+}

@@ -16,6 +16,24 @@ import (
 // bridge the outage instead of failing.
 const restartDelay = 80 * sim.Millisecond
 
+// SchemeRecovery is one scheme's fault-handling counters from a crashed
+// run, in JSON-able form so `dasbench -json` can carry the degrade and
+// failover events the human-readable notes already report.
+type SchemeRecovery struct {
+	Scheme          string  `json:"scheme"`
+	HealthySeconds  float64 `json:"healthy_sim_seconds"`
+	CrashedSeconds  float64 `json:"crashed_sim_seconds"`
+	Degraded        bool    `json:"degraded"`
+	DegradedReason  string  `json:"degraded_reason,omitempty"`
+	Timeouts        int64   `json:"timeouts"`
+	Retries         int64   `json:"retries"`
+	FailoverReads   int64   `json:"failover_reads"`
+	SkippedForwards int64   `json:"skipped_forwards"`
+	DroppedMessages int64   `json:"dropped_messages"`
+	ExecRetries     int64   `json:"exec_retries"`
+	FaultEvents     int     `json:"fault_events_applied"`
+}
+
 // FaultFailover compares the three schemes when a storage server is lost
 // halfway through the run (flow-routing, smallest dataset). Each scheme
 // keeps its natural placement, which dictates its survival story:
@@ -33,6 +51,13 @@ const restartDelay = 80 * sim.Millisecond
 // Every faulted run's output is verified byte-identical to the sequential
 // reference; the notes record the recovery actions each scheme needed.
 func (c Config) FaultFailover() (*Result, error) {
+	r, _, err := c.FaultFailoverRecovery()
+	return r, err
+}
+
+// FaultFailoverRecovery is FaultFailover plus the per-scheme recovery
+// counters as structured data.
+func (c Config) FaultFailoverRecovery() (*Result, []SchemeRecovery, error) {
 	r := &Result{
 		ID:     "faults",
 		Title:  "One storage-server loss mid-run (flow-routing)",
@@ -44,11 +69,11 @@ func (c Config) FaultFailover() (*Result, error) {
 
 	g, err := c.dataset("flow-routing", size)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	k, ok := kernels.Default().Lookup("flow-routing")
 	if !ok {
-		return nil, fmt.Errorf("experiments: flow-routing kernel missing")
+		return nil, nil, fmt.Errorf("experiments: flow-routing kernel missing")
 	}
 	want := kernels.Apply(k, g)
 
@@ -72,6 +97,7 @@ func (c Config) FaultFailover() (*Result, error) {
 		{core.DAS, mirrored, true, false},
 	}
 	const crashed = 1
+	recs := make([]SchemeRecovery, 0, len(variants))
 	for si, v := range variants {
 		req := core.Request{
 			Op: "flow-routing", Input: "input", Output: "output",
@@ -80,18 +106,18 @@ func (c Config) FaultFailover() (*Result, error) {
 
 		healthy, err := c.buildSystem(c.Nodes, size, "flow-routing", v.lay)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		healthyRep, err := healthy.Execute(req)
 		healthy.Close()
 		if err != nil {
-			return nil, fmt.Errorf("faults %v healthy: %w", v.scheme, err)
+			return nil, nil, fmt.Errorf("faults %v healthy: %w", v.scheme, err)
 		}
 		r.Add(v.scheme.String()+"_healthy", float64(si), healthyRep.ExecTime.Seconds())
 
 		sys, err := c.buildSystem(c.Nodes, size, "flow-routing", v.lay)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		crashAt := healthyRep.ExecTime / 2
 		plan := fault.Plan{Events: []fault.Event{
@@ -103,21 +129,21 @@ func (c Config) FaultFailover() (*Result, error) {
 		}
 		if err := sys.Clu.InstallFaultPlan(plan); err != nil {
 			sys.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		rep, err := sys.Execute(req)
 		if err != nil {
 			sys.Close()
-			return nil, fmt.Errorf("faults %v crash: %w", v.scheme, err)
+			return nil, nil, fmt.Errorf("faults %v crash: %w", v.scheme, err)
 		}
 		got, err := sys.FetchGrid("output")
 		if err != nil {
 			sys.Close()
-			return nil, fmt.Errorf("faults %v crash readback: %w", v.scheme, err)
+			return nil, nil, fmt.Errorf("faults %v crash readback: %w", v.scheme, err)
 		}
 		if !got.Equal(want) {
 			sys.Close()
-			return nil, fmt.Errorf("faults %v: crashed run diverged from the sequential reference", v.scheme)
+			return nil, nil, fmt.Errorf("faults %v: crashed run diverged from the sequential reference", v.scheme)
 		}
 		r.Add(v.scheme.String()+"_crash", float64(si), rep.ExecTime.Seconds())
 
@@ -128,11 +154,25 @@ func (c Config) FaultFailover() (*Result, error) {
 			note += "; degraded: " + rep.DegradedReason
 		}
 		r.Notes = append(r.Notes, note)
+		recs = append(recs, SchemeRecovery{
+			Scheme:          v.scheme.String(),
+			HealthySeconds:  healthyRep.ExecTime.Seconds(),
+			CrashedSeconds:  rep.ExecTime.Seconds(),
+			Degraded:        rep.Degraded,
+			DegradedReason:  rep.DegradedReason,
+			Timeouts:        rec.Timeouts(),
+			Retries:         rec.Retries(),
+			FailoverReads:   rec.FailoverReads(),
+			SkippedForwards: rec.SkippedForwards(),
+			DroppedMessages: rec.DroppedMessages(),
+			ExecRetries:     rec.ExecRetries(),
+			FaultEvents:     sys.Clu.FaultLog.Len(),
+		})
 		sys.Close()
 	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("server %d crashes at half the scheme's healthy time; TS/NAS get it back %v later, DAS never does", crashed, restartDelay),
 		"all crashed-run outputs verified byte-identical to the sequential reference",
 		fmt.Sprintf("DAS rides grouped-replicated(r=halo=%d): full mirroring, forced offload (see DESIGN.md)", halo))
-	return r, nil
+	return r, recs, nil
 }

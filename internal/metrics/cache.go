@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Cache counts halo-strip cache activity across a run: lookups that hit or
+// missed, bytes served from cache versus fetched remotely, evictions,
+// write invalidations, restart purges (a crashed server loses its cache
+// even though its disk survives), and the manager's replica-tuning actions
+// (promotions pin a hot strip, demotions unpin a cold one). Like Traffic,
+// the simulator core is single-threaded but collectors may be read from
+// test goroutines, so access is guarded.
+type Cache struct {
+	mu            sync.Mutex
+	hits          int64
+	misses        int64
+	hitBytes      int64
+	missBytes     int64
+	inserts       int64
+	insertBytes   int64
+	evictions     int64
+	evictedBytes  int64
+	invalidations int64
+	restartPurges int64
+	promotions    int64
+	demotions     int64
+}
+
+// NewCache returns an empty collector.
+func NewCache() *Cache { return &Cache{} }
+
+// AddHit records a lookup served from cache, with the bytes it saved.
+func (c *Cache) AddHit(bytes int64) {
+	c.mu.Lock()
+	c.hits++
+	c.hitBytes += bytes
+	c.mu.Unlock()
+}
+
+// AddMiss records a lookup that had to fetch remotely, with the bytes it
+// moved.
+func (c *Cache) AddMiss(bytes int64) {
+	c.mu.Lock()
+	c.misses++
+	c.missBytes += bytes
+	c.mu.Unlock()
+}
+
+// AddInsert records an entry admitted to a cache.
+func (c *Cache) AddInsert(bytes int64) {
+	c.mu.Lock()
+	c.inserts++
+	c.insertBytes += bytes
+	c.mu.Unlock()
+}
+
+// AddEviction records an entry evicted to make room.
+func (c *Cache) AddEviction(bytes int64) {
+	c.mu.Lock()
+	c.evictions++
+	c.evictedBytes += bytes
+	c.mu.Unlock()
+}
+
+// AddInvalidation records an entry dropped because its strip was written.
+func (c *Cache) AddInvalidation() { c.add(&c.invalidations) }
+
+// AddRestartPurge records a whole cache dropped because its server
+// restarted (incarnation bump).
+func (c *Cache) AddRestartPurge() { c.add(&c.restartPurges) }
+
+// AddPromotion records a strip pinned by the replica-tuning loop.
+func (c *Cache) AddPromotion() { c.add(&c.promotions) }
+
+// AddDemotion records a strip unpinned by the replica-tuning loop.
+func (c *Cache) AddDemotion() { c.add(&c.demotions) }
+
+func (c *Cache) add(field *int64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+// Hits returns the number of cache-served lookups.
+func (c *Cache) Hits() int64 { return c.get(&c.hits) }
+
+// Misses returns the number of lookups that fetched remotely.
+func (c *Cache) Misses() int64 { return c.get(&c.misses) }
+
+// HitBytes returns the bytes served from cache.
+func (c *Cache) HitBytes() int64 { return c.get(&c.hitBytes) }
+
+// MissBytes returns the bytes fetched remotely on misses.
+func (c *Cache) MissBytes() int64 { return c.get(&c.missBytes) }
+
+// Inserts returns the number of entries admitted.
+func (c *Cache) Inserts() int64 { return c.get(&c.inserts) }
+
+// InsertBytes returns the bytes admitted.
+func (c *Cache) InsertBytes() int64 { return c.get(&c.insertBytes) }
+
+// Evictions returns the number of entries evicted.
+func (c *Cache) Evictions() int64 { return c.get(&c.evictions) }
+
+// EvictedBytes returns the bytes evicted.
+func (c *Cache) EvictedBytes() int64 { return c.get(&c.evictedBytes) }
+
+// Invalidations returns the number of write-invalidated entries.
+func (c *Cache) Invalidations() int64 { return c.get(&c.invalidations) }
+
+// RestartPurges returns the number of restart-triggered cache purges.
+func (c *Cache) RestartPurges() int64 { return c.get(&c.restartPurges) }
+
+// Promotions returns the number of pinning actions.
+func (c *Cache) Promotions() int64 { return c.get(&c.promotions) }
+
+// Demotions returns the number of unpinning actions.
+func (c *Cache) Demotions() int64 { return c.get(&c.demotions) }
+
+func (c *Cache) get(field *int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return *field
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+// ByteHitRate returns hitBytes/(hitBytes+missBytes), or 0 before any
+// lookup — the fraction the prediction core discounts dependent traffic
+// by.
+func (c *Cache) ByteHitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hitBytes+c.missBytes == 0 {
+		return 0
+	}
+	return float64(c.hitBytes) / float64(c.hitBytes+c.missBytes)
+}
+
+// Reset zeroes every counter.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	*c = Cache{}
+	c.mu.Unlock()
+}
+
+// String renders the non-zero counters, e.g. "hits=10 misses=4
+// evictions=2".
+func (c *Cache) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var parts []string
+	for _, f := range []struct {
+		label string
+		n     int64
+	}{
+		{"hits", c.hits},
+		{"misses", c.misses},
+		{"hit-bytes", c.hitBytes},
+		{"miss-bytes", c.missBytes},
+		{"inserts", c.inserts},
+		{"evictions", c.evictions},
+		{"invalidations", c.invalidations},
+		{"restart-purges", c.restartPurges},
+		{"promotions", c.promotions},
+		{"demotions", c.demotions},
+	} {
+		if f.n != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f.label, f.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no cache activity)"
+	}
+	return strings.Join(parts, " ")
+}

@@ -72,7 +72,22 @@ type FileSystem struct {
 	// Retry bounds timeouts, re-sends, and failover waiting once the
 	// cluster's fault layer is active; healthy runs never consult it.
 	Retry RetryPolicy
+	// invalidator, when set, is told about every strip mutation so stale
+	// halo-cache copies die with the data they shadow. Declared as a
+	// narrow interface so pfs does not depend on the cache package.
+	invalidator StripInvalidator
 }
+
+// StripInvalidator receives strip-mutation notifications from the write
+// path. The halo-strip cache manager implements it; the hook fires after
+// the store accepts the new bytes, before the write completes.
+type StripInvalidator interface {
+	InvalidateStrip(file string, strip int64)
+	InvalidateFile(file string)
+}
+
+// SetInvalidator wires a strip-mutation listener (nil disables).
+func (fs *FileSystem) SetInvalidator(inv StripInvalidator) { fs.invalidator = inv }
 
 // New deploys the file system on a cluster: one data server process per
 // storage node, started immediately.
@@ -154,6 +169,9 @@ func (fs *FileSystem) Delete(name string) {
 	delete(fs.meta, name)
 	for _, s := range fs.servers {
 		delete(s.store, name)
+	}
+	if fs.invalidator != nil {
+		fs.invalidator.InvalidateFile(name)
 	}
 }
 

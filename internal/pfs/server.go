@@ -352,6 +352,9 @@ func (s *Server) Drop(file string, strip int64) {
 	if strips, ok := s.store[file]; ok {
 		delete(strips, strip)
 	}
+	if s.fs.invalidator != nil {
+		s.fs.invalidator.InvalidateStrip(file, strip)
+	}
 }
 
 func (s *Server) storePut(file string, strip int64, data []byte) {
@@ -363,6 +366,9 @@ func (s *Server) storePut(file string, strip int64, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	strips[strip] = cp
+	if s.fs.invalidator != nil {
+		s.fs.invalidator.InvalidateStrip(file, strip)
+	}
 }
 
 // migrate pushes the local copy of a strip to each target server.

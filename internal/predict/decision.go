@@ -22,6 +22,9 @@ type Decision struct {
 	// as normal I/O: the input read to a compute node plus the output
 	// written back.
 	NormalNetBytes int64
+	// CacheHitFrac is the byte hit fraction the dependent-fetch estimate
+	// was discounted by (0 for the cache-blind decision).
+	CacheHitFrac float64
 	// Reason summarizes the decision for logs and the dasadvise tool.
 	Reason string
 }
@@ -30,6 +33,23 @@ type Decision struct {
 // criterion: offload if and only if it is predicted to consume less
 // bandwidth than normal processing.
 func Decide(pat features.Pattern, p Params, lay layout.Layout) (Decision, error) {
+	return DecideCached(pat, p, lay, 0)
+}
+
+// DecideCached is Decide with the halo-strip cache in the loop: the
+// dependent-fetch term of Eq. (13) is discounted by hitFrac, the byte hit
+// fraction the cache subsystem observed for this file. Dependent bytes
+// expected to be served from cache never cross the interconnect, so a
+// request the cache-blind model rejects can become an accepted offload
+// once the cache warms. hitFrac outside [0,1] is clamped; 0 reproduces
+// Decide exactly.
+func DecideCached(pat features.Pattern, p Params, lay layout.Layout, hitFrac float64) (Decision, error) {
+	if hitFrac < 0 {
+		hitFrac = 0
+	}
+	if hitFrac > 1 {
+		hitFrac = 1
+	}
 	a, err := Analyze(pat, p, lay)
 	if err != nil {
 		return Decision{}, err
@@ -37,14 +57,18 @@ func Decide(pat features.Pattern, p Params, lay layout.Layout) (Decision, error)
 	lc := layout.NewLocator(p.ElemSize, p.StripSize, lay)
 	outBytes := int64(float64(p.FileSize) * p.OutputFactor)
 
-	d := Decision{Analysis: a}
-	d.OffloadNetBytes = a.StripFetchBytes + ReplicaBytes(lc, p.FileSize) +
+	d := Decision{Analysis: a, CacheHitFrac: hitFrac}
+	fetchBytes := int64(float64(a.StripFetchBytes) * (1 - hitFrac))
+	d.OffloadNetBytes = fetchBytes + ReplicaBytes(lc, p.FileSize) +
 		int64(float64(ReplicaBytes(lc, p.FileSize))*p.OutputFactor)
 	d.NormalNetBytes = p.FileSize + outBytes
 	d.Offload = d.OffloadNetBytes < d.NormalNetBytes
 	switch {
 	case a.LocalByLayout:
 		d.Reason = "all dependencies resolve locally under " + a.Layout
+	case d.Offload && hitFrac > 0:
+		d.Reason = fmt.Sprintf("offload moves %d bytes vs %d for normal I/O (dependent fetches discounted by %.0f%% cache hits)",
+			d.OffloadNetBytes, d.NormalNetBytes, 100*hitFrac)
 	case d.Offload:
 		d.Reason = fmt.Sprintf("offload moves %d bytes vs %d for normal I/O", d.OffloadNetBytes, d.NormalNetBytes)
 	default:

@@ -137,3 +137,67 @@ func TestRecommendLayoutTightBudget(t *testing.T) {
 		t.Errorf("overhead %v exceeds tight budget", layout.OverheadRatio(lay))
 	}
 }
+
+func TestDecideCachedFlipsHostileStride(t *testing.T) {
+	// The same hostile stride DecideRejectsHostileStride uses: cache-blind
+	// it must reject, but once the halo-strip cache reports a high enough
+	// hit fraction the discounted fetch term beats normal I/O and the
+	// request flips to an accepted offload.
+	pat := features.Pattern{Name: "hostile", Offsets: []features.Offset{
+		{Const: -24}, {Const: -16}, {Const: -8}, {Const: 8}, {Const: 16}, {Const: 24},
+	}}
+	p := testParams(8, 1024)
+	lay := layout.NewRoundRobin(4)
+
+	cold, err := DecideCached(pat, p, lay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Offload {
+		t.Fatalf("hit fraction 0 accepted: %+v", cold)
+	}
+	blind, err := Decide(pat, p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.OffloadNetBytes != blind.OffloadNetBytes || cold.Offload != blind.Offload {
+		t.Errorf("DecideCached(0) != Decide: %+v vs %+v", cold, blind)
+	}
+
+	warm, err := DecideCached(pat, p, lay, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Offload {
+		t.Errorf("90%% hit rate still rejected: offload=%d normal=%d", warm.OffloadNetBytes, warm.NormalNetBytes)
+	}
+	if warm.CacheHitFrac != 0.9 {
+		t.Errorf("CacheHitFrac = %v", warm.CacheHitFrac)
+	}
+	if warm.OffloadNetBytes >= cold.OffloadNetBytes {
+		t.Errorf("discount did not shrink offload bytes: %d -> %d", cold.OffloadNetBytes, warm.OffloadNetBytes)
+	}
+	if !strings.Contains(warm.Reason, "cache") {
+		t.Errorf("Reason = %q", warm.Reason)
+	}
+}
+
+func TestDecideCachedClampsHitFraction(t *testing.T) {
+	pat := features.Pattern{Name: "n", Offsets: []features.Offset{{Const: -8}, {Const: 8}}}
+	p := testParams(8, 1024)
+	lay := layout.NewRoundRobin(4)
+	over, err := DecideCached(pat, p, lay, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.CacheHitFrac != 1 || over.OffloadNetBytes < 0 {
+		t.Errorf("hitFrac 1.5 not clamped: %+v", over)
+	}
+	under, err := DecideCached(pat, p, lay, -0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under.CacheHitFrac != 0 {
+		t.Errorf("hitFrac -0.5 not clamped: %+v", under)
+	}
+}
