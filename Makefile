@@ -10,8 +10,9 @@ extended: tier1
 	go vet ./...
 	go test -race ./...
 
-# Bench smoke: a short cache experiment end to end (writes BENCH_cache.json
-# from the reduced sweep) plus the cache subsystem under the race detector.
+# Bench smoke: short cache and restripe experiments end to end (reduced
+# sweep, JSON artifacts) plus both subsystems under the race detector.
 bench-smoke:
 	go run ./cmd/dasbench -quick -cache -cache-rounds 2 -json BENCH_cache_smoke.json
-	go test -race ./internal/cache/...
+	go run ./cmd/dasbench -quick -restripe -restripe-rounds 2 -json BENCH_restripe_smoke.json
+	go test -race ./internal/cache/... ./internal/restripe/...

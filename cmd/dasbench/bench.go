@@ -12,6 +12,7 @@ import (
 	"github.com/hpcio/das/internal/experiments"
 	"github.com/hpcio/das/internal/grid"
 	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/restripe"
 	"github.com/hpcio/das/internal/workload"
 )
 
@@ -39,6 +40,13 @@ type schemeBenchResult struct {
 	SimSeconds  float64 `json:"sim_seconds"`
 }
 
+// restripeBenchRow is one variant's migration counters from the short
+// online-restripe run included in the micro-benchmark report.
+type restripeBenchRow struct {
+	Variant string `json:"variant"`
+	experiments.RestripeMigrationReport
+}
+
 type benchReport struct {
 	GoMaxProcs  int                          `json:"go_max_procs"`
 	NumCPU      int                          `json:"num_cpu"`
@@ -49,6 +57,7 @@ type benchReport struct {
 	Kernels     []kernelBenchResult          `json:"kernels"`
 	Schemes     []schemeBenchResult          `json:"schemes"`
 	Recovery    []experiments.SchemeRecovery `json:"recovery"`
+	Restripe    []restripeBenchRow           `json:"restripe"`
 }
 
 // benchJSON runs the kernel and scheme micro-benchmarks and writes the
@@ -144,11 +153,23 @@ func benchJSON(cfg experiments.Config, path string) error {
 	}
 	rep.Recovery = recs
 
+	// Migration counters from a short online-restripe run, so the JSON
+	// trajectory tracks the background migrator alongside recovery.
+	_, rr, err := cfg.RestripeExperiment(2, restripe.Config{})
+	if err != nil {
+		return err
+	}
+	for _, v := range rr.Variants {
+		if v.Migration != nil {
+			rep.Restripe = append(rep.Restripe, restripeBenchRow{Variant: v.Name, RestripeMigrationReport: *v.Migration})
+		}
+	}
+
 	if err := writeJSON(path, rep); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d kernel rows, %d scheme rows, %d recovery rows)\n",
-		path, len(rep.Kernels), len(rep.Schemes), len(rep.Recovery))
+	fmt.Printf("wrote %s (%d kernel rows, %d scheme rows, %d recovery rows, %d restripe rows)\n",
+		path, len(rep.Kernels), len(rep.Schemes), len(rep.Recovery), len(rep.Restripe))
 	return nil
 }
 
@@ -156,6 +177,21 @@ func benchJSON(cfg experiments.Config, path string) error {
 // path (the BENCH_cache.json artifact).
 func cacheJSON(cfg experiments.Config, rounds int, path string) error {
 	r, report, err := cfg.CacheExperiment(rounds, cache.Config{})
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(path, report); err != nil {
+		return err
+	}
+	fmt.Println(r.Table())
+	fmt.Printf("wrote %s (%d variants)\n", path, len(report.Variants))
+	return nil
+}
+
+// restripeJSON runs the online-restriping experiment and writes its report
+// to path (the BENCH_restripe.json artifact).
+func restripeJSON(cfg experiments.Config, rounds int, path string) error {
+	r, report, err := cfg.RestripeExperiment(rounds, restripe.Config{})
 	if err != nil {
 		return err
 	}

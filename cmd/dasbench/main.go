@@ -13,6 +13,8 @@
 //	dasbench -json BENCH_kernels.json   # kernel/scheme micro-benchmarks + recovery counters
 //	dasbench -cache                     # halo-strip cache experiment, text table
 //	dasbench -cache -json BENCH_cache.json   # same, JSON report
+//	dasbench -restripe                  # online-restriping experiment, text table
+//	dasbench -restripe -json BENCH_restripe.json   # same, JSON report
 //	dasbench -cpuprofile cpu.out -exp fig11   # profile a run
 package main
 
@@ -26,13 +28,16 @@ import (
 
 	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/experiments"
+	"github.com/hpcio/das/internal/restripe"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, faults, cache, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, faults, cache, restripe, ablations")
 	faults := flag.Bool("faults", false, "run the storage-server fault/failover comparison (shorthand for -exp faults)")
 	cacheExp := flag.Bool("cache", false, "run the halo-strip cache experiment (shorthand for -exp cache; with -json, writes the cache report instead of micro-benchmarks)")
 	cacheRounds := flag.Int("cache-rounds", 3, "rounds per variant in the cache experiment")
+	restripeExp := flag.Bool("restripe", false, "run the online-restriping experiment (shorthand for -exp restripe; with -json, writes the restripe report instead of micro-benchmarks)")
+	restripeRounds := flag.Int("restripe-rounds", 3, "rounds per variant in the restripe experiment")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
 	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
@@ -70,6 +75,9 @@ func main() {
 			if *cacheExp {
 				return cacheJSON(cfg, *cacheRounds, *benchJSONPath)
 			}
+			if *restripeExp {
+				return restripeJSON(cfg, *restripeRounds, *benchJSONPath)
+			}
 			return benchJSON(cfg, *benchJSONPath)
 		}
 		name := strings.ToLower(*exp)
@@ -79,7 +87,10 @@ func main() {
 		if *cacheExp {
 			name = "cache"
 		}
-		return run(cfg, name, *cacheRounds, *csv, *chart)
+		if *restripeExp {
+			name = "restripe"
+		}
+		return run(cfg, name, *cacheRounds, *restripeRounds, *csv, *chart)
 	}()
 
 	if *memprofile != "" {
@@ -103,7 +114,7 @@ func main() {
 	}
 }
 
-func run(cfg experiments.Config, exp string, cacheRounds int, csv, chart bool) error {
+func run(cfg experiments.Config, exp string, cacheRounds, restripeRounds int, csv, chart bool) error {
 	emit := func(r *experiments.Result) {
 		if csv {
 			fmt.Printf("# %s\n%s\n", r.ID, r.CSV())
@@ -123,6 +134,10 @@ func run(cfg experiments.Config, exp string, cacheRounds int, csv, chart bool) e
 		"faults": cfg.FaultFailover,
 		"cache": func() (*experiments.Result, error) {
 			r, _, err := cfg.CacheExperiment(cacheRounds, cache.Config{})
+			return r, err
+		},
+		"restripe": func() (*experiments.Result, error) {
+			r, _, err := cfg.RestripeExperiment(restripeRounds, restripe.Config{})
 			return r, err
 		},
 		"ablation-group-size":        cfg.AblationGroupSize,

@@ -11,6 +11,7 @@
 //	       -size 25165824                                # fetch plan summary
 //	dasctl -servers 4 -faults crash@10ms:s1              # crash coverage
 //	dasctl -servers 4 -cache -cache-policy arc           # halo-strip cache stats
+//	dasctl -servers 4 -restripe                          # online-restripe migration report
 package main
 
 import (
@@ -41,13 +42,19 @@ func main() {
 		"run a short offloaded workload with the halo-strip cache enabled and report per-server cache stats")
 	cachePolicy := flag.String("cache-policy", "lru", "cache eviction policy for -cache: lru or arc")
 	cacheRounds := flag.Int("cache-rounds", 3, "offloaded rounds for -cache")
+	restripeDemo := flag.Bool("restripe", false,
+		"run a short offloaded workload with online restriping enabled and report the migration's progress and throttle behaviour")
+	restripeRounds := flag.Int("restripe-rounds", 3, "offloaded rounds for -restripe")
 	flag.Parse()
 
-	err := checkExclusive(*op, *faults, *cacheDemo)
+	err := checkExclusive(*op, *faults, *cacheDemo, *restripeDemo)
 	if err == nil {
-		if *cacheDemo {
+		switch {
+		case *cacheDemo:
 			err = cacheReport(os.Stdout, *servers, *cachePolicy, *cacheRounds)
-		} else {
+		case *restripeDemo:
+			err = restripeReport(os.Stdout, *servers, *restripeRounds)
+		default:
 			err = run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size, *faults)
 		}
 	}
@@ -58,10 +65,20 @@ func main() {
 }
 
 // checkExclusive rejects flag combinations that would otherwise be
-// silently ignored: -cache produces its own report and composes with
-// neither the fetch-plan (-op) nor the fault-coverage (-faults) analyses.
-func checkExclusive(op, faultSpec string, cacheDemo bool) error {
-	if !cacheDemo {
+// silently ignored: -cache and -restripe each produce their own report
+// and compose with neither the fetch-plan (-op) nor the fault-coverage
+// (-faults) analyses, nor with each other.
+func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo bool) error {
+	if cacheDemo && restripeDemo {
+		return fmt.Errorf("-restripe cannot be combined with -cache")
+	}
+	mode := ""
+	switch {
+	case cacheDemo:
+		mode = "-cache"
+	case restripeDemo:
+		mode = "-restripe"
+	default:
 		return nil
 	}
 	conflicts := []string{}
@@ -72,7 +89,7 @@ func checkExclusive(op, faultSpec string, cacheDemo bool) error {
 		conflicts = append(conflicts, "-faults")
 	}
 	if len(conflicts) > 0 {
-		return fmt.Errorf("-cache cannot be combined with %s", strings.Join(conflicts, " or "))
+		return fmt.Errorf("%s cannot be combined with %s", mode, strings.Join(conflicts, " or "))
 	}
 	return nil
 }

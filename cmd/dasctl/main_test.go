@@ -6,35 +6,71 @@ import (
 	"testing"
 )
 
-func TestCheckExclusiveRejectsCacheWithOtherReports(t *testing.T) {
+func TestCheckExclusiveRejectsDemoWithOtherReports(t *testing.T) {
 	cases := []struct {
-		op, faults string
-		cache      bool
-		wantErr    string
+		op, faults      string
+		cache, restripe bool
+		wantErr         string
 	}{
-		{"", "", false, ""},
-		{"flow-routing", "", false, ""},
-		{"flow-routing", "crash@10ms:s1", false, ""}, // -op and -faults compose
-		{"", "", true, ""},
-		{"flow-routing", "", true, "-op"},
-		{"", "crash@10ms:s1", true, "-faults"},
-		{"flow-routing", "crash@10ms:s1", true, "-op or -faults"},
+		{"", "", false, false, ""},
+		{"flow-routing", "", false, false, ""},
+		{"flow-routing", "crash@10ms:s1", false, false, ""}, // -op and -faults compose
+		{"", "", true, false, ""},
+		{"flow-routing", "", true, false, "-op"},
+		{"", "crash@10ms:s1", true, false, "-faults"},
+		{"flow-routing", "crash@10ms:s1", true, false, "-op or -faults"},
+		{"", "", false, true, ""},
+		{"flow-routing", "", false, true, "-op"},
+		{"", "crash@10ms:s1", false, true, "-faults"},
+		{"flow-routing", "crash@10ms:s1", false, true, "-op or -faults"},
+		{"", "", true, true, "-cache"},
+		{"flow-routing", "crash@10ms:s1", true, true, "-cache"},
 	}
 	for _, c := range cases {
-		err := checkExclusive(c.op, c.faults, c.cache)
+		err := checkExclusive(c.op, c.faults, c.cache, c.restripe)
 		if c.wantErr == "" {
 			if err != nil {
-				t.Errorf("checkExclusive(%q, %q, %v) = %v, want nil", c.op, c.faults, c.cache, err)
+				t.Errorf("checkExclusive(%q, %q, %v, %v) = %v, want nil", c.op, c.faults, c.cache, c.restripe, err)
 			}
 			continue
 		}
 		if err == nil {
-			t.Errorf("checkExclusive(%q, %q, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.restripe, c.wantErr)
 			continue
 		}
 		if !strings.Contains(err.Error(), c.wantErr) {
-			t.Errorf("checkExclusive(%q, %q, %v) = %q, want mention of %s", c.op, c.faults, c.cache, err, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v) = %q, want mention of %s", c.op, c.faults, c.cache, c.restripe, err, c.wantErr)
 		}
+	}
+}
+
+func TestRestripeReportRunsAndPrintsMigration(t *testing.T) {
+	var out bytes.Buffer
+	if err := restripeReport(&out, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"background migration converged",
+		"migrations:",
+		"round-robin", "grouped-replicated", "done",
+		"counters:", "strips-moved=",
+		"events:", "plan", "complete",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	// Round 1 pays dependent fetches; round 2, after the drain, must not.
+	if !strings.Contains(got, "round 2: 0B dependent-halo bytes fetched") {
+		t.Errorf("post-migration round still fetched dependent bytes:\n%s", got)
+	}
+}
+
+func TestRestripeReportRejectsBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := restripeReport(&out, 0, 2); err == nil {
+		t.Error("zero servers accepted")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/grid"
 	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
 	"github.com/hpcio/das/internal/pfs"
 	"github.com/hpcio/das/internal/predict"
 	"github.com/hpcio/das/internal/sim"
@@ -503,9 +504,25 @@ func (c *Client) Exec(p *sim.Proc, op, input, output string, mode FetchMode) (Ex
 	if clu.Faults.Active() {
 		return c.execDegraded(p, op, input, output, mode)
 	}
+	// With a stable input layout every server derives its own share ("your
+	// primary strips", the nil-Strips contract). A mid-migration input's
+	// placement keeps shifting while the dispatched servers consult it at
+	// different simulated times, so a strip could be claimed twice or not
+	// at all; instead the client fixes the assignment once, from the
+	// output's frozen snapshot layout, and ships each server its explicit
+	// strip list. The processing server then writes each output strip
+	// locally exactly where the snapshot says readers will look for it.
+	assign := migratingAssignment(c.fs, input, output)
 	sigs := make([]*sim.Signal[execResp], 0, c.fs.Servers())
 	for s := 0; s < c.fs.Servers(); s++ {
 		s := s
+		var strips []int64
+		if assign != nil {
+			strips = assign[s]
+			if strips == nil {
+				strips = []int64{} // explicitly nothing, not "your primaries"
+			}
+		}
 		done := sim.NewSignal[execResp](clu.Eng, fmt.Sprintf("as-exec:%s:%d", op, s))
 		sigs = append(sigs, done)
 		p.Spawn(fmt.Sprintf("as-dispatch-%s-%d", op, s), func(d *sim.Proc) {
@@ -515,7 +532,7 @@ func (c *Client) Exec(p *sim.Proc, op, input, output string, mode FetchMode) (Ex
 				Port:    Port,
 				Size:    headerBytes,
 				Class:   clu.ClassBetween(c.nodeID, clu.StorageID(s)),
-				Payload: execReq{Op: op, Input: input, Output: output, Mode: mode},
+				Payload: execReq{Op: op, Input: input, Output: output, Mode: mode, Strips: strips},
 			})
 			r, ok := resp.Payload.(execResp)
 			if !ok {
@@ -540,4 +557,28 @@ func (c *Client) Exec(p *sim.Proc, op, input, output string, mode FetchMode) (Ex
 		stats.PhaseMax.MaxWith(r.Phases)
 	}
 	return stats, nil
+}
+
+// migratingAssignment returns the explicit per-server strip assignment for
+// an input whose layout is mid-migration, derived from the output file's
+// frozen layout — nil when the input layout is stable and the healthy
+// nil-Strips contract applies.
+func migratingAssignment(fs *pfs.FileSystem, input, output string) map[int][]int64 {
+	in, ok := fs.Meta(input)
+	if !ok {
+		return nil
+	}
+	if _, migrating := in.Layout.(*layout.Migrating); !migrating {
+		return nil
+	}
+	out, ok := fs.Meta(output)
+	if !ok {
+		return nil
+	}
+	assign := make(map[int][]int64)
+	for s := int64(0); s < in.Strips(); s++ {
+		owner := out.Layout.Primary(s)
+		assign[owner] = append(assign[owner], s)
+	}
+	return assign
 }

@@ -49,6 +49,10 @@ func (c *Client) execDegraded(p *sim.Proc, op, input, output string, mode FetchM
 	if !ok {
 		return ExecStats{}, fmt.Errorf("active: unknown input %q", input)
 	}
+	out, ok := c.fs.Meta(output)
+	if !ok {
+		return ExecStats{}, fmt.Errorf("active: unknown output %q", output)
+	}
 	f := clu.Faults
 	quantum := c.fs.Retry.Quantum
 	pending := make([]int64, 0, in.Strips())
@@ -72,8 +76,12 @@ func (c *Client) execDegraded(p *sim.Proc, op, input, output string, mode FetchM
 		}
 		assign := make(map[int][]int64)
 		var order []int
+		// Assignment follows the OUTPUT layout: identical to the input's
+		// when the layouts agree, and the stable frozen snapshot when the
+		// input is mid-migration (where the input's shifting placement
+		// could double- or zero-assign a strip between rounds).
 		for _, s := range pending {
-			owner, ok := layout.FirstLiveHolder(in.Layout, s, func(srv int) bool { return !clu.ServerDown(srv) })
+			owner, ok := layout.FirstLiveHolder(out.Layout, s, func(srv int) bool { return !clu.ServerDown(srv) })
 			if !ok {
 				return ExecStats{}, &NoLiveCopyError{File: input, Strip: s}
 			}

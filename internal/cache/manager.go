@@ -228,6 +228,11 @@ func (m *Manager) HitRateEstimate(file string) float64 {
 	return float64(h) / float64(h+ms)
 }
 
+// FileMissBytes returns the dependent bytes a file's halo fetches moved
+// over the interconnect (cache misses) so far — the observed-traffic
+// signal the online restriper watches to decide a file is worth migrating.
+func (m *Manager) FileMissBytes(file string) int64 { return m.fileMiss[file] }
+
 // Actions returns the replica-tuning log in decision order.
 func (m *Manager) Actions() []Action { return m.actions }
 

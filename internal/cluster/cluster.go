@@ -118,6 +118,9 @@ type Cluster struct {
 	// CacheStats aggregates halo-strip cache activity across servers once
 	// core.EnableCache wires the subsystem; it stays all-zero otherwise.
 	CacheStats *metrics.Cache
+	// RestripeStats aggregates online-migration activity once
+	// core.EnableRestripe wires the migrator; it stays all-zero otherwise.
+	RestripeStats *metrics.Restripe
 	// Trace, when non-nil, receives annotated events from the DAS layers
 	// (scheme workers, AS helpers); see the trace package and cmd/dastrace.
 	Trace *trace.Recorder
@@ -135,15 +138,16 @@ func New(cfg Config) (*Cluster, error) {
 	recovery := metrics.NewRecovery()
 	faultLog := metrics.NewFaultLog()
 	c := &Cluster{
-		Cfg:        cfg,
-		Eng:        eng,
-		Net:        net,
-		Traffic:    traffic,
-		Faults:     fault.NewState(cfg.FaultSeed, recovery, faultLog),
-		Recovery:   recovery,
-		FaultLog:   faultLog,
-		CacheStats: metrics.NewCache(),
-		disks:      make(map[int]*simdisk.Disk),
+		Cfg:           cfg,
+		Eng:           eng,
+		Net:           net,
+		Traffic:       traffic,
+		Faults:        fault.NewState(cfg.FaultSeed, recovery, faultLog),
+		Recovery:      recovery,
+		FaultLog:      faultLog,
+		CacheStats:    metrics.NewCache(),
+		RestripeStats: metrics.NewRestripe(),
+		disks:         make(map[int]*simdisk.Disk),
 	}
 	net.SetFaults(c.Faults)
 	for i := 0; i < cfg.TotalNodes(); i++ {

@@ -7,10 +7,21 @@ import (
 	"github.com/hpcio/das/internal/active"
 	"github.com/hpcio/das/internal/grid"
 	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
 	"github.com/hpcio/das/internal/pfs"
 	"github.com/hpcio/das/internal/predict"
 	"github.com/hpcio/das/internal/sim"
 )
+
+// outputLayout returns the placement a new output file should be created
+// with: the input's layout, frozen into a per-strip snapshot when the
+// input is mid-migration. An output sharing a live dual layout would keep
+// shifting under its writers — strips would land where the placement
+// pointed at write time but be read back where it points later. The
+// snapshot pins one consistent placement for the output's whole life.
+func outputLayout(in *pfs.FileMeta) layout.Layout {
+	return layout.Concrete(in.Layout, in.Strips())
+}
 
 // startup charges the per-run job-launch overhead on every participating
 // node's worker process.
@@ -34,7 +45,7 @@ func (s *System) runTS(rep *Report, req Request, in *pfs.FileMeta) error {
 // name collisions.
 func (s *System) tsJob(rep *Report, req Request, in *pfs.FileMeta) (func(p *sim.Proc) error, error) {
 	k, _ := s.Registry.Lookup(req.Op)
-	out, err := s.FS.Create(req.Output, in.Size, in.Layout, pfs.CreateOptions{
+	out, err := s.FS.Create(req.Output, in.Size, outputLayout(in), pfs.CreateOptions{
 		StripSize: in.StripSize, Width: in.Width, Height: in.Height, ElemSize: in.ElemSize,
 	})
 	if err != nil {
@@ -203,7 +214,7 @@ func (s *System) degradeToTS(rep *Report, req Request, in *pfs.FileMeta, cause e
 // offloadJob prepares an active storage execution (used by both NAS and
 // accepted DAS requests) as a composable job function.
 func (s *System) offloadJob(rep *Report, req Request, in *pfs.FileMeta, mode active.FetchMode) (func(p *sim.Proc) error, error) {
-	if _, err := s.FS.Create(req.Output, in.Size, in.Layout, pfs.CreateOptions{
+	if _, err := s.FS.Create(req.Output, in.Size, outputLayout(in), pfs.CreateOptions{
 		StripSize: in.StripSize, Width: in.Width, Height: in.Height, ElemSize: in.ElemSize,
 	}); err != nil {
 		return nil, err
@@ -226,13 +237,15 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	}
 	params := predictParams(in)
 	anyDown := s.Clu.AnyStorageDown()
+	_, migrating := in.Layout.(*layout.Migrating)
 
 	// 2–3. Get the file distribution; if the workload allows
 	// redistribution, find a reasonable distribution and reconfigure.
 	// Migration needs every strip's primary alive, so a degraded cluster
-	// keeps the layout it has.
+	// keeps the layout it has. A file the online restriper is already
+	// migrating keeps its dual layout — the background migration owns it.
 	targetLay := in.Layout
-	if req.Reconfigure && !anyDown {
+	if req.Reconfigure && !anyDown && !migrating {
 		planned, err := s.PlanLayout(req.Op, in.Width, in.ElemSize, in.StripSize, in.Size, req.MaxOverhead)
 		if err != nil {
 			return err
@@ -291,10 +304,12 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	}
 
 	mode := active.LocalOnly
-	if !decision.Analysis.LocalByLayout {
+	if !decision.Analysis.LocalByLayout || migrating {
 		// Accepted on cost grounds without full locality (possible when
 		// prediction is disabled or dependence is cheap): fall back to
-		// fetching what is missing.
+		// fetching what is missing. A mid-migration input also loses the
+		// local-only guarantee — strips keep flipping between placements
+		// while servers execute, so missing halo data must stay fetchable.
 		mode = active.FetchWholeStrips
 	}
 	job, err := s.offloadJob(rep, req, in, mode)

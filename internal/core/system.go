@@ -31,6 +31,7 @@ import (
 	"github.com/hpcio/das/internal/metrics"
 	"github.com/hpcio/das/internal/pfs"
 	"github.com/hpcio/das/internal/predict"
+	"github.com/hpcio/das/internal/restripe"
 	"github.com/hpcio/das/internal/sim"
 )
 
@@ -77,6 +78,9 @@ type System struct {
 	Features *features.Registry
 	// Cache is the halo-strip cache subsystem, nil until EnableCache.
 	Cache *cache.Manager
+	// Restripe is the online restriping subsystem, nil until
+	// EnableRestripe.
+	Restripe *restripe.Migrator
 }
 
 // EnableCache deploys the halo-strip cache subsystem: one byte-budgeted
@@ -93,10 +97,53 @@ func (s *System) EnableCache(cfg cache.Config) error {
 		return err
 	}
 	s.Cache = mgr
-	s.FS.SetInvalidator(mgr)
+	if s.Restripe != nil {
+		// The migrator already owns the pfs invalidation hook; chain the
+		// cache behind it so both subsystems see every strip mutation.
+		s.Restripe.SetInner(mgr)
+	} else {
+		s.FS.SetInvalidator(mgr)
+	}
 	s.AS.SetCache(mgr)
 	mgr.Start()
 	return nil
+}
+
+// EnableRestripe deploys the online restriping subsystem: the migrator
+// watches every Execute's offload decision and dependent-halo traffic,
+// plans grouped-replicated migrations within the overhead budget, and
+// copies strips in the background on the DES clock. When the cache
+// subsystem is also enabled (in either order), strip invalidations flow
+// through the migrator to the cache, so moved strips never serve stale
+// cached bytes.
+func (s *System) EnableRestripe(cfg restripe.Config) error {
+	mgr, err := restripe.NewMigrator(s.Clu, s.FS, cfg, s.Clu.RestripeStats)
+	if err != nil {
+		return err
+	}
+	if s.Cache != nil {
+		mgr.SetInner(s.Cache)
+	}
+	s.Restripe = mgr
+	s.FS.SetInvalidator(mgr)
+	mgr.Start()
+	return nil
+}
+
+// DrainRestripe runs the engine until every active migration completes or
+// the timeout elapses, returning whether the migrator converged and the
+// simulated time the drain consumed. A system without the restripe
+// subsystem converges trivially.
+func (s *System) DrainRestripe(timeout sim.Time) (bool, sim.Time, error) {
+	if s.Restripe == nil || s.Restripe.ActiveCount() == 0 {
+		return true, 0, nil
+	}
+	converged := false
+	t, err := s.run("restripe-drain", func(p *sim.Proc) error {
+		converged = s.Restripe.Drain(p, timeout)
+		return nil
+	})
+	return converged, t, err
 }
 
 // NewSystem builds a platform with the default kernel and reducer
@@ -125,6 +172,15 @@ func NewSystem(cfg cluster.Config) (*System, error) {
 // not be used again.
 func (s *System) Close() {
 	s.Clu.Eng.Shutdown()
+}
+
+// RunProc executes fn as a named workload process and drives the engine
+// until all non-daemon work completes, returning the elapsed simulated
+// time. It is the exported door for callers (tools, tests) that need raw
+// file-system access against the deployed platform — client writes racing
+// a live migration, custom read probes — without reaching into the engine.
+func (s *System) RunProc(name string, fn func(p *sim.Proc) error) (sim.Time, error) {
+	return s.run(name, fn)
 }
 
 // run executes fn as a workload process and drives the engine until all
@@ -361,7 +417,29 @@ func (s *System) Execute(req Request) (Report, error) {
 		rep.Traffic[c] = b - before[c]
 	}
 	rep.ServerLoad = s.Clu.UtilizationSnapshot().Sub(loadBefore)
+	s.observeRestripe(req, m, &rep)
 	return rep, nil
+}
+
+// observeRestripe feeds the finished operation's dependent-traffic
+// evidence to the online restriper: the halo bytes an offload actually
+// fetched between servers, or — when the predictor rejected the offload —
+// the dependent bytes the analysis says an offload would have moved. The
+// migrator accumulates the evidence per input file and plans a migration
+// once it crosses the trigger threshold.
+func (s *System) observeRestripe(req Request, m *pfs.FileMeta, rep *Report) {
+	if s.Restripe == nil {
+		return
+	}
+	pat, ok := s.Features.Lookup(req.Op)
+	if !ok {
+		return
+	}
+	observed := rep.Stats.RemoteBytes
+	if !rep.Offloaded && rep.Decision != nil && !rep.Decision.Offload {
+		observed += rep.Decision.Analysis.StripFetchBytes
+	}
+	s.Restripe.Observe(req.Input, pat, predictParams(m), observed)
 }
 
 // ExecutePipeline runs a sequence of operators, each consuming the

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/restripe"
+)
+
+// TestRestripeExperimentKillsHaloTraffic is the PR's acceptance criterion:
+// with online restriping enabled, the dependent-halo bytes the first round
+// pays drop to zero after the background migration, the previously
+// rejected DAS offload flips to accepted, every round of every variant is
+// verified byte-identical (inside RestripeExperiment), and a migration
+// interrupted by a mid-copy crash resumes from its cursor.
+func TestRestripeExperimentKillsHaloTraffic(t *testing.T) {
+	c := quick()
+	r, report, err := c.RestripeExperiment(3, restripe.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Variants) != 4 {
+		t.Fatalf("got %d variants, want 4", len(report.Variants))
+	}
+	nas, nasRe := report.Variants[0], report.Variants[1]
+	if nas.Name != "NAS" || nasRe.Name != "NAS+restripe" {
+		t.Fatalf("unexpected variant order: %s, %s", nas.Name, nasRe.Name)
+	}
+	// Plain NAS pays the halo every round; restriped NAS only in round 1.
+	for round, b := range nas.RemoteBytes {
+		if b == 0 {
+			t.Errorf("plain NAS round %d moved no dependent bytes", round)
+		}
+	}
+	if nasRe.RemoteBytes[0] == 0 {
+		t.Error("restriped NAS round 1 moved no dependent bytes; nothing triggered the migration")
+	}
+	for round := 1; round < len(nasRe.RemoteBytes); round++ {
+		if nasRe.RemoteBytes[round] != 0 {
+			t.Errorf("restriped NAS round %d still fetched %d dependent bytes", round, nasRe.RemoteBytes[round])
+		}
+	}
+	if nasRe.Migration == nil {
+		t.Fatal("NAS+restripe carries no migration report")
+	}
+	if nasRe.Migration.Completed != 1 || nasRe.Migration.StripsMoved == 0 {
+		t.Errorf("migration report %+v, want one completed migration with moved strips", nasRe.Migration)
+	}
+	dasStatic, dasRe := report.Variants[2], report.Variants[3]
+	for round, off := range dasStatic.Offloaded {
+		if off {
+			t.Errorf("DAS-static round %d offloaded over round-robin", round)
+		}
+	}
+	if dasRe.Offloaded[0] {
+		t.Error("DAS+restripe round 1 offloaded before any migration")
+	}
+	if !dasRe.Offloaded[len(dasRe.Offloaded)-1] {
+		t.Error("DAS+restripe never flipped to an accepted offload")
+	}
+	if !report.Verified {
+		t.Error("report not marked verified")
+	}
+	if report.Crash == nil {
+		t.Fatal("missing crash report")
+	}
+	if report.Crash.Resumes == 0 || !report.Crash.Verified {
+		t.Errorf("crash report %+v, want resumed and verified", report.Crash)
+	}
+	if len(r.Notes) == 0 {
+		t.Error("result carries no notes")
+	}
+}

@@ -94,9 +94,9 @@ func ShardRows(start, end int64, width, n int) []RowShard {
 		return []RowShard{{Start: start, End: end}}
 	}
 	w := int64(width)
-	r0 := start / w       // first (possibly partial) row
-	r1 := (end - 1) / w   // last (possibly partial) row
-	rows := r1 - r0 + 1   // rows spanned by the owned range
+	r0 := start / w     // first (possibly partial) row
+	r1 := (end - 1) / w // last (possibly partial) row
+	rows := r1 - r0 + 1 // rows spanned by the owned range
 	if int64(n) > rows {
 		n = int(rows)
 	}

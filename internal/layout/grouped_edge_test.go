@@ -121,6 +121,113 @@ func TestFirstLiveHolderOrder(t *testing.T) {
 	}
 }
 
+// TestSingleStripGroups: r=1 is the degenerate grouping where grouped
+// placement collapses back to round-robin and every strip is a group edge,
+// so with halo=1 every strip replicates to both neighbors (one neighbor
+// when D=2 folds them together).
+func TestSingleStripGroups(t *testing.T) {
+	l := NewGroupedReplicated(4, 1, 1)
+	for s := int64(0); s < 12; s++ {
+		if got, want := l.Primary(s), int(s%4); got != want {
+			t.Errorf("r=1 Primary(%d) = %d, want round-robin %d", s, got, want)
+		}
+		if got, want := Holders(l, s), []int{int(s % 4), int(mod(s-1, 4)), int(mod(s+1, 4))}; len(got) != 3 {
+			t.Errorf("r=1 Holders(%d) = %v, want primary + both neighbors %v", s, got, want)
+		}
+		for srv := 0; srv < 4; srv++ {
+			wantHolds := srv == int(s%4) || srv == int(mod(s-1, 4)) || srv == int(mod(s+1, 4))
+			if got := Holds(l, s, srv); got != wantHolds {
+				t.Errorf("r=1 Holds(%d, %d) = %v, want %v", s, srv, got, wantHolds)
+			}
+		}
+	}
+	if got := OverheadRatio(l); got != 2 {
+		t.Errorf("r=1 halo=1 D=4 overhead = %v, want 2 (full double mirroring)", got)
+	}
+	// D=2 folds prev and next into one server: one replica per strip, so
+	// the overhead is 1.0 — min(2·Halo, r)/r — not the naive 2·Halo/r.
+	l2 := NewGroupedReplicated(2, 1, 1)
+	for s := int64(0); s < 6; s++ {
+		if reps := l2.Replicas(s); len(reps) != 1 || reps[0] == l2.Primary(s) {
+			t.Fatalf("D=2 r=1 strip %d: replicas %v, want exactly the other server", s, reps)
+		}
+	}
+	if got := OverheadRatio(l2); got != 1 {
+		t.Errorf("r=1 halo=1 D=2 overhead = %v, want 1 (neighbors coincide)", got)
+	}
+	if got := OverheadRatio(NewGroupedReplicated(1, 1, 1)); got != 0 {
+		t.Errorf("D=1 overhead = %v, want 0", got)
+	}
+}
+
+// TestHaloEqualsGroupOverhead: halo == r (the constructor's cap, full
+// mirroring to both neighbors) and partial halos must report the storage
+// they actually consume.
+func TestHaloEqualsGroupOverhead(t *testing.T) {
+	cases := []struct {
+		d, r, halo int
+		want       float64
+	}{
+		{4, 2, 2, 2.0}, // every strip on both neighbors
+		{4, 4, 1, 0.5}, // the paper's 2/r with r=4
+		{4, 3, 2, 4.0 / 3},
+		{2, 2, 2, 1.0}, // D=2: both-neighbor copies fold to one
+		{2, 3, 2, 1.0}, // D=2: strip 1 of each group sits in both halos
+		{2, 4, 1, 0.5}, // D=2 but halos don't overlap: unaffected
+		{1, 2, 2, 0},   // single server, no replicas at all
+	}
+	for _, c := range cases {
+		l := NewGroupedReplicated(c.d, c.r, c.halo)
+		if got := OverheadRatio(l); got != c.want {
+			t.Errorf("OverheadRatio(D=%d,r=%d,halo=%d) = %v, want %v", c.d, c.r, c.halo, got, c.want)
+		}
+		// The formula must agree with the placement it summarizes: count
+		// actual replica copies over one full rotation of groups.
+		strips := int64(c.r * c.d * 2)
+		var copies int64
+		for s := int64(0); s < strips; s++ {
+			copies += int64(len(l.Replicas(s)))
+		}
+		if got := float64(copies) / float64(strips); got != c.want {
+			t.Errorf("counted overhead (D=%d,r=%d,halo=%d) = %v, want %v", c.d, c.r, c.halo, got, c.want)
+		}
+	}
+}
+
+// TestHoldersTruncatedGroup: strips % r != 0 leaves the last group short;
+// Holders/Holds must stay consistent with Replicas there, and the short
+// group's trailing edge (which exists) still mirrors forward.
+func TestHoldersTruncatedGroup(t *testing.T) {
+	l := NewGroupedReplicated(3, 3, 1)
+	// 7 strips: groups {0,1,2}→s0, {3,4,5}→s1, {6}→s2 (short)
+
+	// Strip 6 sits at position 0 of its nominal group: its leading halo
+	// replicates back to the previous server (1), but the trailing edge of
+	// the group (strip 8) does not exist — the halo guards group positions,
+	// not file ends, so no copy goes forward to server 0.
+	if got, want := Holders(l, 6), []int{2, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Holders(6) = %v, want %v", got, want)
+	}
+	if !Holds(l, 6, 2) || !Holds(l, 6, 1) || Holds(l, 6, 0) {
+		t.Errorf("Holds(6, ·) = %v,%v,%v over servers 2,1,0; want true,true,false",
+			Holds(l, 6, 2), Holds(l, 6, 1), Holds(l, 6, 0))
+	}
+	// Mid-group strip 4 has no replicas; only its primary holds it.
+	if got, want := Holders(l, 4), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Holders(4) = %v, want %v", got, want)
+	}
+	if Holds(l, 4, 0) || Holds(l, 4, 2) {
+		t.Error("mid-group strip 4 held by a non-primary server")
+	}
+	// Holders order is primary first, then replicas ascending.
+	if got, want := Holders(l, 3), []int{1, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Holders(3) = %v, want %v", got, want)
+	}
+	if got, want := Holders(l, 5), []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Holders(5) = %v, want %v", got, want)
+	}
+}
+
 // TestRequiredHaloBoundaries: exact strip multiples must not round up, and
 // sub-element reaches still demand a full halo strip.
 func TestRequiredHaloBoundaries(t *testing.T) {

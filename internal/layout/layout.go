@@ -214,6 +214,17 @@ func OverheadRatio(l Layout) float64 {
 		if g.D == 1 {
 			return 0
 		}
+		// Per group the leading Halo strips copy to the previous server and
+		// the trailing Halo to the next, 2·Halo copies in total — except
+		// with two servers, where the neighbors coincide and a strip inside
+		// both halos folds to a single copy: min(2·Halo, r) per group.
+		if g.D == 2 {
+			reps := 2 * g.Halo
+			if reps > g.R {
+				reps = g.R
+			}
+			return float64(reps) / float64(g.R)
+		}
 		return 2 * float64(g.Halo) / float64(g.R)
 	default:
 		return 0

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Restripe counts online-migration activity across a run: migrations
+// planned and completed, strip moves committed (split into copies that
+// shipped bytes and zero-copy flips where every target already held a
+// replica), bytes copied between servers, throttle stalls (moves deferred
+// because a server's in-flight byte budget was exhausted), resumes (moves
+// that failed against a crashed server and later committed from the
+// persisted cursor), and re-copies forced by writes landing on a strip
+// mid-move. Like Cache, the simulator core is single-threaded but
+// collectors may be read from test goroutines, so access is guarded.
+type Restripe struct {
+	mu             sync.Mutex
+	planned        int64
+	completed      int64
+	stripsMoved    int64
+	bytesCopied    int64
+	zeroCopyFlips  int64
+	throttleStalls int64
+	resumes        int64
+	recopies       int64
+}
+
+// NewRestripe returns an empty collector.
+func NewRestripe() *Restripe { return &Restripe{} }
+
+// AddPlanned records a migration admitted by the planner.
+func (r *Restripe) AddPlanned() { r.add(&r.planned) }
+
+// AddCompleted records a migration that converged to its target layout.
+func (r *Restripe) AddCompleted() { r.add(&r.completed) }
+
+// AddStripMoved records a committed strip move, with the bytes it copied
+// (zero for a flip whose targets already held every copy).
+func (r *Restripe) AddStripMoved(bytes int64) {
+	r.mu.Lock()
+	r.stripsMoved++
+	r.bytesCopied += bytes
+	if bytes == 0 {
+		r.zeroCopyFlips++
+	}
+	r.mu.Unlock()
+}
+
+// AddThrottleStall records a move deferred by the in-flight byte budget.
+func (r *Restripe) AddThrottleStall() { r.add(&r.throttleStalls) }
+
+// AddResume records a move that failed against a down server and later
+// committed after resuming from the migration cursor.
+func (r *Restripe) AddResume() { r.add(&r.resumes) }
+
+// AddRecopy records a strip re-copied because a write invalidated it
+// mid-move.
+func (r *Restripe) AddRecopy() { r.add(&r.recopies) }
+
+func (r *Restripe) add(field *int64) {
+	r.mu.Lock()
+	*field++
+	r.mu.Unlock()
+}
+
+// Planned returns the number of migrations the planner admitted.
+func (r *Restripe) Planned() int64 { return r.get(&r.planned) }
+
+// Completed returns the number of migrations that converged.
+func (r *Restripe) Completed() int64 { return r.get(&r.completed) }
+
+// StripsMoved returns the number of committed strip moves.
+func (r *Restripe) StripsMoved() int64 { return r.get(&r.stripsMoved) }
+
+// BytesCopied returns the bytes shipped between servers by moves.
+func (r *Restripe) BytesCopied() int64 { return r.get(&r.bytesCopied) }
+
+// ZeroCopyFlips returns the moves that committed without copying.
+func (r *Restripe) ZeroCopyFlips() int64 { return r.get(&r.zeroCopyFlips) }
+
+// ThrottleStalls returns the moves deferred by the byte budget.
+func (r *Restripe) ThrottleStalls() int64 { return r.get(&r.throttleStalls) }
+
+// Resumes returns the moves that recovered from a crashed server.
+func (r *Restripe) Resumes() int64 { return r.get(&r.resumes) }
+
+// Recopies returns the strips re-copied after mid-move writes.
+func (r *Restripe) Recopies() int64 { return r.get(&r.recopies) }
+
+func (r *Restripe) get(field *int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return *field
+}
+
+// Reset zeroes every counter.
+func (r *Restripe) Reset() {
+	r.mu.Lock()
+	r.planned = 0
+	r.completed = 0
+	r.stripsMoved = 0
+	r.bytesCopied = 0
+	r.zeroCopyFlips = 0
+	r.throttleStalls = 0
+	r.resumes = 0
+	r.recopies = 0
+	r.mu.Unlock()
+}
+
+// String renders the non-zero counters, e.g. "strips-moved=12
+// bytes-copied=786432 resumes=1".
+func (r *Restripe) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var parts []string
+	for _, f := range []struct {
+		label string
+		n     int64
+	}{
+		{"planned", r.planned},
+		{"completed", r.completed},
+		{"strips-moved", r.stripsMoved},
+		{"bytes-copied", r.bytesCopied},
+		{"zero-copy-flips", r.zeroCopyFlips},
+		{"throttle-stalls", r.throttleStalls},
+		{"resumes", r.resumes},
+		{"recopies", r.recopies},
+	} {
+		if f.n != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f.label, f.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no restripe activity)"
+	}
+	return strings.Join(parts, " ")
+}

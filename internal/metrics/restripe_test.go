@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRestripeCounters(t *testing.T) {
+	r := NewRestripe()
+	if got := r.String(); got != "(no restripe activity)" {
+		t.Errorf("empty String = %q", got)
+	}
+
+	r.AddPlanned()
+	r.AddStripMoved(64 * 1024)
+	r.AddStripMoved(0) // zero-copy flip
+	r.AddThrottleStall()
+	r.AddThrottleStall()
+	r.AddResume()
+	r.AddRecopy()
+	r.AddCompleted()
+
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"Planned", r.Planned(), 1},
+		{"Completed", r.Completed(), 1},
+		{"StripsMoved", r.StripsMoved(), 2},
+		{"BytesCopied", r.BytesCopied(), 64 * 1024},
+		{"ZeroCopyFlips", r.ZeroCopyFlips(), 1},
+		{"ThrottleStalls", r.ThrottleStalls(), 2},
+		{"Resumes", r.Resumes(), 1},
+		{"Recopies", r.Recopies(), 1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+
+	s := r.String()
+	for _, want := range []string{"planned=1", "strips-moved=2", "bytes-copied=65536", "throttle-stalls=2", "resumes=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+
+	r.Reset()
+	if r.StripsMoved() != 0 || r.BytesCopied() != 0 || r.Planned() != 0 {
+		t.Error("Reset left counters non-zero")
+	}
+}
