@@ -25,6 +25,25 @@ type move struct {
 	// will fire; invalidations beyond it are foreign writes and dirty the
 	// move.
 	expect int
+	// reship names target servers that received bytes from an attempt that
+	// did not commit (dirtied by a foreign write, or failed mid-push).
+	// Their copies may predate a later write — foreign writes to an
+	// un-flipped strip refresh only the old placement's holders — so
+	// resolve re-ships them even though they already hold the strip.
+	reship map[int]bool
+}
+
+// markReship records targets of a discarded attempt for forced re-copy.
+func (mv *move) markReship(targets []int) {
+	if len(targets) == 0 {
+		return
+	}
+	if mv.reship == nil {
+		mv.reship = make(map[int]bool, len(targets))
+	}
+	for _, t := range targets {
+		mv.reship[t] = true
+	}
 }
 
 // planMoves orders a migration's strip moves to minimize cross-server

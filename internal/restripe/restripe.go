@@ -364,6 +364,7 @@ type moveOutcome struct {
 // advances the cursor. It returns how many moves it issued.
 func (m *Migrator) batchFile(p *sim.Proc, mig *Migration, limit int) int {
 	issued := 0
+	stalled := false
 	var sigs []*sim.Signal[moveOutcome]
 	for i := mig.cursor; i < len(mig.plan) && issued < limit; i++ {
 		mv := mig.plan[i]
@@ -380,17 +381,25 @@ func (m *Migrator) batchFile(p *sim.Proc, mig *Migration, limit int) int {
 			break
 		}
 		if len(targets) == 0 {
-			// Every target holder already stores a copy (a halo replica the
-			// old layout happened to place, or a previously interrupted
-			// run): the move is a pure metadata flip.
+			// Every target holder already stores a fresh copy (a halo
+			// replica the old layout happened to place, kept fresh by the
+			// write path's replica forwarding): the move is a pure metadata
+			// flip. These commit even after the byte budget stalled a copy —
+			// they cost nothing against it.
 			m.commit(mig, mv, 0)
 			issued++
 			continue
 		}
+		if stalled {
+			continue
+		}
 		if !m.reserve(src, targets, bytes) {
+			// Out of in-flight budget for copies this batch; keep scanning
+			// for zero-byte flips, which need no reservation.
 			m.stats.AddThrottleStall()
 			m.logEvent(mig.file, "stall")
-			break
+			stalled = true
+			continue
 		}
 		mv.inflight = true
 		mv.expect = len(targets)
@@ -405,20 +414,25 @@ func (m *Migrator) batchFile(p *sim.Proc, mig *Migration, limit int) int {
 	for _, out := range sim.WaitAll(p, sigs) {
 		m.release(out.src, out.targets, out.bytes)
 		out.mv.inflight = false
-		if out.err != nil {
-			out.mv.expect = 0
-			m.parkMove(mig, out.mv)
-			continue
-		}
-		if out.mv.dirty {
-			// A foreign write landed while the copy was in flight: the
-			// shipped bytes may predate it. Discard the attempt; the cursor
-			// re-copies the strip next batch (resolve excludes the targets
-			// that did receive fresh bytes via the old layout's replica
-			// forwarding, and re-ships the rest).
-			out.mv.dirty = false
-			out.mv.expect = 0
-			m.stats.AddRecopy()
+		out.mv.expect = 0
+		if out.err != nil || out.mv.dirty {
+			// The attempt did not commit, but some of its targets may
+			// already store its bytes — and any write landing before the
+			// retry refreshes only the old placement's holders, so those
+			// copies can silently go stale. Record them so resolve re-ships
+			// them on retry instead of trusting Holds and committing the
+			// move as a pure metadata flip over pre-write bytes.
+			out.mv.markReship(out.targets)
+			if out.mv.dirty {
+				// A foreign write landed while the copy was in flight: the
+				// shipped bytes may predate it. Discard the attempt; the
+				// cursor re-copies the strip next batch.
+				out.mv.dirty = false
+				m.stats.AddRecopy()
+			}
+			if out.err != nil {
+				m.parkMove(mig, out.mv)
+			}
 			continue
 		}
 		m.commit(mig, out.mv, out.bytes)
@@ -428,9 +442,12 @@ func (m *Migrator) batchFile(p *sim.Proc, mig *Migration, limit int) int {
 }
 
 // resolve computes a move's current source holder and the target holders
-// still lacking a copy, against live server holdings — so a re-executed
-// move never re-ships bytes a previous attempt already placed. live is
-// false when the source or any target server is down.
+// still lacking a trustworthy copy, against live server holdings — so a
+// re-executed move never re-ships bytes a committed placement already
+// covers, while targets a discarded attempt touched (mv.reship) are
+// always re-shipped: their copies may predate a write that only reached
+// the old placement. live is false when the source or any target server
+// is down.
 func (m *Migrator) resolve(mig *Migration, mv *move) (src int, targets []int, bytes int64, live bool) {
 	src = -1
 	for _, h := range layout.Holders(mig.dual, mv.strip) {
@@ -451,7 +468,7 @@ func (m *Migrator) resolve(mig *Migration, mv *move) (src int, targets []int, by
 	}
 	lo, hi := meta.StripBounds(mv.strip)
 	for _, h := range layout.Holders(mig.target, mv.strip) {
-		if !m.fs.Server(h).Holds(mig.file, mv.strip) {
+		if mv.reship[h] || !m.fs.Server(h).Holds(mig.file, mv.strip) {
 			targets = append(targets, h)
 		}
 	}
@@ -488,6 +505,7 @@ func (m *Migrator) commit(mig *Migration, mv *move, bytes int64) {
 	mv.done = true
 	mv.inflight = false
 	mv.expect = 0
+	mv.reship = nil
 	if mv.failed {
 		mv.failed = false
 		m.stats.AddResume()
@@ -528,14 +546,18 @@ func (m *Migrator) advance(mig *Migration) {
 }
 
 // reserve charges a move's bytes against the source and target servers'
-// in-flight budgets, refusing when any would exceed the cap.
+// in-flight budgets. A server that already carries migration bytes
+// refuses a charge that would push it over the cap, but an idle server
+// admits its share unconditionally: a single move larger than the budget
+// must still go through once its servers drain, or the migration would
+// stall at every tick forever without converging.
 func (m *Migrator) reserve(src int, targets []int, bytes int64) bool {
-	if m.inflight[src]+bytes > m.cfg.MaxInFlightBytes {
+	per := bytes / int64(len(targets))
+	if m.inflight[src] > 0 && m.inflight[src]+bytes > m.cfg.MaxInFlightBytes {
 		return false
 	}
-	per := bytes / int64(len(targets))
 	for _, t := range targets {
-		if m.inflight[t]+per > m.cfg.MaxInFlightBytes {
+		if m.inflight[t] > 0 && m.inflight[t]+per > m.cfg.MaxInFlightBytes {
 			return false
 		}
 	}
