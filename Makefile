@@ -1,12 +1,16 @@
-.PHONY: tier1 extended bench-smoke
+.PHONY: tier1 extended lint bench-smoke
 
 # Tier-1 gate: must stay green on every PR.
 tier1:
 	go build ./...
 	go test ./...
 
-# Extended gate: vet + race on top of tier-1.
-extended: tier1
+# Determinism/pooling analyzer suite (cmd/daslint) over the whole module.
+lint:
+	go run ./cmd/daslint ./...
+
+# Extended gate: vet + daslint + race on top of tier-1.
+extended: tier1 lint
 	go vet ./...
 	go test -race ./...
 

@@ -18,8 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"github.com/hpcio/das/internal/cli"
 	"github.com/hpcio/das/internal/fault"
 	"github.com/hpcio/das/internal/grid"
 	"github.com/hpcio/das/internal/kernels"
@@ -69,29 +69,10 @@ func main() {
 // and compose with neither the fetch-plan (-op) nor the fault-coverage
 // (-faults) analyses, nor with each other.
 func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo bool) error {
-	if cacheDemo && restripeDemo {
-		return fmt.Errorf("-restripe cannot be combined with -cache")
-	}
-	mode := ""
-	switch {
-	case cacheDemo:
-		mode = "-cache"
-	case restripeDemo:
-		mode = "-restripe"
-	default:
-		return nil
-	}
-	conflicts := []string{}
-	if op != "" {
-		conflicts = append(conflicts, "-op")
-	}
-	if faultSpec != "" {
-		conflicts = append(conflicts, "-faults")
-	}
-	if len(conflicts) > 0 {
-		return fmt.Errorf("%s cannot be combined with %s", mode, strings.Join(conflicts, " or "))
-	}
-	return nil
+	return cli.CheckExclusive(
+		[]cli.Flag{{Name: "-cache", Set: cacheDemo}, {Name: "-restripe", Set: restripeDemo}},
+		[]cli.Flag{{Name: "-op", Set: op != ""}, {Name: "-faults", Set: faultSpec != ""}},
+	)
 }
 
 func run(servers int, strips int64, r, halo int, stripSize int64, op string, width int, size int64, faultSpec string) error {

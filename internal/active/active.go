@@ -237,6 +237,17 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 	var resp execResp
 	var forwards []*sim.Signal[error]
 	var pooledOut [][]byte // output encodings, released once forwards finish
+	// fail unwinds an error return: replica forwards spawned by earlier
+	// runs may still hold sub-slices of the pooled output buffers, so they
+	// must drain before the pool reclaims anything.
+	fail := func(err error) (execResp, error) {
+		sim.WaitAll(p, forwards)
+		for _, b := range pooledOut {
+			pfs.ReleaseBuffer(b)
+		}
+		pooledOut = nil
+		return execResp{}, err
+	}
 	for _, run := range assignedRuns(srv, in, req.Strips) {
 		e0 := run.lo / in.ElemSize
 		e1 := run.hi / in.ElemSize
@@ -276,7 +287,8 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 			t0 := p.Now()
 			chunks, err := srv.LocalReadMany(p, req.Input, localSpans)
 			if err != nil {
-				return execResp{}, err
+				band.Release()
+				return fail(err)
 			}
 			resp.Phases.LocalRead += p.Now() - t0
 			clu.Trace.Record(t0, p.Now()-t0, actor(srv), "local-read",
@@ -307,10 +319,23 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 				sig.Fire(fetched{data: data, gotLo: gotLo, hit: hit, err: err})
 			})
 		}
-		for _, got := range sim.WaitAll(p, fetchSigs) {
+		results := sim.WaitAll(p, fetchSigs)
+		var fetchErr error
+		for _, got := range results {
 			if got.err != nil {
-				return execResp{}, got.err
+				fetchErr = got.err
+				break
 			}
+		}
+		if fetchErr != nil {
+			// The sibling fetches still delivered pooled copies.
+			for _, got := range results {
+				pfs.ReleaseBuffer(got.data)
+			}
+			band.Release()
+			return fail(fetchErr)
+		}
+		for _, got := range results {
 			if got.hit {
 				resp.CacheHits++
 				resp.CacheHitBytes += int64(len(got.data))
@@ -346,6 +371,7 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		// on a child process, overlapping replication with the next run's
 		// disk and compute work; the exec completes only after every
 		// forward has been acknowledged.
+		//das:transfer -- ownership joins pooledOut; released once the replica forwards acknowledge (fail() covers error paths)
 		outBytes := grid.FloatsToBytesInto(pfs.AcquireBuffer((e1-e0)*in.ElemSize), outVals)
 		grid.PutFloats(outVals)
 		pooledOut = append(pooledOut, outBytes)
@@ -358,7 +384,7 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		}
 		writeStart := p.Now()
 		if err := srv.LocalWriteMany(p, req.Output, strips, chunks, false); err != nil {
-			return execResp{}, err
+			return fail(err)
 		}
 		resp.Phases.Write += p.Now() - writeStart
 		clu.Trace.Record(writeStart, p.Now()-writeStart, actor(srv), "write",
@@ -373,7 +399,7 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 	forwardStart := p.Now()
 	for _, err := range sim.WaitAll(p, forwards) {
 		if err != nil {
-			return execResp{}, err
+			return fail(err)
 		}
 	}
 	resp.Phases.Forward += p.Now() - forwardStart

@@ -168,6 +168,7 @@ func (c *ServerCache) Get(file string, strip, lo, hi int64) ([]byte, bool) {
 	c.stats.Hits++
 	c.stats.HitBytes += hi - lo
 	c.agg.AddHit(hi - lo)
+	//das:transfer -- hit copies leave with the caller, who releases them like a fetched strip
 	return out, true
 }
 

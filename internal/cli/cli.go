@@ -1,0 +1,58 @@
+// Package cli holds small helpers shared by the das command-line tools.
+//
+// The first resident is the exclusive-flag check: several commands grow
+// report "modes" (-cache, -restripe, -list, ...) that each own the whole
+// run and therefore silently ignore the analysis flags they are combined
+// with. Rather than every main.go re-growing its own bespoke conflict
+// walk, the tools describe their flags as Flag values and let
+// CheckExclusive produce the (stable, tested) error messages.
+package cli
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flag is a command-line flag (or flag-like argument group, e.g. "package
+// arguments") for the purposes of an exclusivity check: its user-visible
+// name and whether the invocation set it.
+type Flag struct {
+	Name string
+	Set  bool
+}
+
+// CheckExclusive rejects flag combinations that would otherwise be
+// silently ignored. Every flag in modes claims the whole run: at most one
+// mode may be set, and a set mode may not be combined with any set flag
+// from others (flags that are fine together but meaningless under a
+// mode). A nil error means the combination is coherent.
+func CheckExclusive(modes []Flag, others []Flag) error {
+	var set []Flag
+	for _, m := range modes {
+		if m.Set {
+			set = append(set, m)
+		}
+	}
+	if len(set) > 1 {
+		var rest []string
+		for _, m := range set[1:] {
+			rest = append(rest, m.Name)
+		}
+		// Name the later mode as the offender so the error reads in the
+		// order the flags appear on a typical command line.
+		return fmt.Errorf("%s cannot be combined with %s", strings.Join(rest, " or "), set[0].Name)
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	var conflicts []string
+	for _, o := range others {
+		if o.Set {
+			conflicts = append(conflicts, o.Name)
+		}
+	}
+	if len(conflicts) > 0 {
+		return fmt.Errorf("%s cannot be combined with %s", set[0].Name, strings.Join(conflicts, " or "))
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckExclusive(t *testing.T) {
+	modes := func(a, b bool) []Flag {
+		return []Flag{{Name: "-cache", Set: a}, {Name: "-restripe", Set: b}}
+	}
+	others := func(op, faults bool) []Flag {
+		return []Flag{{Name: "-op", Set: op}, {Name: "-faults", Set: faults}}
+	}
+	cases := []struct {
+		name    string
+		modes   []Flag
+		others  []Flag
+		wantErr string
+	}{
+		{"nothing set", modes(false, false), others(false, false), ""},
+		{"others compose freely", modes(false, false), others(true, true), ""},
+		{"one mode alone", modes(true, false), others(false, false), ""},
+		{"mode vs one other", modes(true, false), others(true, false), "-cache cannot be combined with -op"},
+		{"mode vs both others", modes(false, true), others(true, true), "-restripe cannot be combined with -op or -faults"},
+		{"two modes", modes(true, true), others(false, false), "-restripe cannot be combined with -cache"},
+		{"two modes win over others", modes(true, true), others(true, true), "-restripe cannot be combined with -cache"},
+	}
+	for _, c := range cases {
+		err := CheckExclusive(c.modes, c.others)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestCheckExclusiveThreeModes(t *testing.T) {
+	err := CheckExclusive([]Flag{
+		{Name: "-a", Set: true}, {Name: "-b", Set: true}, {Name: "-c", Set: true},
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "-b or -c cannot be combined with -a") {
+		t.Errorf("three modes: got %v", err)
+	}
+}

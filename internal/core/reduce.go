@@ -172,6 +172,7 @@ func (s *System) reduceWorker(p *sim.Proc, red kernels.Reducer, in *pfs.FileMeta
 	_, byteHi := in.StripBounds(last)
 	data := pfs.AcquireBuffer(byteHi - byteLo)
 	if err := client.ReadInto(p, in.Name, byteLo, data); err != nil {
+		pfs.ReleaseBuffer(data)
 		return nil, 0, err
 	}
 	e0, e1 := byteLo/in.ElemSize, byteHi/in.ElemSize

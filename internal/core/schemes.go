@@ -107,6 +107,7 @@ func (s *System) tsWorker(p *sim.Proc, k kernels.Kernel, in, out *pfs.FileMeta, 
 	readStart := p.Now()
 	data := pfs.AcquireBuffer((hi - lo) * in.ElemSize)
 	if err := client.ReadInto(p, in.Name, lo*in.ElemSize, data); err != nil {
+		pfs.ReleaseBuffer(data)
 		return phases, err
 	}
 	phases.Fetch = p.Now() - readStart
@@ -159,6 +160,9 @@ func (s *System) tsWorker(p *sim.Proc, k kernels.Kernel, in, out *pfs.FileMeta, 
 	writeStart := p.Now()
 	for _, e := range sim.WaitAll(p, sigs) {
 		if e != nil {
+			// All writers have fired, so nothing still references the
+			// output encoding.
+			pfs.ReleaseBuffer(outBytes)
 			return phases, e
 		}
 	}

@@ -27,6 +27,7 @@ var (
 func GetFloats(n int) []float64 {
 	s := floatPool.Get(n)
 	clear(s)
+	//das:transfer -- this wrapper is the pool's hand-out point; the caller owns the slice
 	return s
 }
 
@@ -48,6 +49,7 @@ func NewBandPooled(width int, globalLen, start, end, lo, hi int64) *Band {
 		clear(b.Data)
 	} else {
 		floatPool.Put(b.Data)
+		//das:transfer -- the band owns its data buffer; Release recycles band and buffer together
 		b.Data = GetFloats(int(n))
 	}
 	b.Width = width

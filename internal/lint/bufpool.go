@@ -1,0 +1,647 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Bufpool checks pooled-buffer ownership: every acquire must reach a
+// matching release on all return paths of the function, or change owner
+// through an explicitly annotated transfer; and a buffer must not be used
+// after its release.
+var Bufpool = &Analyzer{
+	Name: "bufpool",
+	Doc: `require a Put on every return path for each bufpool Get, and no use after Put
+
+Tracked acquire/release pairs: bufpool.Pool.Get/Put, pfs.AcquireBuffer/
+ReleaseBuffer, and grid.GetFloats/PutFloats (grid.FloatsToBytesInto is
+known to return its first argument, so a buffer may flow through it).
+The check is per function: a buffer that legitimately changes owner —
+returned to the caller, stored in a message, handed to a struct — must be
+annotated at the escape site with '//das:transfer -- reason', which makes
+the new owner responsible for the Put. The analysis is a conservative
+walk of the function's statement structure (if/for/switch joins, defers,
+early returns); when it cannot prove a release on some path it says so
+rather than staying silent.`,
+	Run: runBufpool,
+}
+
+var (
+	bufpoolPkg = ModulePath + "/internal/bufpool"
+	pfsPkg     = ModulePath + "/internal/pfs"
+	gridPkg    = ModulePath + "/internal/grid"
+)
+
+// poolRole classifies a call's part in the buffer lifecycle.
+type poolRole int
+
+const (
+	roleNone    poolRole = iota
+	roleAcquire          // returns a pooled buffer the caller now owns
+	roleRelease          // arg 0 returns to the pool
+	rolePass             // returns its arg-0 buffer unchanged (ownership flows through)
+)
+
+func classifyCall(pass *Pass, call *ast.CallExpr) poolRole {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return roleNone
+	}
+	switch {
+	case methodIs(fn, bufpoolPkg, "Pool", "Get"),
+		pkgFuncIs(fn, pfsPkg, "AcquireBuffer"),
+		pkgFuncIs(fn, gridPkg, "GetFloats"):
+		return roleAcquire
+	case methodIs(fn, bufpoolPkg, "Pool", "Put"),
+		pkgFuncIs(fn, pfsPkg, "ReleaseBuffer"),
+		pkgFuncIs(fn, gridPkg, "PutFloats"):
+		return roleRelease
+	case pkgFuncIs(fn, gridPkg, "FloatsToBytesInto"):
+		return rolePass
+	}
+	return roleNone
+}
+
+func runBufpool(pass *Pass) error {
+	switch pass.Pkg.Path() {
+	case bufpoolPkg:
+		return nil // the pool's own implementation hands slices across Get/Put by design
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Analyze each function literal and declaration independently: a
+		// buffer acquired inside a closure must be settled inside it.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFuncBuffers(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFuncBuffers(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// A trackedBuf is one acquire site bound to a local variable.
+type trackedBuf struct {
+	obj        types.Object
+	acquire    *ast.CallExpr
+	deferred   bool // a defer releases it on every exit
+	inClosure  bool // a nested closure releases it; give up precise paths
+	reported   bool
+	releasedAt token.Pos // last release position on the current walk path
+}
+
+// bufState is the per-path ownership state of one tracked buffer.
+type bufState int
+
+const (
+	bufLive     bufState = iota // acquired, not yet released on this path
+	bufReleased                 // released on this path
+	bufMaybe                    // released on some joined paths only
+	bufDone                     // transferred, reassigned, or already reported
+)
+
+func (s bufState) join(o bufState) bufState {
+	if s == o {
+		return s
+	}
+	if s == bufDone || o == bufDone {
+		return bufDone
+	}
+	return bufMaybe
+}
+
+// checkFuncBuffers finds acquire sites in body (ignoring nested function
+// literals, which are analyzed separately) and runs the path walk for
+// each.
+func checkFuncBuffers(pass *Pass, body *ast.BlockStmt) {
+	var bufs []*trackedBuf
+	inspectShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || classifyCall(pass, call) != roleAcquire {
+			return
+		}
+		if b := bindAcquire(pass, body, call); b != nil {
+			bufs = append(bufs, b)
+		}
+	})
+	for _, b := range bufs {
+		checkBuffer(pass, body, b)
+	}
+}
+
+// inspectShallow walks n but does not descend into function literals.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}
+
+// bindAcquire resolves which local variable holds the buffer produced by
+// call. An acquire that is immediately consumed by something other than
+// an assignment or a pass-through needs a transfer annotation; that case
+// is reported here and not tracked further.
+func bindAcquire(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr) *trackedBuf {
+	// Climb through pass-through calls: in
+	// out := grid.FloatsToBytesInto(pfs.AcquireBuffer(n), vals)
+	// the acquired buffer is what `out` holds.
+	expr := ast.Expr(call)
+	path, _ := astPath(body, call)
+	for i := len(path) - 2; i >= 0; i-- {
+		parent := path[i]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			expr = p
+			continue
+		case *ast.CallExpr:
+			if classifyCall(pass, p) == rolePass && len(p.Args) > 0 && ast.Unparen(p.Args[0]) == ast.Unparen(expr) {
+				expr = p
+				continue
+			}
+			if classifyCall(pass, p) == roleRelease && len(p.Args) > 0 && ast.Unparen(p.Args[0]) == ast.Unparen(expr) {
+				return nil // released on the spot (degenerate but legal)
+			}
+			// The buffer vanishes into an arbitrary call.
+			reportEscape(pass, call, "passed to a function that keeps it")
+			return nil
+		case *ast.AssignStmt:
+			if obj := assignTarget(pass, p, expr); obj != nil {
+				return &trackedBuf{obj: obj, acquire: call}
+			}
+			reportEscape(pass, call, "assigned to a non-local destination")
+			return nil
+		case *ast.ValueSpec:
+			for j, v := range p.Values {
+				if ast.Unparen(v) == ast.Unparen(expr) && j < len(p.Names) {
+					if obj := pass.Info.Defs[p.Names[j]]; obj != nil {
+						return &trackedBuf{obj: obj, acquire: call}
+					}
+				}
+			}
+			reportEscape(pass, call, "bound outside a simple variable")
+			return nil
+		case *ast.ReturnStmt:
+			reportEscape(pass, call, "returned to the caller")
+			return nil
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "pooled buffer discarded: the Get result is never released")
+			return nil
+		default:
+			// CompositeLit, KeyValueExpr, SendStmt, index, etc: the
+			// buffer is stored somewhere the walk cannot follow.
+			reportEscape(pass, call, "stored away at its acquire site")
+			return nil
+		}
+	}
+	return nil
+}
+
+func reportEscape(pass *Pass, call *ast.CallExpr, how string) {
+	if pass.transferAt(call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"pooled buffer %s without a release; if ownership moves, annotate the line with //das:transfer -- reason",
+		how)
+}
+
+// assignTarget returns the object of the plain identifier on the LHS
+// matching expr's position on the RHS, or nil.
+func assignTarget(pass *Pass, as *ast.AssignStmt, expr ast.Expr) types.Object {
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) != ast.Unparen(expr) || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+	return nil
+}
+
+// astPath returns the chain of nodes from root down to target.
+func astPath(root ast.Node, target ast.Node) ([]ast.Node, bool) {
+	var path []ast.Node
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == nil {
+			if !found {
+				path = path[:len(path)-1]
+			}
+			return true
+		}
+		path = append(path, n)
+		if n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return nil, false
+	}
+	return path, true
+}
+
+// checkBuffer runs the conservative path walk for one tracked buffer.
+func checkBuffer(pass *Pass, body *ast.BlockStmt, b *trackedBuf) {
+	// A transfer annotation at the acquire site declares that ownership
+	// leaves this function through a path the walk cannot follow.
+	if pass.transferAt(b.acquire.Pos()) {
+		return
+	}
+	// Deferred release anywhere in the function settles every path.
+	inspectShallow(body, func(n ast.Node) {
+		d, ok := n.(*ast.DeferStmt)
+		if ok && releasesObj(pass, d.Call, b.obj) {
+			b.deferred = true
+		}
+	})
+	// A release inside a nested closure means ownership logic spans
+	// functions; the per-path walk would only produce noise, so accept it
+	// (the closure was written deliberately) and still check use-after.
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && releasesObj(pass, call, b.obj) {
+				b.inClosure = true
+			}
+			return true
+		})
+		return false
+	})
+	if b.deferred || b.inClosure {
+		return
+	}
+	w := &bufWalk{pass: pass, b: b}
+	out, fallsThrough := w.stmts(body.List, bufDone)
+	// The walk starts tracking at the acquire statement (state flips from
+	// bufDone to bufLive there); falling off the end of the function body
+	// is an implicit return.
+	if fallsThrough {
+		w.atExit(out, body.Rbrace)
+	}
+}
+
+// releasesObj reports whether call releases the buffer held by obj.
+func releasesObj(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if classifyCall(pass, call) != roleRelease || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// usesObj reports whether n references obj outside nested closures.
+func usesObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	used := false
+	inspectShallow(n, func(m ast.Node) {
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+	})
+	return used
+}
+
+// bufWalk is the statement-structure interpreter for one buffer.
+type bufWalk struct {
+	pass *Pass
+	b    *trackedBuf
+}
+
+// atExit checks the buffer's state at a function exit point.
+func (w *bufWalk) atExit(st bufState, pos token.Pos) {
+	if w.b.reported {
+		return
+	}
+	switch st {
+	case bufLive:
+		w.b.reported = true
+		w.pass.Reportf(w.b.acquire.Pos(),
+			"pooled buffer is not released on the return path at line %d; Put it on every path or annotate the escape with //das:transfer -- reason",
+			w.pass.Fset.Position(pos).Line)
+	case bufMaybe:
+		w.b.reported = true
+		w.pass.Reportf(w.b.acquire.Pos(),
+			"pooled buffer may not be released on the return path at line %d (released on some branches only)",
+			w.pass.Fset.Position(pos).Line)
+	}
+}
+
+// stmts walks a statement list; returns the final state and whether
+// control can fall through the end of the list.
+func (w *bufWalk) stmts(list []ast.Stmt, st bufState) (bufState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if !term {
+			return st, false
+		}
+	}
+	return st, true
+}
+
+// stmt walks one statement; the bool is false when control cannot
+// continue past it on any path (return, panic, branch).
+func (w *bufWalk) stmt(s ast.Stmt, st bufState) (bufState, bool) {
+	if w.b.reported {
+		return bufDone, true
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ExprStmt:
+		return w.simple(s, st), true
+	case *ast.AssignStmt:
+		return w.simple(s, st), true
+	case *ast.DeclStmt:
+		return w.simple(s, st), true
+	case *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			return w.stmt(ls.Stmt, st)
+		}
+		return w.simple(s, st), true
+	case *ast.ReturnStmt:
+		st = w.simple(s, st)
+		if st == bufLive || st == bufMaybe {
+			// Returning the buffer itself is a transfer if annotated.
+			for _, r := range s.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && w.pass.Info.Uses[id] == w.b.obj {
+					if w.pass.transferAt(s.Pos()) {
+						return bufDone, false
+					}
+				}
+			}
+			w.atExit(st, s.Pos())
+		}
+		return st, false
+	case *ast.BranchStmt:
+		// break/continue/goto: give up precise tracking of this path.
+		return st, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		st = w.exprState(s.Cond, st)
+		thenSt, thenFall := w.stmts(s.Body.List, st)
+		elseSt, elseFall := st, true
+		if s.Else != nil {
+			elseSt, elseFall = w.stmt(s.Else, st)
+		}
+		switch {
+		case thenFall && elseFall:
+			return thenSt.join(elseSt), true
+		case thenFall:
+			return thenSt, true
+		case elseFall:
+			return elseSt, true
+		default:
+			return st, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.exprState(s.Cond, st)
+		}
+		bodySt, _ := w.stmts(s.Body.List, st)
+		if s.Cond == nil && !loopCanExit(s.Body) {
+			// `for {}` with no break: paths that park forever never
+			// return, so the loop body's obligations are its own.
+			return bodySt, false
+		}
+		return st.join(bodySt), true
+	case *ast.RangeStmt:
+		bodySt, _ := w.stmts(s.Body.List, w.exprState(s.X, st))
+		return st.join(bodySt), true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, st)
+	case *ast.DeferStmt:
+		return w.simple(s, st), true
+	case *ast.GoStmt:
+		return w.simple(s, st), true
+	default:
+		return w.simple(s, st), true
+	}
+}
+
+// branches joins all case bodies of a switch/select with the entry state
+// (a missing default keeps the entry state live).
+func (w *bufWalk) branches(s ast.Stmt, st bufState) (bufState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.exprState(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := bufState(-1)
+	anyFall := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			stmts = cs.Body
+			if cs.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cs.Body
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				st, _ = w.stmt(cs.Comm, st)
+			}
+		}
+		cSt, cFall := w.stmts(stmts, st)
+		if cFall {
+			anyFall = true
+			if out == bufState(-1) {
+				out = cSt
+			} else {
+				out = out.join(cSt)
+			}
+		}
+	}
+	if !hasDefault {
+		if out == bufState(-1) {
+			out = st
+		} else {
+			out = out.join(st)
+		}
+		anyFall = true
+	}
+	if out == bufState(-1) {
+		return st, anyFall
+	}
+	return out, anyFall
+}
+
+// loopCanExit reports whether a for body contains a break/return that
+// leaves the loop.
+func loopCanExit(body *ast.BlockStmt) bool {
+	can := false
+	inspectShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				can = true
+			}
+		case *ast.ReturnStmt:
+			can = true
+		}
+	})
+	return can
+}
+
+// simple handles a statement with no interesting control flow: acquire
+// activation, release, reassignment, use-after-release, panic.
+func (w *bufWalk) simple(s ast.Stmt, st bufState) bufState {
+	return w.nodeState(s, st)
+}
+
+func (w *bufWalk) exprState(e ast.Expr, st bufState) bufState {
+	if e == nil {
+		return st
+	}
+	return w.nodeState(e, st)
+}
+
+// nodeState scans a leaf node for lifecycle events in source order.
+func (w *bufWalk) nodeState(n ast.Node, st bufState) bufState {
+	type event struct {
+		pos  token.Pos
+		kind int // 0 acquire, 1 release, 2 reassign, 3 use, 4 panic-or-exit
+	}
+	var events []event
+	type span struct{ lo, hi token.Pos }
+	var releaseSpans []span // idents inside a release call are not "uses"
+	inspectShallow(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if m == w.b.acquire {
+				events = append(events, event{m.Pos(), 0})
+			} else if releasesObj(w.pass, m, w.b.obj) {
+				events = append(events, event{m.Pos(), 1})
+				releaseSpans = append(releaseSpans, span{m.Pos(), m.End()})
+			} else if fn := calleeFunc(w.pass.Info, m); fn == nil {
+				if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "panic" && w.pass.Info.Uses[id] == nil {
+					events = append(events, event{m.Pos(), 4})
+				}
+			} else if pkgFuncIs(fn, "os", "Exit") {
+				events = append(events, event{m.Pos(), 4})
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || w.pass.Info.Uses[id] != w.b.obj {
+					continue
+				}
+				// v = append(v, ...) style self-updates keep tracking;
+				// anything else re-binds the variable away from the pool.
+				if i < len(m.Rhs) && usesObj(w.pass, m.Rhs[i], w.b.obj) {
+					continue
+				}
+				events = append(events, event{lhs.Pos(), 2})
+			}
+		case *ast.Ident:
+			if w.pass.Info.Uses[m] == w.b.obj {
+				events = append(events, event{m.Pos(), 3})
+			}
+		}
+	})
+	// Source order approximates evaluation order well enough here.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	for _, ev := range events {
+		if ev.kind == 3 {
+			inRelease := false
+			for _, sp := range releaseSpans {
+				if ev.pos >= sp.lo && ev.pos < sp.hi {
+					inRelease = true
+				}
+			}
+			if inRelease {
+				continue
+			}
+		}
+		switch ev.kind {
+		case 0:
+			if st == bufDone {
+				st = bufLive
+			}
+		case 1:
+			switch st {
+			case bufReleased:
+				if !w.b.reported {
+					w.b.reported = true
+					w.pass.Reportf(ev.pos, "pooled buffer released twice (already Put at line %d)",
+						w.pass.Fset.Position(w.b.releasedAt).Line)
+				}
+				return bufDone
+			case bufLive, bufMaybe:
+				w.b.releasedAt = ev.pos
+				st = bufReleased
+			}
+			// A release before the acquire activates belongs to a
+			// previous tenancy of the same variable: ignore.
+		case 2:
+			if st == bufLive && !w.b.reported && !w.pass.transferAt(ev.pos) {
+				w.b.reported = true
+				w.pass.Reportf(w.b.acquire.Pos(),
+					"pooled buffer is overwritten at line %d before being released",
+					w.pass.Fset.Position(ev.pos).Line)
+				return bufDone
+			}
+			st = bufDone
+		case 3:
+			if st == bufReleased && !w.b.reported {
+				w.b.reported = true
+				w.pass.Reportf(ev.pos, "pooled buffer used after its Put at line %d",
+					w.pass.Fset.Position(w.b.releasedAt).Line)
+				return bufDone
+			}
+		case 4:
+			// panic/os.Exit: the pool is process-local garbage anyway.
+		}
+	}
+	return st
+}

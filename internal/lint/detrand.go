@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand enforces the determinism contract around randomness and map
+// iteration.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: `forbid ambient randomness and map-iteration order leaking into event order
+
+All randomness must flow through a *rand.Rand threaded from the plan or
+engine (as internal/fault does): the global math/rand functions draw from
+a process-global, randomly seeded source, and a rand.New over anything
+but an explicitly seeded rand.NewSource cannot be replayed. Separately,
+iterating a map while spawning procs, posting to mailboxes, pushing heap
+entries, or appending to a slice that is never sorted lets Go's
+randomized map order decide the event order — the classic silent
+nondeterminism leak. Iterate over sorted keys instead.`,
+	Run: runDetrand,
+}
+
+// randPkgs are the math/rand flavors; both have global top-level sources.
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// seededCtors construct a rand source from an explicit seed argument.
+var seededCtors = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true}
+
+func runDetrand(pass *Pass) error {
+	inModule := pass.Pkg.Path() == ModulePath ||
+		len(pass.Pkg.Path()) > len(ModulePath) && pass.Pkg.Path()[:len(ModulePath)+1] == ModulePath+"/"
+	exempt := !inModule
+	for _, ex := range simExempt {
+		if pass.Pkg.Path() == ex {
+			exempt = true
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		if !exempt {
+			checkRandCalls(pass, f)
+		}
+		if simulatedPkg(pass.Pkg.Path()) {
+			checkMapRanges(pass, f)
+		}
+	}
+	return nil
+}
+
+// checkRandCalls flags global math/rand usage and opaquely-sourced
+// rand.New throughout the file, package-scope initializers included.
+func checkRandCalls(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return true // methods on a threaded *rand.Rand are the blessed path
+		}
+		switch {
+		case fn.Name() == "New":
+			checkRandNew(pass, call, fn.Pkg().Path())
+		case seededCtors[fn.Name()]:
+			checkSeedArgs(pass, call, fn.Name())
+		default:
+			pass.Reportf(call.Pos(),
+				"global %s.%s draws from the process-global source; thread the plan's seeded *rand.Rand instead",
+				fn.Pkg().Name(), fn.Name())
+		}
+		return true
+	})
+}
+
+// checkRandNew accepts rand.New over an explicitly seeded constructor or
+// a threaded value (identifier, selector, parameter); anything built
+// inline some other way is an unseeded source nobody can replay.
+func checkRandNew(pass *Pass, call *ast.CallExpr, randPkg string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch arg := ast.Unparen(call.Args[0]).(type) {
+	case *ast.CallExpr:
+		inner := calleeFunc(pass.Info, arg)
+		if inner != nil && inner.Pkg() != nil && inner.Pkg().Path() == randPkg && seededCtors[inner.Name()] {
+			return // seed args vetted by the NewSource/NewPCG case of the walk
+		}
+		pass.Reportf(call.Pos(),
+			"rand.New with an opaque source; construct it as rand.New(rand.NewSource(seed)) with a seed threaded from the plan")
+	case *ast.Ident, *ast.SelectorExpr:
+		// A threaded source: whoever built it was checked at its
+		// construction site.
+	default:
+		pass.Reportf(call.Pos(),
+			"rand.New with an opaque source; construct it as rand.New(rand.NewSource(seed)) with a seed threaded from the plan")
+	}
+}
+
+// checkSeedArgs rejects seeds derived from the wall clock: a
+// time.Now-based seed is the canonical way to smuggle nondeterminism
+// past an explicit-seed rule.
+func checkSeedArgs(pass *Pass, call *ast.CallExpr, ctor string) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, inner)
+			if pkgFuncIs(fn, "time", "Now") {
+				pass.Reportf(call.Pos(), "rand.%s seeded from the wall clock; thread the plan's seed instead", ctor)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges flags for-range over maps whose body reaches
+// event-ordering state.
+func checkMapRanges(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, fd, rs)
+			return true
+		})
+	}
+}
+
+// orderingCall names the event-ordering function fn resolves to, or "".
+func orderingCall(fn *types.Func) string {
+	simPkg := ModulePath + "/internal/sim"
+	switch {
+	case methodIs(fn, simPkg, "Engine", "Spawn"),
+		methodIs(fn, simPkg, "Engine", "SpawnDaemon"),
+		methodIs(fn, simPkg, "Engine", "AfterFunc"),
+		methodIs(fn, simPkg, "Engine", "AfterFuncDaemon"):
+		return "sim.Engine." + fn.Name()
+	case methodIs(fn, simPkg, "Proc", "Spawn"):
+		return "sim.Proc.Spawn"
+	case methodIs(fn, simPkg, "Mailbox", "Put"):
+		return "sim.Mailbox.Put"
+	case pkgFuncIs(fn, "container/heap", "Push"):
+		return "heap.Push"
+	}
+	return ""
+}
+
+func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := orderingCall(calleeFunc(pass.Info, n)); name != "" {
+				pass.Reportf(rs.For,
+					"map iteration order reaches %s; iterate over sorted keys instead", name)
+			}
+		case *ast.AssignStmt:
+			checkRangeAppend(pass, fd, rs, n)
+		}
+		return true
+	})
+}
+
+// checkRangeAppend flags `dst = append(dst, ...)` inside a map range when
+// dst outlives the loop and is never subsequently passed to a sort; the
+// slice then carries the map's random order into whatever consumes it.
+func checkRangeAppend(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue // a shadowing user function, not the predeclared append
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		dst, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Uses[dst]
+		if obj == nil {
+			obj = pass.Info.Defs[dst]
+		}
+		if obj == nil {
+			continue
+		}
+		// Only slices declared outside the loop carry order out of it.
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			continue
+		}
+		if sortedAfter(pass, fd, rs, obj) {
+			continue
+		}
+		pass.Reportf(rs.For,
+			"map iteration order reaches append to %q, which is never sorted afterwards; iterate over sorted keys or sort the result", dst.Name)
+	}
+}
+
+// sortedAfter reports whether obj appears inside a sort/slices sorting
+// call somewhere in fd after the range statement ends.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || !isSortFunc(fn) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isSortFunc(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Suppression and transfer directives.
+//
+//	//das:allow <analyzer>[,<analyzer>...] -- <reason>
+//	//das:transfer -- <reason>
+//
+// An allow directive silences the named analyzers' findings on the line
+// it shares with code, or — when it stands on a line of its own — on the
+// line immediately below it. A transfer directive is not a suppression:
+// it is an assertion the bufpool analyzer checks, declaring that the
+// pooled buffer acquired or escaping on its line changes owner (the new
+// owner becomes responsible for the Put). Both require a reason after
+// " -- "; the directive analyzer rejects reason-less or unknown-analyzer
+// directives, so every exemption in the tree is explained.
+
+const (
+	allowPrefix    = "//das:allow"
+	transferPrefix = "//das:transfer"
+)
+
+type directive struct {
+	kind      string   // "allow" or "transfer"
+	analyzers []string // for allow: analyzer names it silences
+	reason    string
+	pos       token.Pos
+	file      string
+	line      int  // line the directive occupies
+	ownLine   bool // true when nothing but the comment is on its line
+	bad       string
+}
+
+// collectDirectives scans every comment in files for das: directives.
+// Malformed ones are returned with bad set; the directive analyzer
+// reports them.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(fset, c)
+				if ok {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseDirective(fset *token.FileSet, c *ast.Comment) (directive, bool) {
+	text := c.Text
+	var kind string
+	switch {
+	case strings.HasPrefix(text, allowPrefix):
+		kind = "allow"
+		text = text[len(allowPrefix):]
+	case strings.HasPrefix(text, transferPrefix):
+		kind = "transfer"
+		text = text[len(transferPrefix):]
+	default:
+		return directive{}, false
+	}
+	pos := fset.Position(c.Pos())
+	d := directive{
+		kind:    kind,
+		pos:     c.Pos(),
+		file:    pos.Filename,
+		line:    pos.Line,
+		ownLine: startsLine(pos),
+	}
+	body, reason, found := strings.Cut(text, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		d.bad = "missing ' -- reason'"
+		return d, true
+	}
+	d.reason = strings.TrimSpace(reason)
+	body = strings.TrimSpace(body)
+	if kind == "transfer" {
+		if body != "" {
+			d.bad = "transfer directive takes no arguments before ' -- '"
+		}
+		return d, true
+	}
+	if body == "" {
+		d.bad = "names no analyzer"
+		return d, true
+	}
+	for _, name := range strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' }) {
+		if !knownAnalyzer(name) {
+			d.bad = "unknown analyzer " + name
+			return d, true
+		}
+		d.analyzers = append(d.analyzers, name)
+	}
+	return d, true
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// startsLine reports whether the comment at p is the first non-blank text
+// on its source line (a standalone directive, as opposed to one trailing
+// code). Reading the file is fine here: the parser just did, and the
+// result is cached per file.
+func startsLine(p token.Position) bool {
+	lines, err := sourceLines(p.Filename)
+	if err != nil || p.Line-1 >= len(lines) || p.Column < 1 {
+		return false
+	}
+	line := lines[p.Line-1]
+	if p.Column-1 > len(line) {
+		return false
+	}
+	return strings.TrimSpace(line[:p.Column-1]) == ""
+}
+
+var sourceLineCache = struct {
+	sync.Mutex
+	m map[string][]string
+}{m: make(map[string][]string)}
+
+func sourceLines(filename string) ([]string, error) {
+	sourceLineCache.Lock()
+	defer sourceLineCache.Unlock()
+	if lines, ok := sourceLineCache.m[filename]; ok {
+		return lines, nil
+	}
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	sourceLineCache.m[filename] = lines
+	return lines, nil
+}
+
+// filterSuppressed drops diagnostics covered by a well-formed allow
+// directive: same file, and either the directive shares the diagnostic's
+// line or stands alone on the line directly above it.
+func filterSuppressed(fset *token.FileSet, dirs []directive, diags []Diagnostic) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.kind != "allow" || dir.bad != "" || dir.file != p.Filename {
+				continue
+			}
+			if dir.line != p.Line && !(dir.ownLine && dir.line == p.Line-1) {
+				continue
+			}
+			for _, name := range dir.analyzers {
+				if name == d.Analyzer {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// transferAt reports whether a well-formed transfer directive covers the
+// given position (same line, or alone on the line above).
+func (p *Pass) transferAt(pos token.Pos) bool {
+	pp := p.Fset.Position(pos)
+	for _, dir := range p.directives {
+		if dir.kind != "transfer" || dir.bad != "" || dir.file != pp.Filename {
+			continue
+		}
+		if dir.line == pp.Line || (dir.ownLine && dir.line == pp.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Directive validates the das: directives themselves, so a reason-less or
+// misspelled exemption is an error rather than a silent no-op.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc: `report malformed //das:allow and //das:transfer directives
+
+Every directive must carry ' -- reason'; allow directives must name known
+analyzers. Findings of this analyzer cannot themselves be suppressed.`,
+	Run: func(pass *Pass) error {
+		for _, dir := range pass.directives {
+			if dir.bad != "" {
+				pass.Reportf(dir.pos, "malformed //das:%s directive: %s", dir.kind, dir.bad)
+			}
+		}
+		return nil
+	},
+}

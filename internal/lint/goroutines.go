@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// goAllowlist names the files where a raw go statement is legal, as
+// (package path, file basename) pairs. internal/sim/engine.go owns the
+// one blessed goroutine launch per Proc; internal/kernels/parallel.go is
+// the row-sharded kernel executor, which is outside the DES (it computes
+// between events and is byte-identical to the sequential path). Extend
+// this table — with a comment saying why — rather than sprinkling
+// //das:allow.
+var goAllowlist = map[[2]string]bool{
+	{ModulePath + "/internal/sim", "engine.go"}:       true,
+	{ModulePath + "/internal/kernels", "parallel.go"}: true,
+}
+
+// Goroutines forbids go statements outside the blessed scheduler sites.
+var Goroutines = &Analyzer{
+	Name: "goroutines",
+	Doc: `forbid go statements outside the blessed scheduler sites
+
+Simulated concurrency is a sim.Proc: the engine runs exactly one
+goroutine at a time, handing off on park/unpark, which is what makes the
+event order a pure function of the seed. A stray go statement introduces
+real parallelism the engine cannot serialize. Only
+internal/sim/engine.go (the Proc launcher itself) and
+internal/kernels/parallel.go (compute between events) may use go;
+_test.go files are exempt.`,
+	Run: runGoroutines,
+}
+
+func runGoroutines(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), ModulePath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if goAllowlist[[2]string{pass.Pkg.Path(), base}] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"go statement outside the allowlisted scheduler sites; spawn a sim.Proc (or extend goAllowlist with a justification)")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Load loads the packages matching the go list patterns, parsed and fully
+// type-checked, ready for Check. It shells out to `go list -export`,
+// which compiles (or reuses from the build cache) export data for every
+// dependency; type-checking then imports that export data instead of
+// re-checking the world from source. This keeps daslint offline-safe and
+// dependency-free: the go toolchain is the only requirement.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	type listPkg struct {
+		ImportPath string
+		Dir        string
+		Export     string
+		GoFiles    []string
+		CgoFiles   []string
+		ImportMap  map[string]string
+		DepOnly    bool
+		Standard   bool
+		Module     *struct{ GoVersion string }
+		Error      *struct{ Err string }
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	exportFiles := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var loaded []*Package
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			// No cgo in this repo; refuse rather than analyze a half-package.
+			return nil, fmt.Errorf("package %s uses cgo, which daslint does not support", p.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			if !filepath.IsAbs(name) {
+				name = filepath.Join(p.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		goVersion := ""
+		if p.Module != nil {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, files, importerWithMap(base, p.ImportMap), goVersion)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		loaded = append(loaded, pkg)
+	}
+	return loaded, nil
+}
+
+// importerWithMap applies a package's vendoring/import rewrite map before
+// delegating to the shared export-data importer.
+func importerWithMap(base types.Importer, importMap map[string]string) types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		return base.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typeCheck runs go/types over one package's files and bundles the result
+// as a lint.Package.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*Package, error) {
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: goVersion,
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

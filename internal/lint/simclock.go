@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time entry points that read or wait on
+// the wall clock. Pure arithmetic on time.Duration/time.Time values is
+// fine; acquiring "now" or scheduling against it is not.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Simclock forbids wall-clock time in simulated packages.
+var Simclock = &Analyzer{
+	Name: "simclock",
+	Doc: `forbid wall-clock time (time.Now, time.Sleep, ...) in simulated packages
+
+Simulated code runs on the discrete-event clock: timestamps are sim.Time
+read from Engine.Now/Proc.Now, and waiting is Proc.Sleep or a mailbox
+timeout. A single time.Now or time.Sleep in a simulated package ties
+event timing to the host scheduler and silently breaks seed-for-seed
+reproducibility. Packages that legitimately touch the wall clock (the
+trace file sinks, the linter itself) are allowlisted as whole packages in
+simExempt; _test.go files are always exempt.`,
+	Run: runSimclock,
+}
+
+func runSimclock(pass *Pass) error {
+	if !simulatedPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[fn.Name()] && pkgFuncIs(fn, "time", fn.Name()) {
+				pass.Reportf(call.Pos(),
+					"wall-clock time.%s in simulated package %s; use the DES clock (sim.Time, Proc.Sleep)",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Test fixture for the detrand analyzer, type-checked under a simulated
+// import path so both the rand rules and the map-range rules apply.
+package fakerand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// The satellite case: a global draw at package scope, hidden in a var
+// initializer rather than a function body.
+var globalDraw = rand.Intn(10) // want `global rand\.Intn draws from the process-global source`
+
+var threaded rand.Source = rand.NewSource(42)
+
+func globals() {
+	_ = rand.Int()                // want `global rand\.Int draws from the process-global source`
+	_ = rand.Float64()            // want `global rand\.Float64 draws from the process-global source`
+	rand.Shuffle(4, func(i, j int) {}) // want `global rand\.Shuffle draws from the process-global source`
+}
+
+func construction(seed int64) {
+	good := rand.New(rand.NewSource(seed))
+	_ = good.Intn(5) // methods on a threaded *rand.Rand are fine
+
+	alsoGood := rand.New(threaded) // an identifier: vetted at its construction site
+	_ = alsoGood
+
+	_ = rand.New(opaque())                               // want `rand\.New with an opaque source`
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+func opaque() rand.Source { return rand.NewSource(7) }

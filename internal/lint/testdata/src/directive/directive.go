@@ -1,0 +1,33 @@
+// Test fixture for the directive analyzer: malformed das: directives are
+// themselves findings, so a typo cannot silently suppress nothing.
+//
+// The want regexps spell the directives' " -- " separator as " .. ":
+// a literal "--" inside the comment would be parsed as the directive's
+// own reason separator.
+package fakedir
+
+import "time"
+
+//das:allow simclock // want `malformed //das:allow directive: missing ' .. reason'`
+var missingReason = time.Duration(0)
+
+//das:allow -- forgot to say which analyzer // want `malformed //das:allow directive: names no analyzer`
+var noAnalyzer int
+
+//das:allow nosuchcheck -- suppressing a check that does not exist // want `malformed //das:allow directive: unknown analyzer nosuchcheck`
+var unknownAnalyzer int
+
+//das:transfer ident -- transfer takes no analyzer list // want `malformed //das:transfer directive: transfer directive takes no arguments before ' .. '`
+var transferWithArgs int
+
+//das:transfer // want `malformed //das:transfer directive: missing ' .. reason'`
+var transferNoReason int
+
+// Well-formed directives are not findings, even when they suppress
+// nothing on their line.
+//
+//das:allow simclock -- well-formed and inert here
+var fine int
+
+//das:transfer -- well-formed and inert here
+var alsoFine int

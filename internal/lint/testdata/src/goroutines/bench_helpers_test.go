@@ -1,0 +1,9 @@
+// _test.go files may use go freely: test harnesses drive the simulator
+// from outside and are not part of the deterministic event loop.
+package fakego
+
+func parallelProbe(fns []func()) {
+	for _, fn := range fns {
+		go fn()
+	}
+}

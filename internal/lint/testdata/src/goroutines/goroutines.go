@@ -1,0 +1,21 @@
+// Test fixture for the goroutines analyzer: an ordinary simulated
+// package, so every go statement is a finding — the satellite edge case
+// of a go statement appearing in a new, non-allowlisted file.
+package fakego
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want `go statement outside the allowlisted scheduler sites`
+	}
+}
+
+func fireAndForget() {
+	go func() { // want `go statement outside the allowlisted scheduler sites`
+		println("untracked")
+	}()
+}
+
+func suppressed() {
+	//das:allow goroutines -- exercising the suppression path in the analyzer's own tests
+	go func() {}()
+}

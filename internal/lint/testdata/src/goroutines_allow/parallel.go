@@ -1,0 +1,17 @@
+// Test fixture type-checked as the internal/kernels package: parallel.go
+// is on the goroutines allowlist, so its go statements are legal, while
+// any other file in the same package is still checked (see shard.go).
+package kernels
+
+func fanOut(rows []func()) {
+	done := make(chan struct{})
+	for _, row := range rows {
+		go func() {
+			row()
+			done <- struct{}{}
+		}()
+	}
+	for range rows {
+		<-done
+	}
+}

@@ -1,0 +1,7 @@
+package kernels
+
+// The allowlist is per-file, not per-package: the same import path does
+// not bless go statements outside parallel.go.
+func leak() {
+	go func() {}() // want `go statement outside the allowlisted scheduler sites`
+}

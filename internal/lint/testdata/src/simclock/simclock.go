@@ -1,0 +1,32 @@
+// Test fixture for the simclock analyzer: this package is type-checked
+// under a simulated import path, so every wall-clock call is a finding.
+package fakesim
+
+import "time"
+
+var base time.Time
+
+func reads() {
+	_ = time.Now()                    // want `wall-clock time\.Now in simulated package .*fakesim; use the DES clock`
+	time.Sleep(time.Millisecond)      // want `wall-clock time\.Sleep`
+	<-time.After(time.Second)         // want `wall-clock time\.After`
+	_ = time.Tick(time.Second)        // want `wall-clock time\.Tick`
+	_ = time.NewTimer(time.Second)    // want `wall-clock time\.NewTimer`
+	_ = time.NewTicker(time.Second)   // want `wall-clock time\.NewTicker`
+	_ = time.Since(base)              // want `wall-clock time\.Since`
+	_ = time.Until(base)              // want `wall-clock time\.Until`
+	time.AfterFunc(time.Second, noop) // want `wall-clock time\.AfterFunc`
+}
+
+func noop() {}
+
+// Constructing and formatting times is fine; only clock reads are banned.
+func formatting() string {
+	t := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	return t.Format(time.RFC3339)
+}
+
+// Durations are plain arithmetic, not clock reads.
+func durations() time.Duration {
+	return 3 * time.Second
+}

@@ -1,0 +1,14 @@
+// Test fixture type-checked under the internal/trace import path, which
+// is on the simclock exemption list: trace emission timestamps real wall
+// time by design, so nothing here is a finding.
+package trace
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func throttle() {
+	time.Sleep(10 * time.Millisecond)
+}

@@ -17,6 +17,7 @@ var bufPool bufpool.Pool[byte]
 // arbitrary (callers overwrite it). Release it with ReleaseBuffer when no
 // reference remains.
 func AcquireBuffer(n int64) []byte {
+	//das:transfer -- this wrapper is the pool's hand-out point; the caller owns the buffer
 	return bufPool.Get(int(n))
 }
 

@@ -188,6 +188,7 @@ func (s *Server) peek(file string, strip, lo, hi int64) ([]byte, error) {
 	}
 	out := AcquireBuffer(hi - lo)
 	copy(out, data[lo:hi])
+	//das:transfer -- the strip copy rides the response message; the final consumer releases it
 	return out, nil
 }
 
