@@ -19,4 +19,5 @@ extended: tier1 lint
 bench-smoke:
 	go run ./cmd/dasbench -quick -cache -cache-rounds 2 -json BENCH_cache_smoke.json
 	go run ./cmd/dasbench -quick -restripe -restripe-rounds 2 -json BENCH_restripe_smoke.json
+	go run ./cmd/dasbench -scale -smoke -json BENCH_scale_smoke.json
 	go test -race ./internal/cache/... ./internal/restripe/...

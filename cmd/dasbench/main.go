@@ -38,6 +38,8 @@ func main() {
 	cacheRounds := flag.Int("cache-rounds", 3, "rounds per variant in the cache experiment")
 	restripeExp := flag.Bool("restripe", false, "run the online-restriping experiment (shorthand for -exp restripe; with -json, writes the restripe report instead of micro-benchmarks)")
 	restripeRounds := flag.Int("restripe-rounds", 3, "rounds per variant in the restripe experiment")
+	scaleExp := flag.Bool("scale", false, "run the engine-scaling sweep (24-5000 nodes, fast vs classic engine); writes BENCH_scale.json unless -json names another file")
+	smoke := flag.Bool("smoke", false, "with -scale: single bounded 640-node comparison instead of the full sweep")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
 	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
@@ -71,6 +73,13 @@ func main() {
 	}
 
 	err := func() error {
+		if *scaleExp {
+			path := *benchJSONPath
+			if path == "" && !*smoke {
+				path = "BENCH_scale.json"
+			}
+			return scaleSweep(path, *smoke)
+		}
 		if *benchJSONPath != "" {
 			if *cacheExp {
 				return cacheJSON(cfg, *cacheRounds, *benchJSONPath)

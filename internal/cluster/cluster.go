@@ -44,6 +44,11 @@ type Config struct {
 	// FaultSeed seeds the fault layer's randomness (message-loss draws).
 	// Zero means 1; fault-free runs never draw from it.
 	FaultSeed int64
+	// Engine selects the engine construction. The zero value is the
+	// optimized default (fast dispatch, calendar queue); the classic flags
+	// exist for before/after benchmarking and produce byte-identical
+	// simulations.
+	Engine sim.EngineOpts
 }
 
 // Default returns the parameters used throughout the reproduction. The
@@ -124,7 +129,9 @@ type Cluster struct {
 	// Trace, when non-nil, receives annotated events from the DAS layers
 	// (scheme workers, AS helpers); see the trace package and cmd/dastrace.
 	Trace *trace.Recorder
-	disks map[int]*simdisk.Disk
+	// disks is dense, indexed by node id (nil for compute nodes): the
+	// per-request Disk lookup on storage servers is a slice index.
+	disks []*simdisk.Disk
 }
 
 // New builds a cluster on a fresh engine.
@@ -132,7 +139,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
+	eng := sim.NewEngineWith(cfg.Engine)
 	traffic := metrics.NewTraffic()
 	net := simnet.New(eng, cfg.Net, traffic)
 	recovery := metrics.NewRecovery()
@@ -147,7 +154,7 @@ func New(cfg Config) (*Cluster, error) {
 		FaultLog:      faultLog,
 		CacheStats:    metrics.NewCache(),
 		RestripeStats: metrics.NewRestripe(),
-		disks:         make(map[int]*simdisk.Disk),
+		disks:         make([]*simdisk.Disk, cfg.TotalNodes()),
 	}
 	net.SetFaults(c.Faults)
 	for i := 0; i < cfg.TotalNodes(); i++ {
@@ -155,7 +162,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for s := 0; s < cfg.StorageNodes; s++ {
 		id := c.StorageID(s)
-		c.disks[id] = simdisk.New(eng, fmt.Sprintf("storage%d", s), cfg.Disk, traffic)
+		c.disks[id] = simdisk.NewIndexed(eng, id, cfg.Disk, traffic)
 	}
 	return c, nil
 }
@@ -191,11 +198,10 @@ func (c *Cluster) IsStorage(nodeID int) bool {
 
 // Disk returns the drive attached to a storage node id.
 func (c *Cluster) Disk(nodeID int) *simdisk.Disk {
-	d, ok := c.disks[nodeID]
-	if !ok {
+	if nodeID < 0 || nodeID >= len(c.disks) || c.disks[nodeID] == nil {
 		panic(fmt.Sprintf("cluster: node %d has no disk", nodeID))
 	}
-	return d
+	return c.disks[nodeID]
 }
 
 // ComputeTime returns the simulated time to run a kernel of the given

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/sim"
+)
+
+// The scale workload is the identity probe for the engine's fast paths:
+// every construction — fast dispatch or classic, calendar queue or heap —
+// must produce byte-identical simulation outputs (event count, virtual
+// time, traffic bytes, data checksums, kernel results). These tests
+// assert that at a small cluster for speed and at the paper-scale 640
+// nodes the PR's acceptance criteria name.
+
+func mustScale(t *testing.T, opts ScaleOptions) ScaleStats {
+	t.Helper()
+	st, err := RunScale(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// engineModes enumerates every engine construction; all must simulate
+// identically.
+var engineModes = []struct {
+	name string
+	opts sim.EngineOpts
+}{
+	{"fast", sim.EngineOpts{}},
+	{"classic-dispatch", sim.EngineOpts{ClassicDispatch: true}},
+	{"classic-queue", sim.EngineOpts{ClassicQueue: true}},
+	{"classic-both", sim.EngineOpts{ClassicDispatch: true, ClassicQueue: true}},
+}
+
+func TestScaleIdenticalAcrossEngineModes(t *testing.T) {
+	base := ScaleOptions{Nodes: 64, OpsPerClient: 32, Seed: 7}
+	ref := mustScale(t, ScaleOptions{Nodes: base.Nodes, OpsPerClient: base.OpsPerClient,
+		Seed: base.Seed, Engine: engineModes[0].opts})
+	if ref.Reads == 0 || ref.Writes == 0 {
+		t.Fatalf("degenerate workload: %d reads, %d writes", ref.Reads, ref.Writes)
+	}
+	for _, m := range engineModes[1:] {
+		st := mustScale(t, ScaleOptions{Nodes: base.Nodes, OpsPerClient: base.OpsPerClient,
+			Seed: base.Seed, Engine: m.opts})
+		if !st.SameSimulation(ref) {
+			t.Errorf("%s diverged from fast:\n fast    %+v\n %s %+v", m.name, ref, m.name, st)
+		}
+	}
+}
+
+func TestScaleRunToRunDeterminism(t *testing.T) {
+	opts := ScaleOptions{Nodes: 24, OpsPerClient: 24, Seed: 3}
+	a := mustScale(t, opts)
+	b := mustScale(t, opts)
+	if !a.SameSimulation(b) {
+		t.Fatalf("two identical runs diverged:\n a %+v\n b %+v", a, b)
+	}
+}
+
+func TestScaleSeedChangesOutputs(t *testing.T) {
+	a := mustScale(t, ScaleOptions{Nodes: 24, OpsPerClient: 24, Seed: 1})
+	b := mustScale(t, ScaleOptions{Nodes: 24, OpsPerClient: 24, Seed: 2})
+	if a.Checksum == b.Checksum {
+		t.Fatal("different seeds produced the same checksum — the workload is not seed-driven")
+	}
+}
+
+func TestScaleRejectsOddNodeCounts(t *testing.T) {
+	if _, err := RunScale(ScaleOptions{Nodes: 25}); err == nil {
+		t.Fatal("odd node count accepted")
+	}
+	if _, err := RunScale(ScaleOptions{Nodes: 0}); err == nil {
+		t.Fatal("zero node count accepted")
+	}
+}
+
+// TestScale640Determinism is the PR's named acceptance test: at 640 nodes,
+// two runs of the fast engine are byte-identical, and the calendar queue
+// matches the classic heap event for event.
+func TestScale640Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("640-node run skipped with -short")
+	}
+	opts := ScaleOptions{Nodes: 640, OpsPerClient: 16, Seed: 11}
+	a := mustScale(t, opts)
+	b := mustScale(t, opts)
+	if !a.SameSimulation(b) {
+		t.Fatalf("two 640-node runs diverged:\n a %+v\n b %+v", a, b)
+	}
+	classic := mustScale(t, ScaleOptions{Nodes: opts.Nodes, OpsPerClient: opts.OpsPerClient,
+		Seed: opts.Seed, Engine: sim.EngineOpts{ClassicDispatch: true, ClassicQueue: true}})
+	if !classic.SameSimulation(a) {
+		t.Fatalf("640-node classic engine diverged from fast:\n fast    %+v\n classic %+v", a, classic)
+	}
+	heapOnly := mustScale(t, ScaleOptions{Nodes: opts.Nodes, OpsPerClient: opts.OpsPerClient,
+		Seed: opts.Seed, Engine: sim.EngineOpts{ClassicQueue: true}})
+	if !heapOnly.SameSimulation(a) {
+		t.Fatalf("640-node heap queue diverged from calendar:\n calendar %+v\n heap     %+v", a, heapOnly)
+	}
+}

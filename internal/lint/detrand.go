@@ -158,7 +158,9 @@ func orderingCall(fn *types.Func) string {
 	case methodIs(fn, simPkg, "Engine", "Spawn"),
 		methodIs(fn, simPkg, "Engine", "SpawnDaemon"),
 		methodIs(fn, simPkg, "Engine", "AfterFunc"),
-		methodIs(fn, simPkg, "Engine", "AfterFuncDaemon"):
+		methodIs(fn, simPkg, "Engine", "AfterFuncDaemon"),
+		methodIs(fn, simPkg, "Engine", "ScheduleTask"),
+		methodIs(fn, simPkg, "Engine", "ResumeIn"):
 		return "sim.Engine." + fn.Name()
 	case methodIs(fn, simPkg, "Proc", "Spawn"):
 		return "sim.Proc.Spawn"

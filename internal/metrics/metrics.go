@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 )
 
 // TrafficClass labels a byte counter by which part of the system moved the
@@ -59,11 +59,11 @@ func Classes() []TrafficClass {
 
 // Traffic accumulates bytes per class. The simulator core is
 // single-threaded, but collectors may be read from test goroutines, so
-// access is guarded.
+// the counters are atomics — on the engine hot path that is one lock-free
+// add per transfer where a mutex would cost a lock/unlock pair.
 type Traffic struct {
-	mu    sync.Mutex
-	bytes [numClasses]int64
-	ops   [numClasses]int64
+	bytes [numClasses]atomic.Int64
+	ops   [numClasses]atomic.Int64
 }
 
 // NewTraffic returns an empty collector.
@@ -75,50 +75,55 @@ func (t *Traffic) Add(c TrafficClass, n int64) {
 	if n < 0 {
 		panic(fmt.Sprintf("metrics: negative traffic %d for %v", n, c))
 	}
-	t.mu.Lock()
-	t.bytes[c] += n
-	t.ops[c]++
-	t.mu.Unlock()
+	t.bytes[c].Add(n)
+	t.ops[c].Add(1)
 }
 
 // Bytes returns the byte total for class c.
 func (t *Traffic) Bytes(c TrafficClass) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.bytes[c]
+	return t.bytes[c].Load()
 }
 
 // Ops returns the number of recorded operations for class c.
 func (t *Traffic) Ops(c TrafficClass) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.ops[c]
+	return t.ops[c].Load()
 }
 
 // NetworkBytes returns the sum over the three network classes.
 func (t *Traffic) NetworkBytes() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.bytes[ClientToServer] + t.bytes[ServerToClient] + t.bytes[ServerToServer]
+	return t.bytes[ClientToServer].Load() + t.bytes[ServerToClient].Load() + t.bytes[ServerToServer].Load()
 }
 
 // Reset zeroes every counter.
 func (t *Traffic) Reset() {
-	t.mu.Lock()
-	t.bytes = [numClasses]int64{}
-	t.ops = [numClasses]int64{}
-	t.mu.Unlock()
+	for c := range t.bytes {
+		t.bytes[c].Store(0)
+		t.ops[c].Store(0)
+	}
 }
 
 // Snapshot returns a copy of all byte counters keyed by class.
 func (t *Traffic) Snapshot() map[TrafficClass]int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	out := make(map[TrafficClass]int64, numClasses)
 	for c := TrafficClass(0); c < numClasses; c++ {
-		out[c] = t.bytes[c]
+		out[c] = t.bytes[c].Load()
 	}
 	return out
+}
+
+// SnapshotsEqual reports whether two Snapshot results record identical
+// byte counts for every class. Identity checks between engine
+// constructions use it as the traffic leg of "byte-identical simulation".
+func SnapshotsEqual(a, b map[TrafficClass]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c, v := range a {
+		if b[c] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the non-zero counters, ordered by class, e.g.

@@ -1,0 +1,225 @@
+package pfs
+
+import (
+	"errors"
+
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// This file is the fast-path construction of a PFS request handler: a
+// pooled task chain standing in for the per-request child process the
+// classic server spawns. The chain pins each step to the exact (at, seq)
+// the classic construction would schedule — spawn, disk grant, disk
+// completion, response transfer — so both servers simulate identically
+// (DESIGN.md §11 traces one read RPC hop by hop).
+//
+// Only request types whose classic handler is straight-line — validate,
+// one disk pass, respond — run as chains: reads always, writes when they
+// forward no foreign replicas. Replica-forwarding writes, migrations, and
+// unknown requests keep the classic child process, as does everything once
+// faults activate; the dispatcher decides per message.
+
+// reqTask chain states, named for what RunTask does when dispatched.
+const (
+	rsStart       = iota // spawn stand-in: validate and contend for the disk
+	rsDiskGranted        // drive held: schedule the service time
+	rsDiskDone           // service over: release drive, account, respond
+)
+
+type reqTask struct {
+	s     *Server
+	state int
+	msg   simnet.Message
+
+	diskDur  sim.Time
+	isRead   bool  // which Finish* accounts the disk pass
+	diskSize int64 // bytes through the disk; 0 skips the disk entirely
+
+	payload  any   // prepared response
+	respSize int64 // wire size of the response
+}
+
+func (x *reqTask) RunTask() {
+	switch x.state {
+	case rsStart:
+		x.begin()
+	case rsDiskGranted:
+		x.state = rsDiskDone
+		x.s.fs.clu.Eng.ScheduleTask(x.diskDur, x)
+	case rsDiskDone:
+		d := x.s.fs.clu.Disk(x.s.nodeID)
+		if x.isRead {
+			d.FinishRead(x.diskSize)
+		} else {
+			d.FinishWrite(x.diskSize)
+		}
+		x.respond()
+	}
+}
+
+// begin validates the request and prepares the response, exactly as the
+// classic handler does before its first disk sleep, then contends for the
+// drive. Requests that touch no disk bytes (validation errors, empty
+// ranges) respond directly from this event — matching the classic handler,
+// whose zero-size disk calls schedule nothing.
+func (x *reqTask) begin() {
+	s := x.s
+	switch req := x.msg.Payload.(type) {
+	case *readReq:
+		file, strip, lo, hi := req.File, req.Strip, req.Lo, req.Hi
+		s.fs.readReqPut(req)
+		data, err := s.peek(file, strip, lo, hi)
+		if err != nil {
+			x.fail(err)
+			return
+		}
+		x.isRead, x.diskSize = true, int64(len(data))
+		r := s.fs.readRespGet()
+		r.Data = data
+		x.payload, x.respSize = r, headerBytes+int64(len(data))
+	case readManyReq:
+		data := make([][]byte, len(req.Spans))
+		var total int64
+		for i, sp := range req.Spans {
+			d, err := s.peek(req.File, sp.Strip, sp.Lo, sp.Hi)
+			if err != nil {
+				x.fail(err)
+				return
+			}
+			data[i] = d
+			total += int64(len(d))
+		}
+		x.isRead, x.diskSize = true, total
+		x.payload, x.respSize = readManyResp{Data: data}, headerBytes+total
+	case *writeReq:
+		file, strip, data := req.File, req.Strip, req.Data
+		s.fs.writeReqPut(req)
+		if err := s.validateWrite(file, strip, data); err != nil {
+			x.fail(err)
+			return
+		}
+		s.storePut(file, strip, data)
+		x.isRead, x.diskSize = false, int64(len(data))
+		x.payload, x.respSize = ackResp{}, headerBytes
+	case writeManyReq:
+		total, err := s.validateWriteMany(req.File, req.Strips, req.Data)
+		if err != nil {
+			x.fail(err)
+			return
+		}
+		for i, strip := range req.Strips {
+			s.storePut(req.File, strip, req.Data[i])
+		}
+		x.isRead, x.diskSize = false, total
+		x.payload, x.respSize = ackResp{}, headerBytes
+	default:
+		// The dispatcher only routes the four types above here.
+		panic("pfs: ineligible request on the fast handler")
+	}
+	if x.diskSize <= 0 {
+		x.respond()
+		return
+	}
+	d := s.fs.clu.Disk(s.nodeID)
+	if x.isRead {
+		x.diskDur = d.ReadTime(x.diskSize)
+	} else {
+		x.diskDur = d.WriteTime(x.diskSize)
+	}
+	x.state = rsDiskGranted
+	if d.AcquireTask(x) {
+		x.RunTask()
+	}
+}
+
+func (x *reqTask) fail(err error) {
+	code := codeInternal
+	if errors.Is(err, errNotHeld) {
+		code = codeNotFound
+	}
+	x.payload, x.respSize = errResp{Err: err.Error(), Code: code}, headerBytes
+	x.respond()
+}
+
+// respond launches the response transfer and pools the chain. RespondTask
+// ends in the same event the classic handler's post-Respond return would.
+func (x *reqTask) respond() {
+	s, msg, payload, size := x.s, x.msg, x.payload, x.respSize
+	s.taskPut(x)
+	s.fs.clu.Net.RespondTask(msg, payload, size, s.fs.clu.ClassBetween(s.nodeID, msg.From))
+}
+
+// dispatch is the port's inline message handler: the fast-path stand-in
+// for the classic service loop's body. Per message it either schedules a
+// reqTask chain or spawns the classic handler child — both at the (at, seq)
+// the classic loop's Spawn would allocate.
+func (s *Server) dispatch(msg simnet.Message) {
+	s.reqs++
+	if s.fs.clu.Net.FastOK() && s.fastEligible(msg.Payload) {
+		x := s.taskGet()
+		x.msg = msg
+		x.state = rsStart
+		s.fs.clu.Eng.ScheduleTask(0, x)
+		return
+	}
+	s.fs.clu.Eng.Spawn(s.handlerName(), func(h *sim.Proc) {
+		s.handle(h, msg)
+	})
+}
+
+// fastEligible reports whether a request's classic handler is
+// straight-line (validate → one disk pass → respond) and can therefore run
+// as a task chain.
+func (s *Server) fastEligible(payload any) bool {
+	switch req := payload.(type) {
+	case *readReq, readManyReq:
+		return true
+	case *writeReq:
+		return !req.Forward || s.replicasAllLocal(req.File, req.Strip)
+	case writeManyReq:
+		if !req.Forward {
+			return true
+		}
+		for _, strip := range req.Strips {
+			if !s.replicasAllLocal(req.File, strip) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// replicasAllLocal reports whether a strip's replica set names no server
+// but this one, i.e. a Forward write would push nothing. Unknown files
+// count as local: their writes fail validation before forwarding.
+func (s *Server) replicasAllLocal(file string, strip int64) bool {
+	m, ok := s.fs.meta[file]
+	if !ok {
+		return true
+	}
+	for _, rep := range m.Layout.Replicas(strip) {
+		if rep != s.srv {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) taskGet() *reqTask {
+	if k := len(s.taskFree); k > 0 {
+		x := s.taskFree[k-1]
+		s.taskFree[k-1] = nil
+		s.taskFree = s.taskFree[:k-1]
+		return x
+	}
+	return &reqTask{s: s}
+}
+
+// taskPut zeroes the chain (dropping payload references) and pools it.
+func (s *Server) taskPut(x *reqTask) {
+	*x = reqTask{s: s}
+	s.taskFree = append(s.taskFree, x)
+}

@@ -76,6 +76,20 @@ type FileSystem struct {
 	// halo-cache copies die with the data they shadow. Declared as a
 	// narrow interface so pfs does not depend on the cache package.
 	invalidator StripInvalidator
+	// readCallFree and writeCallFree recycle task-based client call state
+	// (async.go).
+	readCallFree  []*readCall
+	writeCallFree []*writeCall
+
+	// readReqFree and readRespFree recycle the read protocol payloads.
+	// Boxing a readReq or readResp value into a message's Payload field
+	// allocates on every RPC — the dominant allocation at scale — so the
+	// wire types travel as pooled pointers instead. The producer fills
+	// one, the consumer copies the fields out and re-pools it; payloads
+	// dropped on fault paths fall to the GC, which only costs a pool miss.
+	readReqFree  []*readReq
+	writeReqFree []*writeReq
+	readRespFree []*readResp
 }
 
 // StripInvalidator receives strip-mutation notifications from the write
@@ -301,13 +315,29 @@ func (fs *FileSystem) ReadStripFrom(p *sim.Proc, fromID, srv int, file string, s
 
 // readStripOnce is one read attempt against one server, no failover.
 func (fs *FileSystem) readStripOnce(p *sim.Proc, fromID, srv int, file string, strip, lo, hi int64) ([]byte, error) {
-	resp, err := fs.call(p, fromID, srv, readReq{File: file, Strip: strip, Lo: lo, Hi: hi}, headerBytes)
+	// Pooled request pointers are single-consumption: under faults,
+	// fs.call may resend the same message after the server has already
+	// consumed and re-pooled the payload, so fault-time calls box a value
+	// instead. Fault activation cannot change between here and the call
+	// entry — no event dispatches on this straight-line path.
+	var payload any
+	if fs.clu.Faults.Active() {
+		payload = readReq{File: file, Strip: strip, Lo: lo, Hi: hi}
+	} else {
+		req := fs.readReqGet()
+		*req = readReq{File: file, Strip: strip, Lo: lo, Hi: hi}
+		payload = req
+	}
+	resp, err := fs.call(p, fromID, srv, payload, headerBytes)
 	if err != nil {
 		return nil, err
 	}
 	switch r := resp.(type) {
-	case readResp:
-		return r.Data, nil
+	case *readResp:
+		data := r.Data
+		r.Data = nil
+		fs.readRespPut(r)
+		return data, nil
 	case errResp:
 		return nil, respError(r, fmt.Sprintf("pfs: read %s strip %d from server %d", file, strip, srv))
 	default:
@@ -362,7 +392,17 @@ func (fs *FileSystem) readStripFailover(p *sim.Proc, fromID, preferred int, file
 // is an error the caller must see — though a crashed one is waited on for
 // the retry policy's down-window first (see callWrite).
 func (fs *FileSystem) WriteStripTo(p *sim.Proc, fromID, srv int, file string, strip int64, data []byte, forward bool) error {
-	resp, err := fs.callWrite(p, fromID, srv, writeReq{File: file, Strip: strip, Data: data, Forward: forward},
+	// Same single-consumption rule as the read path: pooled pointer when
+	// fault-free, boxed value when a retry could resend it.
+	var payload any
+	if fs.clu.Faults.Active() {
+		payload = writeReq{File: file, Strip: strip, Data: data, Forward: forward}
+	} else {
+		req := fs.writeReqGet()
+		*req = writeReq{File: file, Strip: strip, Data: data, Forward: forward}
+		payload = req
+	}
+	resp, err := fs.callWrite(p, fromID, srv, payload,
 		headerBytes+int64(len(data)))
 	if err != nil {
 		return err

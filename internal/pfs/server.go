@@ -70,6 +70,19 @@ type Server struct {
 	nodeID int
 	store  map[string]map[int64][]byte
 	reqs   uint64
+
+	// lastFile/lastStrips cache the most recent store hit: requests on a
+	// busy server overwhelmingly name the same file, and the string-keyed
+	// map lookup (hash + compare per request) is measurable at scale.
+	// Inner maps are created once and mutated in place, never replaced,
+	// so a cached reference stays valid.
+	lastFile   string
+	lastStrips map[int64][]byte
+
+	// hname is the handler diagnostic name, formatted on first use.
+	hname string
+	// taskFree recycles fast-path request chains (fasthandler.go).
+	taskFree []*reqTask
 }
 
 func newServer(fs *FileSystem, srv int) *Server {
@@ -90,20 +103,59 @@ func (s *Server) NodeID() int { return s.nodeID }
 // Requests returns the number of requests received so far.
 func (s *Server) Requests() uint64 { return s.reqs }
 
+// handlerName returns the per-server handler diagnostic name, formatted
+// once on first use: a per-request formatted name would allocate on every
+// message, and even per-server formatting is deferred so building a
+// five-thousand-server cluster pays nothing for names diagnostics may
+// never read.
+func (s *Server) handlerName() string {
+	if s.hname == "" {
+		s.hname = fmt.Sprintf("pfs-server-%d-req", s.srv)
+	}
+	return s.hname
+}
+
 func (s *Server) start() {
-	// One handler name per server, computed once: a per-request formatted
-	// name would allocate on every message through the service loop.
-	handlerName := fmt.Sprintf("pfs-server-%d-req", s.srv)
+	port := s.fs.clu.Net.Node(s.nodeID).Port(Port)
+	if s.fs.clu.Eng.FastDispatch() {
+		// Fast dispatch: the port drives the dispatcher inline instead of a
+		// daemon process looping over Get. SetDispatcher's initial task
+		// stands in for the daemon's start event, and each delivered
+		// message reaches dispatch at the event the daemon's wake would be.
+		port.SetDispatcher(s.dispatch)
+		return
+	}
 	s.fs.clu.Eng.SpawnDaemon(fmt.Sprintf("pfs-server-%d", s.srv), func(p *sim.Proc) {
-		port := s.fs.clu.Net.Node(s.nodeID).Port(Port)
 		for {
 			msg := port.Get(p)
 			s.reqs++
-			p.Spawn(handlerName, func(h *sim.Proc) {
+			p.Spawn(s.handlerName(), func(h *sim.Proc) {
 				s.handle(h, msg)
 			})
 		}
 	})
+}
+
+// serveRead and serveWrite are the classic handler bodies for the two
+// single-strip requests, shared between the value and pooled-pointer
+// payload forms (the pointer form arrives from fault-free clients).
+func (s *Server) serveRead(p *sim.Proc, respond func(any, int64), fail func(error), file string, strip, lo, hi int64) {
+	data, err := s.LocalRead(p, file, strip, lo, hi)
+	if err != nil {
+		fail(err)
+		return
+	}
+	r := s.fs.readRespGet()
+	r.Data = data
+	respond(r, headerBytes+int64(len(data)))
+}
+
+func (s *Server) serveWrite(p *sim.Proc, respond func(any, int64), fail func(error), file string, strip int64, data []byte, forward bool) {
+	if err := s.LocalWrite(p, file, strip, data, forward); err != nil {
+		fail(err)
+		return
+	}
+	respond(ackResp{}, headerBytes)
 }
 
 func (s *Server) handle(p *sim.Proc, msg simnet.Message) {
@@ -119,12 +171,11 @@ func (s *Server) handle(p *sim.Proc, msg simnet.Message) {
 	}
 	switch req := msg.Payload.(type) {
 	case readReq:
-		data, err := s.LocalRead(p, req.File, req.Strip, req.Lo, req.Hi)
-		if err != nil {
-			fail(err)
-			return
-		}
-		respond(readResp{Data: data}, headerBytes+int64(len(data)))
+		s.serveRead(p, respond, fail, req.File, req.Strip, req.Lo, req.Hi)
+	case *readReq:
+		file, strip, lo, hi := req.File, req.Strip, req.Lo, req.Hi
+		s.fs.readReqPut(req)
+		s.serveRead(p, respond, fail, file, strip, lo, hi)
 	case readManyReq:
 		data, err := s.LocalReadMany(p, req.File, req.Spans)
 		if err != nil {
@@ -143,11 +194,11 @@ func (s *Server) handle(p *sim.Proc, msg simnet.Message) {
 		}
 		respond(ackResp{}, headerBytes)
 	case writeReq:
-		if err := s.LocalWrite(p, req.File, req.Strip, req.Data, req.Forward); err != nil {
-			fail(err)
-			return
-		}
-		respond(ackResp{}, headerBytes)
+		s.serveWrite(p, respond, fail, req.File, req.Strip, req.Data, req.Forward)
+	case *writeReq:
+		file, strip, data, forward := req.File, req.Strip, req.Data, req.Forward
+		s.fs.writeReqPut(req)
+		s.serveWrite(p, respond, fail, file, strip, data, forward)
 	case migrateReq:
 		if err := s.migrate(p, req); err != nil {
 			fail(err)
@@ -159,9 +210,21 @@ func (s *Server) handle(p *sim.Proc, msg simnet.Message) {
 	}
 }
 
+// stripsOf returns the strip map for file, through the one-entry cache.
+func (s *Server) stripsOf(file string) (map[int64][]byte, bool) {
+	if file == s.lastFile && s.lastStrips != nil {
+		return s.lastStrips, true
+	}
+	strips, ok := s.store[file]
+	if ok {
+		s.lastFile, s.lastStrips = file, strips
+	}
+	return strips, ok
+}
+
 // Holds reports whether the server currently stores a copy of the strip.
 func (s *Server) Holds(file string, strip int64) bool {
-	strips, ok := s.store[file]
+	strips, ok := s.stripsOf(file)
 	if !ok {
 		return false
 	}
@@ -172,7 +235,7 @@ func (s *Server) Holds(file string, strip int64) bool {
 // peek copies bytes [lo, hi) of a locally held strip without charging the
 // disk; callers batch the disk charge.
 func (s *Server) peek(file string, strip, lo, hi int64) ([]byte, error) {
-	strips, ok := s.store[file]
+	strips, ok := s.stripsOf(file)
 	if !ok {
 		return nil, fmt.Errorf("server %d holds no strips of %q: %w", s.srv, file, errNotHeld)
 	}
@@ -231,17 +294,10 @@ func (s *Server) LocalReadMany(p *sim.Proc, file string, spans []Span) ([][]byte
 // file's current layout — the write path that materializes the improved
 // distribution's boundary replicas.
 func (s *Server) LocalWrite(p *sim.Proc, file string, strip int64, data []byte, forward bool) error {
-	m, ok := s.fs.meta[file]
-	if !ok {
-		return fmt.Errorf("unknown file %q", file)
+	if err := s.validateWrite(file, strip, data); err != nil {
+		return err
 	}
-	lo, hi := m.StripBounds(strip)
-	if hi <= lo {
-		return fmt.Errorf("strip %d outside file %q", strip, file)
-	}
-	if int64(len(data)) != hi-lo {
-		return fmt.Errorf("strip %d of %q is %d bytes, got %d", strip, file, hi-lo, len(data))
-	}
+	m := s.fs.meta[file]
 	s.storePut(file, strip, data)
 	s.fs.clu.Disk(s.nodeID).Write(p, int64(len(data)))
 	if !forward {
@@ -269,23 +325,9 @@ func (s *Server) LocalWrite(p *sim.Proc, file string, strip int64, data []byte, 
 // LocalWriteMany stores several whole strips with one sequential disk
 // write, then forwards replica copies batched per target server.
 func (s *Server) LocalWriteMany(p *sim.Proc, file string, strips []int64, data [][]byte, forward bool) error {
-	m, ok := s.fs.meta[file]
-	if !ok {
-		return fmt.Errorf("unknown file %q", file)
-	}
-	if len(strips) != len(data) {
-		return fmt.Errorf("writeMany: %d strips but %d buffers", len(strips), len(data))
-	}
-	var total int64
-	for i, strip := range strips {
-		lo, hi := m.StripBounds(strip)
-		if hi <= lo {
-			return fmt.Errorf("strip %d outside file %q", strip, file)
-		}
-		if int64(len(data[i])) != hi-lo {
-			return fmt.Errorf("strip %d of %q is %d bytes, got %d", strip, file, hi-lo, len(data[i]))
-		}
-		total += hi - lo
+	total, err := s.validateWriteMany(file, strips, data)
+	if err != nil {
+		return err
 	}
 	for i, strip := range strips {
 		s.storePut(file, strip, data[i])
@@ -350,7 +392,7 @@ func (s *Server) ForwardReplicas(p *sim.Proc, file string, strips []int64, data 
 // Drop discards a local strip copy without timing cost (a metadata-scale
 // truncation). Reconfiguration uses it to retire stale placements.
 func (s *Server) Drop(file string, strip int64) {
-	if strips, ok := s.store[file]; ok {
+	if strips, ok := s.stripsOf(file); ok {
 		delete(strips, strip)
 	}
 	if s.fs.invalidator != nil {
@@ -358,11 +400,61 @@ func (s *Server) Drop(file string, strip int64) {
 	}
 }
 
+// validateWrite checks a single-strip write against the file's metadata.
+// Shared by the classic handler and the fast request chain so both reject
+// exactly the same requests with the same messages.
+func (s *Server) validateWrite(file string, strip int64, data []byte) error {
+	m, ok := s.fs.meta[file]
+	if !ok {
+		return fmt.Errorf("unknown file %q", file)
+	}
+	lo, hi := m.StripBounds(strip)
+	if hi <= lo {
+		return fmt.Errorf("strip %d outside file %q", strip, file)
+	}
+	if int64(len(data)) != hi-lo {
+		return fmt.Errorf("strip %d of %q is %d bytes, got %d", strip, file, hi-lo, len(data))
+	}
+	return nil
+}
+
+// validateWriteMany checks a batched write and returns its total bytes.
+func (s *Server) validateWriteMany(file string, strips []int64, data [][]byte) (int64, error) {
+	m, ok := s.fs.meta[file]
+	if !ok {
+		return 0, fmt.Errorf("unknown file %q", file)
+	}
+	if len(strips) != len(data) {
+		return 0, fmt.Errorf("writeMany: %d strips but %d buffers", len(strips), len(data))
+	}
+	var total int64
+	for i, strip := range strips {
+		lo, hi := m.StripBounds(strip)
+		if hi <= lo {
+			return 0, fmt.Errorf("strip %d outside file %q", strip, file)
+		}
+		if int64(len(data[i])) != hi-lo {
+			return 0, fmt.Errorf("strip %d of %q is %d bytes, got %d", strip, file, hi-lo, len(data[i]))
+		}
+		total += hi - lo
+	}
+	return total, nil
+}
+
+// Preload installs a strip copy directly into the server's store, with no
+// simulated disk or network cost. Benchmark bootstrap uses it to populate
+// paper-scale datasets without simulating the ingest; it must not be
+// called while a simulation is measuring.
+func (s *Server) Preload(file string, strip int64, data []byte) {
+	s.storePut(file, strip, data)
+}
+
 func (s *Server) storePut(file string, strip int64, data []byte) {
-	strips, ok := s.store[file]
+	strips, ok := s.stripsOf(file)
 	if !ok {
 		strips = make(map[int64][]byte)
 		s.store[file] = strips
+		s.lastFile, s.lastStrips = file, strips
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)

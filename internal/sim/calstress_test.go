@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// Bursty same-at pushes with occasional long delays force narrow widths
+// and frequent resizes — the regime that once let resize park the cursor
+// on a pending minimum ahead of the clock, so a later (legal) push landed
+// behind it and popped out of order. Regression coverage for the
+// resize-cursor re-anchoring in calendar.go.
+func TestCalendarStressBursty(t *testing.T) {
+	h := newEventHeap()
+	c := newCalendarQueue()
+	rng := calRng(99)
+	var seq uint64
+	var now Time
+	pending := 0
+	for round := 0; round < 20000; round++ {
+		np := int(rng.next()%4) + 1
+		for j := 0; j < np; j++ {
+			seq++
+			var d Time
+			switch rng.next() % 10 {
+			case 0:
+				d = Time(rng.next() % 200000) // occasional long delay
+			case 1, 2, 3:
+				d = 0 // same-instant burst
+			default:
+				d = Time(rng.next() % 300) // short service times
+			}
+			ev := event{at: now + d, seq: seq}
+			h.push(ev)
+			c.push(ev)
+			pending++
+		}
+		np2 := int(rng.next() % 4)
+		for j := 0; j < np2 && pending > 0; j++ {
+			want := h.pop()
+			got := c.pop()
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("round %d: calendar (%v,%d) heap (%v,%d) width=%v nb=%d", round, got.at, got.seq, want.at, want.seq, c.width, len(c.buckets))
+			}
+			now = want.at
+			pending--
+		}
+	}
+	for h.Len() > 0 {
+		want := h.pop()
+		got := c.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain: calendar (%v,%d) heap (%v,%d)", got.at, got.seq, want.at, want.seq)
+		}
+	}
+}

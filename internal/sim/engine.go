@@ -15,15 +15,34 @@ import (
 type Engine struct {
 	now   Time
 	seq   uint64
-	queue eventHeap
+	queue eventQueue
+
+	// ring is the due-now FIFO, a fast lane in front of the calendar
+	// queue: an event scheduled with zero delay dispatches at the current
+	// timestamp, strictly after every queue-resident event at that same
+	// timestamp (those were pushed earlier, so they hold smaller seqs —
+	// zero-delay pushes at the current instant can only come from code
+	// running at it). Appending here and draining FIFO therefore preserves
+	// the exact (at, seq) total order while skipping the priority queue
+	// for the majority of events on RPC hot paths: mailbox handoffs,
+	// resource grants, response deliveries. ringHead indexes the first
+	// undrained entry; the slice resets (retaining capacity) when drained.
+	// Classic-queue engines leave the ring unused so the heap construction
+	// reproduces the pre-optimization engine exactly.
+	ring     []event
+	ringHead int
 
 	// yield is the rendezvous channel on which the currently running
 	// process returns control to the engine.
 	yield chan struct{}
 
-	live    int                   // processes spawned and not yet finished
-	fg      int                   // queued foreground events (everything but daemon timers)
-	blocked map[*Proc]blockReason // parked processes, with a reason for diagnostics
+	live int // processes spawned and not yet finished
+	fg   int // queued foreground events (everything but daemon timers)
+
+	// procs is every Proc ever created, in creation order. Parked state
+	// lives on the Proc itself (see Proc.parked), so dispatching an event
+	// touches no map, and Shutdown unwinds in this deterministic order.
+	procs []*Proc
 
 	panicVal any // panic captured from a process, re-raised by Run
 
@@ -31,6 +50,8 @@ type Engine struct {
 
 	spawned uint64 // total processes ever spawned (for naming and stats)
 	events  uint64 // total events dispatched (for stats)
+
+	opts EngineOpts
 
 	// procFree recycles finished processes: the Proc struct, its wake
 	// channel, and — because each pooled Proc's goroutine parks in procLoop
@@ -40,36 +61,50 @@ type Engine struct {
 	procFree []*Proc
 }
 
+// EngineOpts selects between the optimized and the classic engine
+// construction. The zero value is the optimized default: inline task
+// dispatch plus the calendar event queue. Both configurations produce
+// byte-identical simulations (see task.go and DESIGN.md §11); the classic
+// flags exist for before/after benchmarking and cross-checking.
+type EngineOpts struct {
+	// ClassicDispatch makes FastDispatch report false, steering fast-path
+	// consumers (simnet, pfs) back to their process-per-step construction.
+	ClassicDispatch bool
+	// ClassicQueue selects the binary-heap event queue instead of the
+	// calendar queue. Both pop in identical (at, seq) order.
+	ClassicQueue bool
+}
+
 // shutdownSentinel unwinds a process's stack during Shutdown. It is
 // recovered by the spawn wrapper and never escapes the engine.
 type shutdownSentinel struct{}
 
-// blockReason describes why a process is parked, split into a verb
-// ("recv", "acquire", …) and the blocking object's name so hot paths never
-// build a combined string; it is only formatted in deadlock reports.
-type blockReason struct{ verb, name string }
+// NewEngine returns an engine with the clock at zero and no processes,
+// using the optimized defaults (fast dispatch, calendar queue).
+func NewEngine() *Engine { return NewEngineWith(EngineOpts{}) }
 
-func (r blockReason) String() string {
-	if r.name == "" {
-		return r.verb
+// NewEngineWith returns an engine with an explicit dispatch/queue
+// configuration.
+func NewEngineWith(opts EngineOpts) *Engine {
+	e := &Engine{
+		yield: make(chan struct{}),
+		opts:  opts,
 	}
-	return r.verb + " " + r.name
-}
-
-// NewEngine returns an engine with the clock at zero and no processes.
-func NewEngine() *Engine {
-	return &Engine{
-		queue:   newEventHeap(),
-		yield:   make(chan struct{}),
-		blocked: make(map[*Proc]blockReason),
+	if opts.ClassicQueue {
+		h := newEventHeap()
+		e.queue = &h
+	} else {
+		e.queue = newCalendarQueue()
 	}
+	return e
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Events returns the number of events dispatched so far. Two runs of the
-// same deterministic simulation dispatch identical event counts.
+// same deterministic simulation dispatch identical event counts, whichever
+// dispatch mode and queue implementation they use.
 func (e *Engine) Events() uint64 { return e.events }
 
 // Live returns the number of processes that have been spawned and have not
@@ -83,7 +118,41 @@ func (e *Engine) schedule(at Time, p *Proc) {
 	}
 	e.seq++
 	e.fg++
-	e.queue.push(event{at: at, seq: e.seq, proc: p})
+	e.pushEvent(event{at: at, seq: e.seq, who: p})
+}
+
+// pushEvent routes a new event to the due-now ring when it dispatches at
+// the current instant (and the ring is in use), to the priority queue
+// otherwise.
+func (e *Engine) pushEvent(ev event) {
+	if ev.at == e.now && !e.opts.ClassicQueue {
+		e.ring = append(e.ring, ev)
+		return
+	}
+	e.queue.push(ev)
+}
+
+// pending returns the number of undispatched events across the queue and
+// the ring.
+func (e *Engine) pending() int {
+	return e.queue.Len() + len(e.ring) - e.ringHead
+}
+
+// nextEvent removes and returns the next event in (at, seq) order. Queue
+// events due at the current instant precede the ring (they were pushed
+// before the clock reached it, so their seqs are smaller); otherwise the
+// ring drains FIFO, which is seq order among its entries.
+func (e *Engine) nextEvent() event {
+	if e.ringHead < len(e.ring) && !e.queue.due(e.now) {
+		ev := e.ring[e.ringHead]
+		e.ring[e.ringHead] = event{} // drop references for the GC
+		e.ringHead++
+		if e.ringHead == len(e.ring) {
+			e.ring, e.ringHead = e.ring[:0], 0
+		}
+		return ev
+	}
+	return e.queue.pop()
 }
 
 // Timer is a pending AfterFunc callback. Stop cancels it; a canceled timer
@@ -136,13 +205,14 @@ func (e *Engine) afterFunc(d Time, fn func(), daemon bool) *Timer {
 	if !daemon {
 		e.fg++
 	}
-	e.queue.push(event{at: e.now + d, seq: e.seq, timer: t})
+	e.pushEvent(event{at: e.now + d, seq: e.seq, who: t})
 	return t
 }
 
 // Spawn creates a new process running fn and schedules it to start at the
 // current simulated time. It may be called before Run or from inside a
-// running process. The name is used in diagnostics only.
+// running process. The name is used in diagnostics only; an empty name
+// formats lazily as "proc-<n>" if a diagnostic ever needs it.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	return e.spawn(name, fn, false)
 }
@@ -157,29 +227,28 @@ func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 
 func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	e.spawned++
-	if name == "" {
-		name = fmt.Sprintf("proc-%d", e.spawned)
-	}
 	var p *Proc
 	if n := len(e.procFree); n > 0 {
 		p = e.procFree[n-1]
 		e.procFree[n-1] = nil
 		e.procFree = e.procFree[:n-1]
-		p.name, p.fn, p.daemon, p.done = name, fn, daemon, false
+		p.name, p.id, p.fn, p.daemon, p.done = name, e.spawned, fn, daemon, false
 	} else {
 		p = &Proc{
 			eng:    e,
 			name:   name,
+			id:     e.spawned,
 			wake:   make(chan struct{}),
 			daemon: daemon,
 			fn:     fn,
 		}
+		e.procs = append(e.procs, p)
 		go procLoop(p)
 	}
 	if !daemon {
 		e.live++
 	}
-	e.blocked[p] = blockReason{verb: "start"}
+	p.parked, p.rverb, p.robj = true, "start", nil
 	e.schedule(e.now, p)
 	return p
 }
@@ -221,7 +290,7 @@ func runProcFn(p *Proc) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isShutdown := r.(shutdownSentinel); !isShutdown {
-				p.eng.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+				p.eng.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.Name(), r)
 			}
 		}
 	}()
@@ -237,29 +306,37 @@ func runProcFn(p *Proc) {
 // processes and what they are waiting on. If a process panicked, Run
 // re-raises the panic on the caller's goroutine.
 func (e *Engine) Run() error {
-	for e.queue.Len() > 0 && e.fg > 0 {
-		ev := e.queue.pop()
-		if t := ev.timer; t != nil {
-			if !t.daemon {
+	for e.pending() > 0 && e.fg > 0 {
+		ev := e.nextEvent()
+		switch who := ev.who.(type) {
+		case *Timer:
+			if !who.daemon {
 				e.fg--
 			}
-			if t.canceled {
+			if who.canceled {
 				continue // no clock advance, no event counted
 			}
 			e.now = ev.at
 			e.events++
-			t.fired = true
-			t.fn()
-			continue
-		}
-		e.fg--
-		e.now = ev.at
-		e.events++
-		delete(e.blocked, ev.proc)
-		ev.proc.wake <- struct{}{}
-		<-e.yield
-		if e.panicVal != nil {
-			panic(e.panicVal)
+			who.fired = true
+			who.fn()
+		case *Proc:
+			e.fg--
+			e.now = ev.at
+			e.events++
+			who.parked = false
+			who.wake <- struct{}{}
+			<-e.yield
+			if e.panicVal != nil {
+				panic(e.panicVal)
+			}
+		case Tasker:
+			// A task event is accounted exactly like a process event but
+			// runs inline: no channel rendezvous, no goroutine switch.
+			e.fg--
+			e.now = ev.at
+			e.events++
+			who.RunTask()
 		}
 	}
 	if e.live > 0 {
@@ -270,11 +347,11 @@ func (e *Engine) Run() error {
 
 func (e *Engine) stuckList() []string {
 	var stuck []string
-	for p, reason := range e.blocked {
-		if p.daemon {
+	for _, p := range e.procs {
+		if !p.parked || p.daemon || p.done {
 			continue
 		}
-		stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, reason.String()))
+		stuck = append(stuck, fmt.Sprintf("%s (%s)", p.Name(), p.reason()))
 	}
 	sort.Strings(stuck)
 	return stuck
@@ -282,23 +359,27 @@ func (e *Engine) stuckList() []string {
 
 // Shutdown terminates every parked process — daemons waiting for requests
 // as well as any stragglers — so their goroutines exit and the simulation's
-// memory becomes collectible. A simulation cannot be used after Shutdown.
-// It is safe to call multiple times.
+// memory becomes collectible. Processes unwind in creation order, so
+// teardown traces are reproducible run to run. A simulation cannot be used
+// after Shutdown. It is safe to call multiple times.
 func (e *Engine) Shutdown() {
 	e.stopping = true
-	for len(e.blocked) > 0 {
-		// Wake one parked process; its park() observes stopping and
-		// unwinds via the sentinel panic, which the spawn wrapper recovers
-		// before yielding back here. Unwinding may remove further entries
-		// from blocked, so re-snapshot each iteration.
-		var p *Proc
-		for cand := range e.blocked {
-			p = cand
-			break
+	for progress := true; progress; {
+		progress = false
+		for _, p := range e.procs {
+			if !p.parked {
+				continue
+			}
+			// Wake the parked process; its park() observes stopping and
+			// unwinds via the sentinel panic, which the spawn wrapper
+			// recovers before yielding back here. Unwinding (deferred
+			// functions) may park further processes, so sweep until a full
+			// pass finds nothing parked.
+			p.parked = false
+			p.wake <- struct{}{}
+			<-e.yield
+			progress = true
 		}
-		delete(e.blocked, p)
-		p.wake <- struct{}{}
-		<-e.yield
 	}
 	// Drain the free list so pooled goroutines exit too.
 	for _, p := range e.procFree {

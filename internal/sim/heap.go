@@ -1,13 +1,31 @@
 package sim
 
-// event is a scheduled wake-up for a process, or — when timer is non-nil —
-// a pending AfterFunc callback. seq breaks timestamp ties in schedule
-// order, which keeps the simulation deterministic.
+// event is a scheduled wake-up for a process (*Proc), a pending AfterFunc
+// callback (*Timer), or an inline fast-path callback (any other Tasker);
+// the dispatch loop type-switches on who. One interface instead of three
+// typed fields keeps the struct at 32 bytes with a single heap pointer,
+// which matters in the queues: shifts and sift swaps copy events
+// constantly, and both the bytes moved and the GC write-barrier work
+// scale with the layout. seq breaks timestamp ties in schedule order,
+// which keeps the simulation deterministic.
 type event struct {
-	at    Time
-	seq   uint64
-	proc  *Proc
-	timer *Timer
+	at  Time
+	seq uint64
+	who any
+}
+
+// eventQueue is the priority queue behind the engine: a min-queue over
+// (at, seq). Two implementations exist — the classic d-ary binary heap
+// below and the calendar queue in calendar.go — and both pop in exactly
+// the same total order, so swapping them never changes a simulation.
+type eventQueue interface {
+	Len() int
+	push(event)
+	pop() event
+	// due reports whether the minimum pending event dispatches exactly at
+	// the given time. The engine's due-now ring uses it to let queue
+	// events at the current instant (smaller seqs) drain first.
+	due(at Time) bool
 }
 
 // heapArity is the fan-out of the event queue. A 4-ary heap halves the
@@ -37,6 +55,10 @@ func newEventHeap() eventHeap {
 
 func (h *eventHeap) Len() int { return len(h.items) }
 
+func (h *eventHeap) due(at Time) bool {
+	return len(h.items) > 0 && h.items[0].at == at
+}
+
 // before reports whether event a dispatches before event b.
 func before(a, b *event) bool {
 	if a.at != b.at {
@@ -62,7 +84,7 @@ func (h *eventHeap) pop() event {
 	top := h.items[0]
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
-	h.items[last] = event{} // drop the *Proc reference for the GC
+	h.items[last] = event{} // drop the who reference for the GC
 	h.items = h.items[:last]
 	i := 0
 	for {

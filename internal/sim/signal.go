@@ -18,6 +18,9 @@ func NewSignal[T any](eng *Engine, name string) *Signal[T] {
 	return &Signal[T]{eng: eng, name: name}
 }
 
+// Name returns the signal's diagnostic name.
+func (s *Signal[T]) Name() string { return s.name }
+
 // Fired reports whether Fire has been called.
 func (s *Signal[T]) Fired() bool { return s.fired }
 
@@ -54,7 +57,7 @@ func (s *Signal[T]) Wait(p *Proc) T {
 		return s.val
 	}
 	s.waiters = append(s.waiters, p)
-	p.park("wait", s.name)
+	p.park("wait", s)
 	return s.val
 }
 

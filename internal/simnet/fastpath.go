@@ -1,0 +1,234 @@
+package simnet
+
+import (
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// This file is the fast-path construction of a store-and-forward transfer:
+// a pooled task chain that walks egress → latency → ingress as inline
+// engine events instead of blocking a goroutine through five parks.
+//
+// Event parity with the classic transfer() is hop-for-hop. Each line pairs
+// a classic scheduling point with the chain step that allocates the same
+// (at, seq):
+//
+//	classic (per process p)                 fast (per chain x)
+//	─────────────────────────────────────   ─────────────────────────────────
+//	egress.Acquire queues p; Release        egress.AcquireTask queues x;
+//	  schedules p's grant wake                Release schedules x's grant task
+//	Sleep(exDur) after grant                ScheduleTask(exDur) after grant
+//	wake: egress.Release, Sleep(latency)    task: egress.Release, ScheduleTask(latency)
+//	wake: ingress.Acquire (as egress)       task: ingress.AcquireTask (as egress)
+//	Sleep(ixDur) after grant                sync:  ResumeIn(ixDur, caller)
+//	                                        async: ScheduleTask(ixDur)
+//	wake: ingress.Release, traffic.Add,     sync:  caller's post-Park epilogue
+//	  deliver                               async: final task does the same
+//
+// Sync chains (Send, Respond) end in a process event — the caller's single
+// Park/resume — so the epilogue runs with the same event kind and position
+// as the classic path's last wake. Async chains (SendAsync, fused Call
+// request legs, RespondTask) end in a task event, standing in for the
+// child or handler process's last wake.
+type xfer struct {
+	net      *Network
+	state    int
+	src, dst *Node
+	size     int64
+	class    metrics.TrafficClass
+	exDur    sim.Time // egress serialization time
+	ixDur    sim.Time // ingress serialization time
+
+	// Completion: exactly one of resume (sync) or deliver (async) is set.
+	resume  *sim.Proc
+	deliver *sim.Mailbox[Message]
+	msg     Message
+	done    *sim.Signal[struct{}] // optional, fired after async delivery
+}
+
+// Chain states, named for what RunTask does when dispatched in that state.
+const (
+	xsStart         = iota // async spawn stand-in: begin the chain
+	xsEgressGranted        // egress units held: schedule serialization
+	xsEgressDone           // serialization over: release egress, fly the wire
+	xsLatencyDone          // arrived: contend for ingress
+	xsIngressGrant         // ingress held: schedule final serialization
+	xsFinal                // async epilogue: release, account, deliver
+)
+
+func (x *xfer) RunTask() {
+	switch x.state {
+	case xsStart:
+		if x.src == x.dst {
+			// Loopback is free and infallible; the one start event matches
+			// the classic child's only event (spawn → deliver → exit).
+			x.complete()
+			return
+		}
+		x.launch()
+	case xsEgressGranted:
+		x.state = xsEgressDone
+		x.net.eng.ScheduleTask(x.exDur, x)
+	case xsEgressDone:
+		x.src.egress.Release(1)
+		x.state = xsLatencyDone
+		x.net.eng.ScheduleTask(x.net.cfg.Latency, x)
+	case xsLatencyDone:
+		x.state = xsIngressGrant
+		if x.dst.ingress.AcquireTask(1, x) {
+			x.RunTask()
+		}
+	case xsIngressGrant:
+		if p := x.resume; p != nil {
+			// Sync chain: hand the final serialization wait back to the
+			// caller as its one resume; it runs the epilogue itself.
+			eng, d := x.net.eng, x.ixDur
+			x.net.xferPut(x)
+			eng.ResumeIn(d, p)
+			return
+		}
+		x.state = xsFinal
+		x.net.eng.ScheduleTask(x.ixDur, x)
+	case xsFinal:
+		x.dst.ingress.Release(1)
+		x.net.traffic.Add(x.class, x.size)
+		x.complete()
+	}
+}
+
+// launch contends for the egress NIC, continuing inline on an immediate
+// grant. Remote chains only; loopback never reaches here.
+func (x *xfer) launch() {
+	x.state = xsEgressGranted
+	if x.src.egress.AcquireTask(1, x) {
+		x.RunTask()
+	}
+}
+
+// complete delivers the payload, fires the optional signal, and returns
+// the chain to the pool.
+func (x *xfer) complete() {
+	deliver, msg, done := x.deliver, x.msg, x.done
+	x.net.xferPut(x)
+	deliver.Put(msg)
+	if done != nil {
+		done.Fire(struct{}{})
+	}
+}
+
+// startSync launches a chain that resumes p after the full pipeline; the
+// caller must Park immediately and run the classic epilogue (ingress
+// release, traffic accounting, delivery) after waking.
+func (n *Network) startSync(p *sim.Proc, src, dst *Node, size int64) {
+	x := n.xferGet()
+	dur := sim.TransferTime(size, n.cfg.BytesPerSec)
+	x.src, x.dst, x.size = src, dst, size
+	x.exDur, x.ixDur = dur, dur
+	x.resume = p
+	x.launch()
+}
+
+// startAsync launches a self-completing chain that Puts msg into deliver
+// after the full pipeline. Callers on a process schedule nothing extra —
+// the chain's first step runs inline in their current event, exactly where
+// the classic path would start serializing. Callers standing in for a
+// spawned child (SendAsync) set state xsStart and schedule the chain
+// instead; see SendAsync.
+func (n *Network) startAsync(src, dst *Node, size int64, class metrics.TrafficClass, deliver *sim.Mailbox[Message], msg Message) {
+	x := n.xferGet()
+	dur := sim.TransferTime(size, n.cfg.BytesPerSec)
+	x.src, x.dst, x.size, x.class = src, dst, size, class
+	x.exDur, x.ixDur = dur, dur
+	x.deliver, x.msg = deliver, msg
+	x.launch()
+}
+
+// startSpawned is startAsync for callers standing in for a spawned child
+// process (SendAsync): instead of beginning inline, the chain starts at a
+// zero-delay task event occupying the exact (at, seq) of the child's spawn
+// event. Loopback is resolved in that start event, as the classic child
+// would in its only wake.
+func (n *Network) startSpawned(src, dst *Node, size int64, class metrics.TrafficClass, deliver *sim.Mailbox[Message], msg Message, done *sim.Signal[struct{}]) {
+	x := n.xferGet()
+	dur := sim.TransferTime(size, n.cfg.BytesPerSec)
+	x.src, x.dst, x.size, x.class = src, dst, size, class
+	x.exDur, x.ixDur = dur, dur
+	x.deliver, x.msg = deliver, msg
+	x.done = done
+	x.state = xsStart
+	n.eng.ScheduleTask(0, x)
+}
+
+// Responder consumes an RPC response delivered by CallTask. An interface
+// rather than a func so pooled caller state receives without allocating a
+// closure per call.
+type Responder interface {
+	OnResponse(resp Message)
+}
+
+// callTask links one in-flight CallTask's reply mailbox to its Responder:
+// when the response lands it re-pools the mailbox and itself, then hands
+// the response over. Pooled per network.
+type callTask struct {
+	net   *Network
+	reply *sim.Mailbox[Message]
+	r     Responder
+}
+
+func (c *callTask) OnDelivery(resp Message) {
+	n, reply, r := c.net, c.reply, c.r
+	c.reply, c.r = nil, nil
+	n.callFree = append(n.callFree, c)
+	n.replyFree = append(n.replyFree, reply)
+	r.OnResponse(resp)
+}
+
+// CallTask is the task-based construction of the fused Call: the request
+// transfer runs as a task chain, and r.OnResponse runs inline in the event
+// a process caller's reply wake-up would occupy — the whole RPC costs zero
+// goroutine switches. Only legal under the fast path (no classic dispatch,
+// no active faults); callers check FastOK and fall back to Call from a
+// process otherwise.
+func (n *Network) CallTask(msg Message, r Responder) {
+	if !n.fastOK() {
+		panic("simnet: CallTask without the fast path")
+	}
+	reply := n.acquireReply()
+	msg.Reply = reply
+	c := n.callGet()
+	c.reply, c.r = reply, r
+	reply.Expect(c)
+	src, dst := n.Node(msg.From), n.Node(msg.To)
+	if src == dst {
+		dst.Port(msg.Port).Put(msg)
+		return
+	}
+	n.startAsync(src, dst, msg.Size, msg.Class, dst.Port(msg.Port), msg)
+}
+
+func (n *Network) callGet() *callTask {
+	if k := len(n.callFree); k > 0 {
+		c := n.callFree[k-1]
+		n.callFree[k-1] = nil
+		n.callFree = n.callFree[:k-1]
+		return c
+	}
+	return &callTask{net: n}
+}
+
+func (n *Network) xferGet() *xfer {
+	if k := len(n.xferFree); k > 0 {
+		x := n.xferFree[k-1]
+		n.xferFree[k-1] = nil
+		n.xferFree = n.xferFree[:k-1]
+		return x
+	}
+	return &xfer{net: n}
+}
+
+// xferPut zeroes the chain (dropping payload references) and pools it.
+func (n *Network) xferPut(x *xfer) {
+	net := x.net
+	*x = xfer{net: net}
+	n.xferFree = append(n.xferFree, x)
+}

@@ -14,6 +14,12 @@
 // Loopback messages (From == To) are free: data that stays on a node does
 // not cross the interconnect, which is exactly the saving DAS engineers
 // for with its dependence-aware layout.
+//
+// Fault-free transfers on a fast-dispatch engine run as inline task chains
+// (fastpath.go) instead of blocking the sender through five parks; the
+// chains schedule the same events at the same (at, seq) positions, so both
+// constructions simulate identically. Fault-active transfers always take
+// the classic path, where the per-segment fault checks live.
 package simnet
 
 import (
@@ -71,15 +77,30 @@ type FaultPolicy interface {
 type Network struct {
 	eng     *sim.Engine
 	cfg     Config
-	nodes   map[int]*Node
 	traffic *metrics.Traffic
 	faults  FaultPolicy
+
+	// nodes is dense, indexed by node id: cluster ids are small contiguous
+	// integers, and a slice index beats a map lookup on every Send.
+	nodes []*Node
+
+	// portNames interns port names to small integers so per-node port
+	// tables are dense slices too. Clusters use a handful of distinct
+	// ports, so the linear scan is effectively free. portSufs holds the
+	// precomputed ":<name>" suffix for lazy mailbox naming.
+	portNames []string
+	portSufs  []string
 
 	// replyFree recycles the private reply mailboxes Call creates, one per
 	// in-flight request. A mailbox returns to the list once its single
 	// response has been consumed, so request/response traffic allocates no
 	// mailboxes at steady state.
 	replyFree []*sim.Mailbox[Message]
+
+	// xferFree recycles fast-path transfer chains (fastpath.go).
+	xferFree []*xfer
+	// callFree recycles CallTask bridges (fastpath.go).
+	callFree []*callTask
 }
 
 // Node is one endpoint on the network.
@@ -87,8 +108,8 @@ type Node struct {
 	id      int
 	egress  *sim.Resource
 	ingress *sim.Resource
-	ports   map[string]*sim.Mailbox[Message]
-	eng     *sim.Engine
+	ports   []*sim.Mailbox[Message] // dense, indexed by interned port index
+	net     *Network
 }
 
 // New creates a network with the given parameters. Traffic may be nil, in
@@ -97,7 +118,7 @@ func New(eng *sim.Engine, cfg Config, traffic *metrics.Traffic) *Network {
 	if traffic == nil {
 		traffic = metrics.NewTraffic()
 	}
-	return &Network{eng: eng, cfg: cfg, nodes: make(map[int]*Node), traffic: traffic}
+	return &Network{eng: eng, cfg: cfg, traffic: traffic}
 }
 
 // Traffic returns the collector recording this network's byte counts.
@@ -110,18 +131,36 @@ func (n *Network) SetFaults(f FaultPolicy) { n.faults = f }
 // Config returns the interconnect parameters.
 func (n *Network) Config() Config { return n.cfg }
 
+// fastOK reports whether transfers may run as inline task chains: the
+// engine dispatches fast and no fault has ever activated. Checked once per
+// transfer, at the same commit point where the classic path samples
+// FaultPolicy.Active.
+func (n *Network) fastOK() bool {
+	return n.eng.FastDispatch() && (n.faults == nil || !n.faults.Active())
+}
+
+// FastOK reports whether fast-path dispatch is in effect. Higher layers
+// (pfs) consult it to choose between inline request chains and classic
+// handler processes.
+func (n *Network) FastOK() bool { return n.fastOK() }
+
 // AddNode registers a node id and returns its endpoint. Adding the same id
 // twice panics: node identity is structural in the simulator.
 func (n *Network) AddNode(id int) *Node {
-	if _, dup := n.nodes[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("simnet: negative node id %d", id))
+	}
+	for len(n.nodes) <= id {
+		n.nodes = append(n.nodes, nil)
+	}
+	if n.nodes[id] != nil {
 		panic(fmt.Sprintf("simnet: duplicate node id %d", id))
 	}
 	node := &Node{
 		id:      id,
-		egress:  sim.NewResource(n.eng, fmt.Sprintf("node%d.egress", id), 1),
-		ingress: sim.NewResource(n.eng, fmt.Sprintf("node%d.ingress", id), 1),
-		ports:   make(map[string]*sim.Mailbox[Message]),
-		eng:     n.eng,
+		egress:  sim.NewResourceIndexed(n.eng, "node", id, ".egress", 1),
+		ingress: sim.NewResourceIndexed(n.eng, "node", id, ".ingress", 1),
+		net:     n,
 	}
 	n.nodes[id] = node
 	return node
@@ -129,23 +168,39 @@ func (n *Network) AddNode(id int) *Node {
 
 // Node returns the endpoint for id, panicking if it was never added.
 func (n *Network) Node(id int) *Node {
-	node, ok := n.nodes[id]
-	if !ok {
+	if id < 0 || id >= len(n.nodes) || n.nodes[id] == nil {
 		panic(fmt.Sprintf("simnet: unknown node id %d", id))
 	}
-	return node
+	return n.nodes[id]
+}
+
+// portIndex interns a port name, assigning the next index on first sight.
+func (n *Network) portIndex(name string) int {
+	for i, s := range n.portNames {
+		if s == name {
+			return i
+		}
+	}
+	n.portNames = append(n.portNames, name)
+	n.portSufs = append(n.portSufs, ":"+name)
+	return len(n.portNames) - 1
 }
 
 // ID returns the node's identifier.
 func (nd *Node) ID() int { return nd.id }
 
 // Port returns the named mailbox on this node, creating it on first use.
-// Servers Get from their ports; the network Puts delivered messages.
+// Servers Get from (or install a dispatcher on) their ports; the network
+// Puts delivered messages.
 func (nd *Node) Port(name string) *sim.Mailbox[Message] {
-	mb, ok := nd.ports[name]
-	if !ok {
-		mb = sim.NewMailbox[Message](nd.eng, fmt.Sprintf("node%d:%s", nd.id, name))
-		nd.ports[name] = mb
+	idx := nd.net.portIndex(name)
+	for len(nd.ports) <= idx {
+		nd.ports = append(nd.ports, nil)
+	}
+	mb := nd.ports[idx]
+	if mb == nil {
+		mb = sim.NewMailboxIndexed[Message](nd.net.eng, "node", nd.id, nd.net.portSufs[idx])
+		nd.ports[idx] = mb
 	}
 	return mb
 }
@@ -159,7 +214,9 @@ func (nd *Node) IngressBusy() sim.Time { return nd.ingress.BusyTime() }
 // transfer performs the timed store-and-forward movement of size bytes
 // from src to dst on behalf of process p, reporting whether the message
 // survived any injected faults. Loopback transfers cost nothing and cannot
-// be lost: a node always reaches itself.
+// be lost: a node always reaches itself. This is the classic construction;
+// fault-free transfers on a fast engine use the task chains in fastpath.go
+// instead, with identical event schedules.
 func (n *Network) transfer(p *sim.Proc, src, dst *Node, size int64, class metrics.TrafficClass) bool {
 	if src.id == dst.id {
 		return true
@@ -205,6 +262,22 @@ func (n *Network) transfer(p *sim.Proc, src, dst *Node, size int64, class metric
 // need delivery confirmation use Call with a timeout.
 func (n *Network) Send(p *sim.Proc, msg Message) {
 	src, dst := n.Node(msg.From), n.Node(msg.To)
+	if src == dst {
+		dst.Port(msg.Port).Put(msg)
+		return
+	}
+	if n.fastOK() {
+		// One park for the whole pipeline: the chain runs the NIC hops as
+		// task events and resumes p at the instant the classic path's final
+		// ingress sleep would wake it; the epilogue below is exactly what
+		// the classic path runs in that wake event.
+		n.startSync(p, src, dst, msg.Size)
+		p.Park("send", nil)
+		dst.ingress.Release(1)
+		n.traffic.Add(msg.Class, msg.Size)
+		dst.Port(msg.Port).Put(msg)
+		return
+	}
 	if n.transfer(p, src, dst, msg.Size, msg.Class) {
 		dst.Port(msg.Port).Put(msg)
 	}
@@ -217,6 +290,14 @@ func (n *Network) SendAsync(p *sim.Proc, msg Message) *sim.Signal[struct{}] {
 	// Static diagnostic names: this runs once per message, and per-message
 	// formatted names were a dominant allocation source in read-heavy runs.
 	done := sim.NewSignal[struct{}](n.eng, "send")
+	if n.fastOK() {
+		// The single start task stands in for the child process's spawn
+		// event; the chain's final task stands in for the child's last wake,
+		// where delivery and the signal fire.
+		src, dst := n.Node(msg.From), n.Node(msg.To)
+		n.startSpawned(src, dst, msg.Size, msg.Class, dst.Port(msg.Port), msg, done)
+		return done
+	}
 	p.Spawn("xfer", func(c *sim.Proc) {
 		n.Send(c, msg)
 		done.Fire(struct{}{})
@@ -230,6 +311,22 @@ func (n *Network) SendAsync(p *sim.Proc, msg Message) *sim.Signal[struct{}] {
 func (n *Network) Call(p *sim.Proc, msg Message) Message {
 	reply := n.acquireReply()
 	msg.Reply = reply
+	if n.fastOK() {
+		// Fused call: register for the reply up front, run the request
+		// transfer as a task chain ending in port delivery, and park once
+		// for the whole RPC. The classic path parks five times to get here.
+		src, dst := n.Node(msg.From), n.Node(msg.To)
+		pd := reply.Reserve(p)
+		if src == dst {
+			dst.Port(msg.Port).Put(msg)
+		} else {
+			n.startAsync(src, dst, msg.Size, msg.Class, dst.Port(msg.Port), msg)
+		}
+		p.Park("call", reply)
+		resp := pd.Redeem()
+		n.replyFree = append(n.replyFree, reply)
+		return resp
+	}
 	n.Send(p, msg)
 	resp := reply.Get(p)
 	// The protocol delivers exactly one response per request, so the
@@ -241,9 +338,10 @@ func (n *Network) Call(p *sim.Proc, msg Message) Message {
 // CallCancelable sends a request and waits for the response, giving up
 // when deadline elapses (if deadline > 0) or when abort reports true —
 // checked every quantum of simulated time. It returns ok=false on
-// give-up. The abandoned reply mailbox is not recycled, so a late
-// response parks there harmlessly instead of crossing into a later call:
-// late replies are dropped, never double-delivered.
+// give-up. An abandoned reply mailbox is reclaimed when (and only when)
+// the late response finally arrives: the response is dropped unobserved —
+// never double-delivered into a later call — and the mailbox rejoins the
+// pool.
 //
 // With quantum and deadline both zero and a nil abort it degenerates to
 // Call.
@@ -257,6 +355,7 @@ func (n *Network) CallCancelable(p *sim.Proc, msg Message, quantum, deadline sim
 		if deadline > 0 {
 			remain := deadline - (p.Now() - start)
 			if remain <= 0 {
+				n.abandonReply(reply)
 				return Message{}, false
 			}
 			if wait <= 0 || remain < wait {
@@ -272,6 +371,7 @@ func (n *Network) CallCancelable(p *sim.Proc, msg Message, quantum, deadline sim
 			return resp, true
 		}
 		if abort != nil && abort() {
+			n.abandonReply(reply)
 			return Message{}, false
 		}
 	}
@@ -287,6 +387,15 @@ func (n *Network) acquireReply() *sim.Mailbox[Message] {
 	return sim.NewMailbox[Message](n.eng, "reply")
 }
 
+// abandonReply arranges for a given-up call's reply mailbox to rejoin the
+// pool when its late response lands (or immediately, if the response beat
+// the give-up). Without this, every canceled call leaked its mailbox.
+func (n *Network) abandonReply(reply *sim.Mailbox[Message]) {
+	reply.Abandon(func() {
+		n.replyFree = append(n.replyFree, reply)
+	})
+}
+
 // Respond delivers a response to the Reply mailbox of req, charging the
 // wire cost of moving size bytes from the responder back to the
 // requester. It must be called by the process handling req. Responses
@@ -296,15 +405,61 @@ func (n *Network) Respond(p *sim.Proc, req Message, payload any, size int64, cla
 		panic("simnet: Respond to a message without a Reply mailbox")
 	}
 	src, dst := n.Node(req.To), n.Node(req.From)
-	if !n.transfer(p, src, dst, size, class) {
-		return
-	}
-	req.Reply.Put(Message{
+	resp := Message{
 		From:    req.To,
 		To:      req.From,
 		Port:    req.Port,
 		Size:    size,
 		Class:   class,
 		Payload: payload,
-	})
+	}
+	if src == dst {
+		req.Reply.Put(resp)
+		return
+	}
+	if n.fastOK() {
+		n.startSync(p, src, dst, size)
+		p.Park("respond", nil)
+		dst.ingress.Release(1)
+		n.traffic.Add(class, size)
+		req.Reply.Put(resp)
+		return
+	}
+	if !n.transfer(p, src, dst, size, class) {
+		return
+	}
+	req.Reply.Put(resp)
+}
+
+// RespondTask is Respond for fast-path request handlers running as task
+// chains: it starts the response transfer without a process to block,
+// delivering to the Reply mailbox from the chain's final task. If faults
+// have activated since the request was dispatched, the response falls back
+// to a classic process so the per-segment fault checks apply to it.
+func (n *Network) RespondTask(req Message, payload any, size int64, class metrics.TrafficClass) {
+	if req.Reply == nil {
+		panic("simnet: Respond to a message without a Reply mailbox")
+	}
+	src, dst := n.Node(req.To), n.Node(req.From)
+	resp := Message{
+		From:    req.To,
+		To:      req.From,
+		Port:    req.Port,
+		Size:    size,
+		Class:   class,
+		Payload: payload,
+	}
+	if src == dst {
+		req.Reply.Put(resp)
+		return
+	}
+	if !n.fastOK() {
+		n.eng.Spawn("respond", func(p *sim.Proc) {
+			if n.transfer(p, src, dst, size, class) {
+				req.Reply.Put(resp)
+			}
+		})
+		return
+	}
+	n.startAsync(src, dst, size, class, req.Reply, resp)
 }
