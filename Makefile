@@ -14,10 +14,12 @@ extended: tier1 lint
 	go vet ./...
 	go test -race ./...
 
-# Bench smoke: short cache and restripe experiments end to end (reduced
-# sweep, JSON artifacts) plus both subsystems under the race detector.
+# Bench smoke: short cache, restripe, and p99-controller experiments end
+# to end (reduced sweep, JSON artifacts) plus the adaptive subsystems
+# under the race detector.
 bench-smoke:
 	go run ./cmd/dasbench -quick -cache -cache-rounds 2 -json BENCH_cache_smoke.json
 	go run ./cmd/dasbench -quick -restripe -restripe-rounds 2 -json BENCH_restripe_smoke.json
+	go run ./cmd/dasbench -quick -p99 -p99-rounds 7 -json BENCH_p99_smoke.json
 	go run ./cmd/dasbench -scale -smoke -json BENCH_scale_smoke.json
-	go test -race ./internal/cache/... ./internal/restripe/...
+	go test -race ./internal/control/... ./internal/cache/... ./internal/restripe/...

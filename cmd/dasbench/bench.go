@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/hpcio/das/internal/cache"
+	"github.com/hpcio/das/internal/control"
 	"github.com/hpcio/das/internal/core"
 	"github.com/hpcio/das/internal/experiments"
 	"github.com/hpcio/das/internal/grid"
@@ -192,6 +193,21 @@ func cacheJSON(cfg experiments.Config, rounds int, path string) error {
 // to path (the BENCH_restripe.json artifact).
 func restripeJSON(cfg experiments.Config, rounds int, path string) error {
 	r, report, err := cfg.RestripeExperiment(rounds, restripe.Config{})
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(path, report); err != nil {
+		return err
+	}
+	fmt.Println(r.Table())
+	fmt.Printf("wrote %s (%d variants)\n", path, len(report.Variants))
+	return nil
+}
+
+// p99JSON runs the unified p99 controller experiment and writes its
+// report to path (the BENCH_p99.json artifact).
+func p99JSON(cfg experiments.Config, rounds int, path string) error {
+	r, report, err := cfg.P99Experiment(rounds, control.Config{})
 	if err != nil {
 		return err
 	}

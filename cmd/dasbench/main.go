@@ -15,6 +15,8 @@
 //	dasbench -cache -json BENCH_cache.json   # same, JSON report
 //	dasbench -restripe                  # online-restriping experiment, text table
 //	dasbench -restripe -json BENCH_restripe.json   # same, JSON report
+//	dasbench -p99                       # unified p99 controller experiment
+//	dasbench -p99 -json BENCH_p99.json  # same, JSON report
 //	dasbench -cpuprofile cpu.out -exp fig11   # profile a run
 package main
 
@@ -27,17 +29,20 @@ import (
 	"strings"
 
 	"github.com/hpcio/das/internal/cache"
+	"github.com/hpcio/das/internal/control"
 	"github.com/hpcio/das/internal/experiments"
 	"github.com/hpcio/das/internal/restripe"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, faults, cache, restripe, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, tableI, fig10, fig11, fig12, fig13, fig14, faults, cache, restripe, p99, ablations")
 	faults := flag.Bool("faults", false, "run the storage-server fault/failover comparison (shorthand for -exp faults)")
 	cacheExp := flag.Bool("cache", false, "run the halo-strip cache experiment (shorthand for -exp cache; with -json, writes the cache report instead of micro-benchmarks)")
 	cacheRounds := flag.Int("cache-rounds", 3, "rounds per variant in the cache experiment")
 	restripeExp := flag.Bool("restripe", false, "run the online-restriping experiment (shorthand for -exp restripe; with -json, writes the restripe report instead of micro-benchmarks)")
 	restripeRounds := flag.Int("restripe-rounds", 3, "rounds per variant in the restripe experiment")
+	p99Exp := flag.Bool("p99", false, "run the unified p99 controller experiment (shorthand for -exp p99; with -json, writes the p99 report instead of micro-benchmarks)")
+	p99Rounds := flag.Int("p99-rounds", 8, "rounds per variant in the p99 controller experiment")
 	scaleExp := flag.Bool("scale", false, "run the engine-scaling sweep (24-5000 nodes, fast vs classic engine); writes BENCH_scale.json unless -json names another file")
 	smoke := flag.Bool("smoke", false, "with -scale: single bounded 640-node comparison instead of the full sweep")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -87,6 +92,9 @@ func main() {
 			if *restripeExp {
 				return restripeJSON(cfg, *restripeRounds, *benchJSONPath)
 			}
+			if *p99Exp {
+				return p99JSON(cfg, *p99Rounds, *benchJSONPath)
+			}
 			return benchJSON(cfg, *benchJSONPath)
 		}
 		name := strings.ToLower(*exp)
@@ -99,7 +107,10 @@ func main() {
 		if *restripeExp {
 			name = "restripe"
 		}
-		return run(cfg, name, *cacheRounds, *restripeRounds, *csv, *chart)
+		if *p99Exp {
+			name = "p99"
+		}
+		return run(cfg, name, *cacheRounds, *restripeRounds, *p99Rounds, *csv, *chart)
 	}()
 
 	if *memprofile != "" {
@@ -123,7 +134,7 @@ func main() {
 	}
 }
 
-func run(cfg experiments.Config, exp string, cacheRounds, restripeRounds int, csv, chart bool) error {
+func run(cfg experiments.Config, exp string, cacheRounds, restripeRounds, p99Rounds int, csv, chart bool) error {
 	emit := func(r *experiments.Result) {
 		if csv {
 			fmt.Printf("# %s\n%s\n", r.ID, r.CSV())
@@ -147,6 +158,10 @@ func run(cfg experiments.Config, exp string, cacheRounds, restripeRounds int, cs
 		},
 		"restripe": func() (*experiments.Result, error) {
 			r, _, err := cfg.RestripeExperiment(restripeRounds, restripe.Config{})
+			return r, err
+		},
+		"p99": func() (*experiments.Result, error) {
+			r, _, err := cfg.P99Experiment(p99Rounds, control.Config{})
 			return r, err
 		},
 		"ablation-group-size":        cfg.AblationGroupSize,

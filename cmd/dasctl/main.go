@@ -12,6 +12,7 @@
 //	dasctl -servers 4 -faults crash@10ms:s1              # crash coverage
 //	dasctl -servers 4 -cache -cache-policy arc           # halo-strip cache stats
 //	dasctl -servers 4 -restripe                          # online-restripe migration report
+//	dasctl -servers 4 -control                           # unified p99 controller report
 package main
 
 import (
@@ -45,15 +46,20 @@ func main() {
 	restripeDemo := flag.Bool("restripe", false,
 		"run a short offloaded workload with online restriping enabled and report the migration's progress and throttle behaviour")
 	restripeRounds := flag.Int("restripe-rounds", 3, "offloaded rounds for -restripe")
+	controlDemo := flag.Bool("control", false,
+		"run a short offloaded workload under the unified p99 latency controller and report its sketches, sample accounting, and tuning actions")
+	controlRounds := flag.Int("control-rounds", 4, "offloaded rounds for -control")
 	flag.Parse()
 
-	err := checkExclusive(*op, *faults, *cacheDemo, *restripeDemo)
+	err := checkExclusive(*op, *faults, *cacheDemo, *restripeDemo, *controlDemo)
 	if err == nil {
 		switch {
 		case *cacheDemo:
 			err = cacheReport(os.Stdout, *servers, *cachePolicy, *cacheRounds)
 		case *restripeDemo:
 			err = restripeReport(os.Stdout, *servers, *restripeRounds)
+		case *controlDemo:
+			err = controlReport(os.Stdout, *servers, *controlRounds)
 		default:
 			err = run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size, *faults)
 		}
@@ -65,12 +71,12 @@ func main() {
 }
 
 // checkExclusive rejects flag combinations that would otherwise be
-// silently ignored: -cache and -restripe each produce their own report
-// and compose with neither the fetch-plan (-op) nor the fault-coverage
-// (-faults) analyses, nor with each other.
-func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo bool) error {
+// silently ignored: -cache, -restripe, and -control each produce their
+// own report and compose with neither the fetch-plan (-op) nor the
+// fault-coverage (-faults) analyses, nor with each other.
+func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo, controlDemo bool) error {
 	return cli.CheckExclusive(
-		[]cli.Flag{{Name: "-cache", Set: cacheDemo}, {Name: "-restripe", Set: restripeDemo}},
+		[]cli.Flag{{Name: "-cache", Set: cacheDemo}, {Name: "-restripe", Set: restripeDemo}, {Name: "-control", Set: controlDemo}},
 		[]cli.Flag{{Name: "-op", Set: op != ""}, {Name: "-faults", Set: faultSpec != ""}},
 	)
 }

@@ -8,38 +8,43 @@ import (
 
 func TestCheckExclusiveRejectsDemoWithOtherReports(t *testing.T) {
 	cases := []struct {
-		op, faults      string
-		cache, restripe bool
-		wantErr         string
+		op, faults               string
+		cache, restripe, control bool
+		wantErr                  string
 	}{
-		{"", "", false, false, ""},
-		{"flow-routing", "", false, false, ""},
-		{"flow-routing", "crash@10ms:s1", false, false, ""}, // -op and -faults compose
-		{"", "", true, false, ""},
-		{"flow-routing", "", true, false, "-op"},
-		{"", "crash@10ms:s1", true, false, "-faults"},
-		{"flow-routing", "crash@10ms:s1", true, false, "-op or -faults"},
-		{"", "", false, true, ""},
-		{"flow-routing", "", false, true, "-op"},
-		{"", "crash@10ms:s1", false, true, "-faults"},
-		{"flow-routing", "crash@10ms:s1", false, true, "-op or -faults"},
-		{"", "", true, true, "-cache"},
-		{"flow-routing", "crash@10ms:s1", true, true, "-cache"},
+		{"", "", false, false, false, ""},
+		{"flow-routing", "", false, false, false, ""},
+		{"flow-routing", "crash@10ms:s1", false, false, false, ""}, // -op and -faults compose
+		{"", "", true, false, false, ""},
+		{"flow-routing", "", true, false, false, "-op"},
+		{"", "crash@10ms:s1", true, false, false, "-faults"},
+		{"flow-routing", "crash@10ms:s1", true, false, false, "-op or -faults"},
+		{"", "", false, true, false, ""},
+		{"flow-routing", "", false, true, false, "-op"},
+		{"", "crash@10ms:s1", false, true, false, "-faults"},
+		{"flow-routing", "crash@10ms:s1", false, true, false, "-op or -faults"},
+		{"", "", true, true, false, "-cache"},
+		{"flow-routing", "crash@10ms:s1", true, true, false, "-cache"},
+		{"", "", false, false, true, ""},
+		{"flow-routing", "", false, false, true, "-op"},
+		{"", "crash@10ms:s1", false, false, true, "-faults"},
+		{"", "", true, false, true, "-cache"},
+		{"", "", false, true, true, "-restripe"},
 	}
 	for _, c := range cases {
-		err := checkExclusive(c.op, c.faults, c.cache, c.restripe)
+		err := checkExclusive(c.op, c.faults, c.cache, c.restripe, c.control)
 		if c.wantErr == "" {
 			if err != nil {
-				t.Errorf("checkExclusive(%q, %q, %v, %v) = %v, want nil", c.op, c.faults, c.cache, c.restripe, err)
+				t.Errorf("checkExclusive(%q, %q, %v, %v, %v) = %v, want nil", c.op, c.faults, c.cache, c.restripe, c.control, err)
 			}
 			continue
 		}
 		if err == nil {
-			t.Errorf("checkExclusive(%q, %q, %v, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.restripe, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.restripe, c.control, c.wantErr)
 			continue
 		}
 		if !strings.Contains(err.Error(), c.wantErr) {
-			t.Errorf("checkExclusive(%q, %q, %v, %v) = %q, want mention of %s", c.op, c.faults, c.cache, c.restripe, err, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v, %v) = %q, want mention of %s", c.op, c.faults, c.cache, c.restripe, c.control, err, c.wantErr)
 		}
 	}
 }
@@ -94,5 +99,33 @@ func TestCacheReportRejectsBadInputs(t *testing.T) {
 	}
 	if err := cacheReport(&out, 4, "fifo", 1); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestControlReportRunsAndPrintsSketches(t *testing.T) {
+	var out bytes.Buffer
+	if err := controlReport(&out, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"unified p99 controller demo",
+		"thresholds: high 3.000ms / low 1.000ms at p99",
+		"fetch samples",
+		"cluster fetch p99:",
+		"samples:",
+		"migration-excluded",
+		"control:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("control report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestControlReportRejectsBadGeometry(t *testing.T) {
+	var out bytes.Buffer
+	if err := controlReport(&out, 0, 1); err == nil {
+		t.Error("accepted zero servers")
 	}
 }

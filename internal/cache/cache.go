@@ -46,11 +46,12 @@ type Key struct {
 // entry is one resident strip range: bytes [Lo, Hi) of the strip,
 // relative to the strip's start.
 type entry struct {
-	data    []byte
-	lo, hi  int64
-	pinned  bool
-	winHits int64 // hits since the manager's last sample
-	hits    int64 // lifetime hits
+	data     []byte
+	lo, hi   int64
+	pinned   bool
+	winHits  int64 // hits since the manager's last sample
+	winFetch int64 // remote fetches that (re)admitted it this window
+	hits     int64 // lifetime hits
 }
 
 // Stats is a point-in-time snapshot of one server cache.
@@ -135,6 +136,10 @@ func (c *ServerCache) checkIncarnation() {
 		return
 	}
 	c.inc = cur
+	// The pre-restart sampling window died with the server's memory:
+	// discard it outright rather than letting the tuning loop average
+	// stale pre-crash latencies into the post-restart sample.
+	c.winFetches, c.winFetchLat, c.winHits = 0, 0, 0
 	if len(c.entries) == 0 {
 		return
 	}
@@ -176,6 +181,10 @@ func (c *ServerCache) Get(file string, strip, lo, hi int64) ([]byte, bool) {
 // the remote fetch moved, lat what it cost. The manager samples the
 // latency window to drive its tuning loop.
 func (c *ServerCache) RecordMiss(bytes int64, lat sim.Time) {
+	// Apply a pending restart purge before accumulating, not after: the
+	// purge resets the sampling window, and this first post-restart sample
+	// belongs to the new incarnation's window, not the discarded one.
+	c.checkIncarnation()
 	c.stats.Misses++
 	c.stats.MissBytes += bytes
 	c.agg.AddMiss(bytes)
@@ -212,7 +221,7 @@ func (c *ServerCache) Put(file string, strip, lo int64, data []byte) {
 	}
 	cp := make([]byte, size)
 	copy(cp, data)
-	c.entries[k] = &entry{data: cp, lo: lo, hi: lo + size}
+	c.entries[k] = &entry{data: cp, lo: lo, hi: lo + size, winFetch: 1}
 	c.used += size
 	c.pol.Insert(k, size)
 	c.agg.AddInsert(size)

@@ -57,8 +57,11 @@ func (c Config) Normalize() (Config, error) {
 	if c.LatencyLow == 0 {
 		c.LatencyLow = 100 * sim.Microsecond
 	}
-	if c.LatencyLow > c.LatencyHigh {
-		return c, fmt.Errorf("cache: LatencyLow %v > LatencyHigh %v", c.LatencyLow, c.LatencyHigh)
+	if c.LatencyLow >= c.LatencyHigh {
+		// Equality is as broken as inversion: a window mean sitting on the
+		// shared threshold would promote and demote the same server in one
+		// tick, silently thrashing pins.
+		return c, fmt.Errorf("cache: LatencyLow %v >= LatencyHigh %v (hysteresis band is empty)", c.LatencyLow, c.LatencyHigh)
 	}
 	if c.MaxPromotionsPerTick == 0 {
 		c.MaxPromotionsPerTick = 4
@@ -104,6 +107,14 @@ type Manager struct {
 	ticks   int64
 	timer   *sim.Timer
 	started bool
+
+	// external marks the manager as driven by the unified p99 controller:
+	// the mean-window tick stops scheduling and promote/demote happen only
+	// through PromoteHotServer / DemoteIdleServer.
+	external bool
+	// latSink, when set, receives every halo-fetch latency sample the
+	// manager records — the controller's per-server tuning feed.
+	latSink func(srv int, lat sim.Time)
 }
 
 // NewManager builds the subsystem: one cache per storage server. incFn
@@ -157,7 +168,7 @@ func (m *Manager) Counters() *metrics.Cache { return m.agg }
 // Start arms the tuning loop. Safe to call once per engine run; ticks are
 // daemon timers, so an idle system still terminates.
 func (m *Manager) Start() {
-	if m.started || m.cfg.SampleEvery <= 0 {
+	if m.started || m.external || m.cfg.SampleEvery <= 0 {
 		return
 	}
 	m.started = true
@@ -199,6 +210,9 @@ func (m *Manager) RecordFetch(srv int, file string, strip, lo int64, data []byte
 	c.RecordMiss(int64(len(data)), lat)
 	m.fileMiss[file] += int64(len(data))
 	c.Put(file, strip, lo, data)
+	if m.latSink != nil {
+		m.latSink(srv, lat)
+	}
 }
 
 // InvalidateStrip drops every server's cached copy of a strip. The pfs
@@ -250,37 +264,48 @@ func (m *Manager) Stats() []Stats {
 
 // tick is one pass of the tuning loop: servers in index order, candidate
 // strips in (hits desc, file asc, strip asc) order — fully deterministic.
+// Threshold checks compare the window sum against threshold×n instead of
+// dividing: the truncating mean rounded toward promote-never/demote-always
+// at the boundaries (a true mean a hair over LatencyLow truncated down to
+// it and still demoted).
 func (m *Manager) tick() {
+	if m.external {
+		return // an external controller owns the trigger now
+	}
 	m.ticks++
 	for _, c := range m.servers {
 		c.checkIncarnation()
+		n := sim.Time(c.winFetches)
 		if c.winFetches > 0 {
-			mean := c.winFetchLat / sim.Time(c.winFetches)
-			if mean >= m.cfg.LatencyHigh {
-				m.promoteHot(c)
+			if c.winFetchLat >= m.cfg.LatencyHigh*n {
+				m.promoteHot(c, false)
 			}
 		} else if c.winHits > 0 {
 			// No fetches but hits: the cache already absorbs the halo
 			// traffic cheaply; release pins that went idle.
 			m.demoteIdle(c)
 		}
-		if c.winFetches > 0 {
-			mean := c.winFetchLat / sim.Time(c.winFetches)
-			if mean <= m.cfg.LatencyLow {
-				m.demoteIdle(c)
-			}
+		if c.winFetches > 0 && c.winFetchLat <= m.cfg.LatencyLow*n {
+			m.demoteIdle(c)
 		}
 		// reset the sampling window
 		c.winFetches, c.winFetchLat, c.winHits = 0, 0, 0
 		for _, e := range c.entries {
-			e.winHits = 0
+			e.winHits, e.winFetch = 0, 0
 		}
 	}
 	m.timer = m.eng.AfterFuncDaemon(m.cfg.SampleEvery, m.tick)
 }
 
-// promoteHot pins the most-hit unpinned strips of a slow server.
-func (m *Manager) promoteHot(c *ServerCache) {
+// promoteHot pins the most-hit unpinned strips of a slow server,
+// returning how many strips it pinned. With includeFetched, strips the
+// server (re)fetched this window rank behind the re-hit candidates: in a
+// window whose tail is already over threshold, the just-fetched strips
+// are precisely the ones whose next access repeats the slow fetch, so
+// pinning them is how a cold, thrashing cache bootstraps — under a
+// cyclic access pattern wider than the budget no entry ever survives to
+// be re-hit, and a hits-only candidate set can never act.
+func (m *Manager) promoteHot(c *ServerCache, includeFetched bool) int {
 	type cand struct {
 		k    Key
 		hits int64
@@ -300,6 +325,24 @@ func (m *Manager) promoteHot(c *ServerCache) {
 		}
 		return cands[i].k.Strip < cands[j].k.Strip
 	})
+	if includeFetched {
+		var fetched []cand
+		for k, e := range c.entries {
+			if !e.pinned && e.winHits == 0 && e.winFetch > 0 {
+				fetched = append(fetched, cand{k, e.winFetch})
+			}
+		}
+		sort.Slice(fetched, func(i, j int) bool {
+			if fetched[i].hits != fetched[j].hits {
+				return fetched[i].hits > fetched[j].hits
+			}
+			if fetched[i].k.File != fetched[j].k.File {
+				return fetched[i].k.File < fetched[j].k.File
+			}
+			return fetched[i].k.Strip < fetched[j].k.Strip
+		})
+		cands = append(cands, fetched...)
+	}
 	n := 0
 	for _, cd := range cands {
 		if n >= m.cfg.MaxPromotionsPerTick {
@@ -310,10 +353,12 @@ func (m *Manager) promoteHot(c *ServerCache) {
 			n++
 		}
 	}
+	return n
 }
 
-// demoteIdle unpins pinned strips that saw no hits in the window.
-func (m *Manager) demoteIdle(c *ServerCache) {
+// demoteIdle unpins pinned strips that saw no hits in the window,
+// returning how many strips it unpinned.
+func (m *Manager) demoteIdle(c *ServerCache) int {
 	var keys []Key
 	for k, e := range c.entries {
 		if e.pinned && e.winHits == 0 {
@@ -326,9 +371,92 @@ func (m *Manager) demoteIdle(c *ServerCache) {
 		}
 		return keys[i].Strip < keys[j].Strip
 	})
+	n := 0
 	for _, k := range keys {
 		if c.Unpin(k.File, k.Strip) {
 			m.actions = append(m.actions, Action{At: m.eng.Now(), Server: c.srv, Kind: "demote", File: k.File, Strip: k.Strip})
+			n++
+		}
+	}
+	return n
+}
+
+// --- External-controller interface -----------------------------------
+//
+// The unified p99 controller (internal/control) replaces the mean-window
+// trigger above: it keeps its own quantile sketches over the latency
+// samples forwarded by SetLatencySink and calls the exported promote/
+// demote entry points when a percentile threshold with hysteresis says
+// so. The manager stays the owner of the caches, the pin budget, the
+// candidate ordering, and the action log, so a controlled run and a
+// standalone run produce the same kinds of deterministic decisions.
+
+// SetExternalTuning hands the promote/demote trigger to an external
+// controller (or back). While external, Start is a no-op, any armed tick
+// stops, and promotions/demotions happen only through PromoteHotServer /
+// DemoteIdleServer; sampling state still accumulates so the controller
+// can inspect and reset it with ResetWindows.
+func (m *Manager) SetExternalTuning(on bool) {
+	m.external = on
+	if on {
+		m.Stop()
+	}
+}
+
+// SetLatencySink registers a listener for every halo-fetch latency sample
+// (nil disables). Called from RecordFetch with the fetching server.
+func (m *Manager) SetLatencySink(fn func(srv int, lat sim.Time)) { m.latSink = fn }
+
+// PromoteHotServer runs one promote pass on server srv — pin its most-hit
+// unpinned strips, then the strips it fetched this window, bounded by
+// MaxPromotionsPerTick and the pin budget — and returns how many strips
+// were pinned. Only the external controller takes the fetched-candidate
+// path: its percentile trigger has already attributed the window's tail
+// to this server, so the strips that window fetched are the ones a
+// replica would have served locally.
+func (m *Manager) PromoteHotServer(srv int) int {
+	c := m.Server(srv)
+	if c == nil {
+		return 0
+	}
+	c.checkIncarnation()
+	return m.promoteHot(c, true)
+}
+
+// DemoteIdleServer runs one demote pass on server srv — unpin its pinned
+// strips that saw no hits this window — and returns how many strips were
+// unpinned.
+func (m *Manager) DemoteIdleServer(srv int) int {
+	c := m.Server(srv)
+	if c == nil {
+		return 0
+	}
+	c.checkIncarnation()
+	return m.demoteIdle(c)
+}
+
+// WindowHits returns how many cache hits server srv served since the last
+// window reset — the controller's idle-pin signal for windows with no
+// fetches at all.
+func (m *Manager) WindowHits(srv int) int64 {
+	c := m.Server(srv)
+	if c == nil {
+		return 0
+	}
+	return c.winHits
+}
+
+// ResetWindows closes the current sampling window on every server: it
+// applies pending incarnation purges and clears the per-server fetch/hit
+// counters and per-entry hit windows. The external controller calls it at
+// the end of each tuning tick; the manager's own tick does the equivalent
+// inline.
+func (m *Manager) ResetWindows() {
+	for _, c := range m.servers {
+		c.checkIncarnation()
+		c.winFetches, c.winFetchLat, c.winHits = 0, 0, 0
+		for _, e := range c.entries {
+			e.winHits, e.winFetch = 0, 0
 		}
 	}
 }

@@ -207,3 +207,178 @@ func TestManagerStopHaltsTicks(t *testing.T) {
 		t.Errorf("ticks = %d after Stop, want 1", m.Ticks())
 	}
 }
+
+func TestConfigNormalizeRejectsEmptyHysteresisBand(t *testing.T) {
+	// LatencyHigh == LatencyLow used to pass validation, letting one tick
+	// run promoteHot and demoteIdle on the same server.
+	bad := Config{LatencyHigh: 50 * sim.Microsecond, LatencyLow: 50 * sim.Microsecond}
+	if _, err := bad.Normalize(); err == nil {
+		t.Fatal("LatencyHigh == LatencyLow accepted")
+	}
+	inverted := Config{LatencyHigh: 10 * sim.Microsecond, LatencyLow: 20 * sim.Microsecond}
+	if _, err := inverted.Normalize(); err == nil {
+		t.Fatal("LatencyHigh < LatencyLow accepted")
+	}
+	if _, err := NewManager(sim.NewEngine(), 1, bad, nil, nil); err == nil {
+		t.Fatal("NewManager accepted an empty hysteresis band")
+	}
+}
+
+func TestManagerTickThresholdBoundaries(t *testing.T) {
+	// The window mean used truncating integer division: with two fetches
+	// summing to 2·LatencyLow+1 the true mean is a hair over LatencyLow,
+	// but 21µs/2 truncated to 10µs and still demoted. The cross-multiplied
+	// comparison must keep the pin. The exact boundary (sum == 2·Low) must
+	// still demote, and the promote side must stay exact too.
+	cfg := testConfig() // High = 100µs, Low = 10µs
+	run := func(fn func(p *sim.Proc, m *Manager)) *Manager {
+		eng := sim.NewEngine()
+		m, err := NewManager(eng, 1, cfg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		eng.Spawn("workload", func(p *sim.Proc) { fn(p, m) })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	buf := make([]byte, 64)
+	pinOne := func(p *sim.Proc, m *Manager) {
+		// Window 1: promote strip 1 so later windows have a pin to protect.
+		m.RecordFetch(0, "f", 1, 0, buf, 500*sim.Microsecond)
+		m.Get(0, "f", 1, 0, 64)
+		p.Sleep(1500 * sim.Microsecond)
+		if !m.Server(0).Pinned("f", 1) {
+			t.Fatal("setup promotion did not happen")
+		}
+	}
+
+	// Demote boundary: sum = 2·Low+1 → true mean over Low → keep the pin.
+	m := run(func(p *sim.Proc, m *Manager) {
+		pinOne(p, m)
+		m.RecordFetch(0, "f", 8, 0, buf, 10*sim.Microsecond)
+		m.RecordFetch(0, "f", 9, 0, buf, 11*sim.Microsecond)
+		p.Sleep(sim.Millisecond)
+	})
+	if !m.Server(0).Pinned("f", 1) {
+		t.Error("mean a hair over LatencyLow demoted (truncating-division bug)")
+	}
+
+	// Demote boundary: sum = 2·Low → mean exactly Low → demote.
+	m = run(func(p *sim.Proc, m *Manager) {
+		pinOne(p, m)
+		m.RecordFetch(0, "f", 8, 0, buf, 10*sim.Microsecond)
+		m.RecordFetch(0, "f", 9, 0, buf, 10*sim.Microsecond)
+		p.Sleep(sim.Millisecond)
+	})
+	if m.Server(0).Pinned("f", 1) {
+		t.Error("mean exactly LatencyLow kept the idle pin")
+	}
+
+	// Promote boundary: sum = 2·High−1 → true mean under High → no promote.
+	m = run(func(p *sim.Proc, m *Manager) {
+		m.RecordFetch(0, "f", 1, 0, buf, 100*sim.Microsecond)
+		m.RecordFetch(0, "f", 2, 0, buf, 99*sim.Microsecond+999*sim.Nanosecond)
+		m.Get(0, "f", 1, 0, 64)
+		p.Sleep(1500 * sim.Microsecond)
+	})
+	if m.Server(0).Pinned("f", 1) {
+		t.Error("mean under LatencyHigh promoted")
+	}
+
+	// Promote boundary: sum = 2·High → mean exactly High → promote.
+	m = run(func(p *sim.Proc, m *Manager) {
+		m.RecordFetch(0, "f", 1, 0, buf, 100*sim.Microsecond)
+		m.RecordFetch(0, "f", 2, 0, buf, 100*sim.Microsecond)
+		m.Get(0, "f", 1, 0, 64)
+		p.Sleep(1500 * sim.Microsecond)
+	})
+	if !m.Server(0).Pinned("f", 1) {
+		t.Error("mean exactly LatencyHigh did not promote")
+	}
+}
+
+func TestManagerDiscardsWindowAcrossRestart(t *testing.T) {
+	// A crash+restart mid-window must discard the pre-crash samples, not
+	// average them into the post-restart window: one huge pre-crash fetch
+	// plus one fast post-restart fetch used to look like a slow window and
+	// promote on a server that is actually healthy.
+	eng := sim.NewEngine()
+	incs := []uint64{1}
+	m, err := NewManager(eng, 1, testConfig(), func(int) uint64 { return incs[0] }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	buf := make([]byte, 64)
+	eng.Spawn("workload", func(p *sim.Proc) {
+		m.RecordFetch(0, "f", 1, 0, buf, 10*sim.Millisecond) // slow, pre-crash
+		incs[0] = 2                                          // crash + restart mid-window
+		m.RecordFetch(0, "f", 2, 0, buf, sim.Microsecond)    // fast, post-restart
+		m.Get(0, "f", 2, 0, 64)                              // promote candidate if the window looks slow
+		c := m.Server(0)
+		if c.winFetches != 1 || c.winFetchLat != sim.Microsecond {
+			t.Errorf("window after restart = %d fetches / %v, want only the post-restart sample",
+				c.winFetches, c.winFetchLat)
+		}
+		p.Sleep(1500 * sim.Microsecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range m.Actions() {
+		if a.Kind == "promote" {
+			t.Fatalf("stale pre-crash window triggered %v", a)
+		}
+	}
+	if m.Server(0).Pinned("f", 2) {
+		t.Error("post-restart strip pinned off the stale window")
+	}
+}
+
+func TestManagerExternalTuningHandsOverTrigger(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := NewManager(eng, 1, testConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sunk []sim.Time
+	m.SetLatencySink(func(srv int, lat sim.Time) { sunk = append(sunk, lat) })
+	m.SetExternalTuning(true)
+	m.Start() // must be a no-op while external
+	buf := make([]byte, 64)
+	eng.Spawn("workload", func(p *sim.Proc) {
+		m.RecordFetch(0, "f", 1, 0, buf, 500*sim.Microsecond)
+		m.Get(0, "f", 1, 0, 64)
+		p.Sleep(2 * sim.Millisecond) // would cover two internal ticks
+		if m.Ticks() != 0 {
+			t.Error("internal tick ran while external tuning owns the trigger")
+		}
+		if m.WindowHits(0) != 1 {
+			t.Errorf("WindowHits = %d, want 1", m.WindowHits(0))
+		}
+		// The external controller drives the same deterministic passes.
+		if n := m.PromoteHotServer(0); n != 1 {
+			t.Errorf("PromoteHotServer = %d, want 1", n)
+		}
+		m.ResetWindows()
+		if m.WindowHits(0) != 0 {
+			t.Error("ResetWindows left window hits behind")
+		}
+		if n := m.DemoteIdleServer(0); n != 1 {
+			t.Errorf("DemoteIdleServer = %d, want 1", n)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != 1 || sunk[0] != 500*sim.Microsecond {
+		t.Errorf("latency sink saw %v, want one 500µs sample", sunk)
+	}
+	acts := m.Actions()
+	if len(acts) != 2 || acts[0].Kind != "promote" || acts[1].Kind != "demote" {
+		t.Errorf("actions = %v, want externally driven promote then demote", acts)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcio/das/internal/cache"
+	"github.com/hpcio/das/internal/control"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/restripe"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/workload"
+)
+
+// TestControlIgnoresMigrationTraffic is the regression test for the old
+// dueling-loops bug: a background migration used to flood the tuning
+// window with its own copy latencies, the cache manager read that as a
+// hot server and pinned strips, and the migrator promptly invalidated
+// them. Now migration traffic is tagged at the pfs layer and excluded
+// from tuning — so a migration on an otherwise-idle system must cause
+// ZERO controller actions and ZERO cache manager actions.
+func TestControlIgnoresMigrationTraffic(t *testing.T) {
+	g := workload.Terrain(testW, testH, 7)
+	s, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Ingest before the controller exists so the setup writes are not
+	// sampled: the controller then sees ONLY the migration's traffic.
+	if _, err := s.IngestGrid("in", g, layout.NewRoundRobin(s.FS.Servers()), testStrip); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableCache(cache.Config{BudgetBytes: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableControl(control.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Restriping is enabled AFTER the controller on purpose: no admission
+	// gate and no cool-down watcher, so the migration runs unconditionally
+	// and the only defense left is the migration tag itself.
+	if err := s.EnableRestripe(restripe.Config{MinObservedBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	pat, ok := s.Features.Lookup("flow-routing")
+	if !ok {
+		t.Fatal("flow-routing pattern missing")
+	}
+	m, ok := s.FS.Meta("in")
+	if !ok {
+		t.Fatal("ingested file missing")
+	}
+	s.Restripe.Observe("in", pat, predictParams(m), 1<<20)
+	if s.Restripe.ActiveCount() == 0 {
+		t.Fatal("migration was not admitted — the test exercises nothing")
+	}
+	converged, _, err := s.DrainRestripe(60 * sim.Second)
+	if err != nil || !converged {
+		t.Fatalf("migration did not converge: %v", err)
+	}
+
+	ctl := s.Control
+	if got := ctl.MigrationSamplesExcluded(); got == 0 {
+		t.Fatal("migration produced no tagged samples — the tag is not wired")
+	}
+	if got := ctl.TuningSamples(); got != 0 {
+		t.Errorf("migration leaked %d samples into the tuning sketches", got)
+	}
+	if got := ctl.RPCSamples(); got != 0 {
+		t.Errorf("migration produced %d untagged RPC samples", got)
+	}
+	if acts := ctl.Actions(); len(acts) != 0 {
+		t.Errorf("controller acted on migration traffic: %v", acts)
+	}
+	if acts := s.Cache.Actions(); len(acts) != 0 {
+		t.Errorf("cache manager acted on migration traffic: %v", acts)
+	}
+}
+
+// TestControlTailTiersTheDecision: with the controller attached, a
+// congested observed tail must be able to veto an offload the byte model
+// alone would accept — exercised end-to-end through Execute.
+func TestControlTailTiersTheDecision(t *testing.T) {
+	g := workload.Terrain(testW, testH, 7)
+	s, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.IngestGrid("in", g, layout.NewRoundRobin(s.FS.Servers()), testStrip); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableCache(cache.Config{BudgetBytes: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableControl(control.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the observed tail directly: every server far past LatencyHigh.
+	for srv := 0; srv < s.FS.Servers(); srv++ {
+		for i := 0; i < 8; i++ {
+			s.Control.ObserveFetch(srv, 10*sim.Millisecond)
+		}
+	}
+	rep, err := s.Execute(Request{Op: "flow-routing", Input: "in", Output: "out", Scheme: DAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decision == nil {
+		t.Fatal("no decision recorded")
+	}
+	// Flow-routing on round-robin pays dependent fetches, so the 20x tail
+	// overshoot must flow through DecideTail and show up in the decision's
+	// reasoning (and in the inflated offload byte count).
+	if rep.Decision.Analysis.LocalByLayout {
+		t.Fatal("fixture resolved locally; the tail path was never exercised")
+	}
+	if !strings.Contains(rep.Decision.Reason, "p99") {
+		t.Errorf("decision ignored the observed tail: %q", rep.Decision.Reason)
+	}
+	if s.Control.ClusterP99() < 10*sim.Millisecond {
+		t.Errorf("cluster p99 = %v, want >= 10ms", s.Control.ClusterP99())
+	}
+}

@@ -281,6 +281,12 @@ func (s *System) runDAS(rep *Report, req Request, in *pfs.FileMeta) error {
 	switch {
 	case anyDown:
 		decision, err = predict.DecideDegraded(pat, params, targetLay, s.Clu.ServerDown)
+	case s.Control != nil && s.Cache != nil:
+		// The controller's observed fetch tail tiers the decision: a
+		// congested p99 inflates the dependent-fetch term before the
+		// accept/reject compare.
+		decision, err = predict.DecideTail(pat, params, targetLay,
+			s.Cache.HitRateEstimate(req.Input), s.Control.ClusterP99(), s.Control.Config().LatencyHigh)
 	case s.Cache != nil:
 		decision, err = predict.DecideCached(pat, params, targetLay, s.Cache.HitRateEstimate(req.Input))
 	default:

@@ -24,6 +24,7 @@ import (
 	"github.com/hpcio/das/internal/active"
 	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/cluster"
+	"github.com/hpcio/das/internal/control"
 	"github.com/hpcio/das/internal/features"
 	"github.com/hpcio/das/internal/grid"
 	"github.com/hpcio/das/internal/kernels"
@@ -81,6 +82,9 @@ type System struct {
 	// Restripe is the online restriping subsystem, nil until
 	// EnableRestripe.
 	Restripe *restripe.Migrator
+	// Control is the unified p99 latency controller, nil until
+	// EnableControl.
+	Control *control.Controller
 }
 
 // EnableCache deploys the halo-strip cache subsystem: one byte-budgeted
@@ -127,6 +131,34 @@ func (s *System) EnableRestripe(cfg restripe.Config) error {
 	s.Restripe = mgr
 	s.FS.SetInvalidator(mgr)
 	mgr.Start()
+	return nil
+}
+
+// EnableControl deploys the unified p99 latency controller: one control
+// plane owning every adaptive trigger in the system. It subscribes the
+// pfs client RPC latencies (migration traffic tagged and excluded), takes
+// over the cache manager's promote/demote trigger when the cache is
+// enabled (percentile thresholds with hysteresis and streaks instead of
+// the old mean window), and gates + watches the restripe migrator when
+// restriping is enabled (admission only on a congested tail, cool-down
+// after any strip flip so the two loops can no longer duel). Enable it
+// AFTER the subsystems it coordinates; subsystems enabled later are not
+// adopted retroactively.
+func (s *System) EnableControl(cfg control.Config) error {
+	ctl, err := control.New(s.Clu.Eng, s.FS.Servers(), cfg)
+	if err != nil {
+		return err
+	}
+	s.Control = ctl
+	s.FS.SetLatencyObserver(ctl)
+	if s.Cache != nil {
+		ctl.AttachCache(s.Cache)
+	}
+	if s.Restripe != nil {
+		s.Restripe.SetWatcher(ctl)
+		s.Restripe.SetAdmission(ctl.AllowRestripe)
+	}
+	ctl.Start()
 	return nil
 }
 

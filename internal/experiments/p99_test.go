@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/control"
+)
+
+// TestP99ExperimentConverges is the PR's acceptance criterion: the
+// unified controller pins replicas as the fetch tail crosses the
+// threshold and then goes quiet — no promote/demote or migrate/re-migrate
+// oscillation after convergence — and the whole report is byte-identical
+// across two full replays (asserted inside P99Experiment).
+func TestP99ExperimentConverges(t *testing.T) {
+	c := quick()
+	r, report, err := c.P99Experiment(7, control.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Variants) != 2 {
+		t.Fatalf("got %d variants, want 2", len(report.Variants))
+	}
+	if !report.Verified || !report.DeterministicReplay {
+		t.Fatalf("verified=%v replay=%v", report.Verified, report.DeterministicReplay)
+	}
+	ctl, res := report.Variants[0], report.Variants[1]
+	if ctl.Name != "controlled" || res.Name != "controlled+restripe" {
+		t.Fatalf("unexpected variant order: %s, %s", ctl.Name, res.Name)
+	}
+	for _, v := range report.Variants {
+		if !v.Converged {
+			t.Errorf("%s did not converge: %+v", v.Name, v)
+		}
+		if v.Promotions == 0 {
+			t.Errorf("%s: the controller never promoted — the curve is flat", v.Name)
+		}
+		last := v.Rounds[len(v.Rounds)-1]
+		if last.PinnedReplicas == 0 {
+			t.Errorf("%s: no pinned replicas at the end", v.Name)
+		}
+	}
+	// The restriped variant migrates exactly once and its copies are
+	// tagged: excluded migration samples prove the tag path ran.
+	if done := res.Rounds[len(res.Rounds)-1].RestripeDone; done != 1 {
+		t.Errorf("restriped variant completed %d migrations, want 1", done)
+	}
+	if res.MigrationSamplesExcluded == 0 {
+		t.Error("migration produced no excluded samples")
+	}
+	if len(r.Rows) == 0 || len(r.Notes) == 0 {
+		t.Error("plot result empty")
+	}
+}

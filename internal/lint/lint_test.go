@@ -25,6 +25,16 @@ func TestSimclockOutsideModule(t *testing.T) {
 	linttest.Run(t, lint.Simclock, "simclock_exempt", lint.ModulePath+"/cmd/faketool")
 }
 
+func TestSimclockCoversControllerPackages(t *testing.T) {
+	// The unified p99 controller and its quantile sketch are simulated
+	// subsystems: byte-identical runs depend on them staying off the wall
+	// clock, so neither package may ever join the exemption list. The
+	// same fixture that fires in a simulated package must fire under
+	// their import paths.
+	linttest.Run(t, lint.Simclock, "simclock_controller", lint.ModulePath+"/internal/metrics")
+	linttest.Run(t, lint.Simclock, "simclock_controller", lint.ModulePath+"/internal/control")
+}
+
 func TestDetrand(t *testing.T) {
 	linttest.Run(t, lint.Detrand, "detrand", lint.ModulePath+"/internal/fakerand")
 }

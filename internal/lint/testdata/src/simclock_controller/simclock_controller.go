@@ -1,0 +1,11 @@
+// Test fixture asserting the p99 controller's packages stay inside the
+// simulated world: type-checked under the internal/metrics and
+// internal/control import paths, a wall-clock read must be a finding —
+// neither package may ever join the simclock exemption list.
+package fakectl
+
+import "time"
+
+func reads() {
+	_ = time.Now() // want `wall-clock time\.Now in simulated package`
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math/bits"
+
+	"github.com/hpcio/das/internal/sim"
+)
+
+// LatencySketch is a fixed-size, merge-able quantile sketch over DES
+// latencies, the histogram behind the unified p99 control plane. It is an
+// HDR-style log-linear histogram: values below 2^sketchSubBits land in
+// exact unit buckets, larger values in one of 2^sketchSubBits linear
+// sub-buckets per power of two, bounding the relative quantile error at
+// 1/2^sketchSubBits (~3%).
+//
+// Determinism contract: the sketch holds only int64 counts indexed by
+// integer bit math — no floats, no maps, no wall clock, no randomness —
+// so two identical runs produce byte-identical sketches, and a quantile
+// read is a pure function of the observations. Reported quantiles are
+// bucket upper bounds, so Quantile never under-reports a threshold
+// crossing. Merge is commutative and associative; Delta(prev) subtracts
+// an earlier snapshot of the same sketch, giving exact per-window
+// histograms from cumulative ones.
+type LatencySketch struct {
+	counts [sketchBuckets]int64
+	total  int64
+}
+
+const (
+	// sketchSubBits fixes the resolution: 2^sketchSubBits linear
+	// sub-buckets per power of two.
+	sketchSubBits = 5
+	sketchSubs    = 1 << sketchSubBits
+	// sketchBuckets covers the full non-negative int64 range: the exact
+	// region [0, sketchSubs) plus one block of sketchSubs sub-buckets for
+	// each major bit position from sketchSubBits to 62.
+	sketchBuckets = (64 - sketchSubBits) * sketchSubs
+)
+
+// NewLatencySketch returns an empty sketch.
+func NewLatencySketch() *LatencySketch { return new(LatencySketch) }
+
+// sketchIndex maps a non-negative value to its bucket.
+func sketchIndex(v int64) int {
+	u := uint64(v)
+	if u < sketchSubs {
+		return int(u)
+	}
+	major := bits.Len64(u) - 1 // 2^major <= u < 2^(major+1)
+	shift := uint(major - sketchSubBits)
+	sub := int((u >> shift) & (sketchSubs - 1))
+	return (major-sketchSubBits)*sketchSubs + sketchSubs + sub
+}
+
+// sketchUpper returns the largest value a bucket admits — the value
+// Quantile reports for it.
+func sketchUpper(i int) sim.Time {
+	if i < sketchSubs {
+		return sim.Time(i)
+	}
+	block := (i - sketchSubs) / sketchSubs
+	sub := (i - sketchSubs) % sketchSubs
+	major := block + sketchSubBits
+	shift := uint(major - sketchSubBits)
+	lo := uint64(1)<<uint(major) + uint64(sub)<<shift
+	return sim.Time(lo + (uint64(1)<<shift - 1))
+}
+
+// Observe records one latency sample. Negative durations (impossible on
+// the DES clock, but cheap to be safe about) clamp to zero.
+func (s *LatencySketch) Observe(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	s.counts[sketchIndex(int64(d))]++
+	s.total++
+}
+
+// Count returns how many samples the sketch holds.
+func (s *LatencySketch) Count() int64 { return s.total }
+
+// Quantile returns an upper bound for the p-th percentile (p in [0,100])
+// of the observed samples: the upper edge of the bucket containing the
+// rank-⌈total·p/100⌉ sample. An empty sketch reports 0. The rank is
+// computed in integer arithmetic — no float enters the comparison, so a
+// threshold check against the result is exact and reproducible.
+func (s *LatencySketch) Quantile(p int) sim.Time {
+	if s.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := (s.total*int64(p) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.counts {
+		seen += c
+		if seen >= rank {
+			return sketchUpper(i)
+		}
+	}
+	return sketchUpper(sketchBuckets - 1)
+}
+
+// Max returns the upper bound of the highest occupied bucket, 0 when empty.
+func (s *LatencySketch) Max() sim.Time {
+	for i := sketchBuckets - 1; i >= 0; i-- {
+		if s.counts[i] > 0 {
+			return sketchUpper(i)
+		}
+	}
+	return 0
+}
+
+// Merge adds another sketch's counts into s.
+func (s *LatencySketch) Merge(o *LatencySketch) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	s.total += o.total
+}
+
+// Clone returns an independent copy.
+func (s *LatencySketch) Clone() *LatencySketch {
+	c := *s
+	return &c
+}
+
+// Delta returns a new sketch holding the samples observed since prev, an
+// earlier snapshot of the same sketch. Buckets where prev somehow exceeds
+// s clamp to zero instead of going negative.
+func (s *LatencySketch) Delta(prev *LatencySketch) *LatencySketch {
+	out := new(LatencySketch)
+	if prev == nil {
+		*out = *s
+		return out
+	}
+	for i := range s.counts {
+		d := s.counts[i] - prev.counts[i]
+		if d < 0 {
+			d = 0
+		}
+		out.counts[i] = d
+		out.total += d
+	}
+	return out
+}
+
+// Reset clears the sketch.
+func (s *LatencySketch) Reset() {
+	*s = LatencySketch{}
+}
+
+// Equal reports whether two sketches hold identical counts — the
+// determinism tests' byte-identity check.
+func (s *LatencySketch) Equal(o *LatencySketch) bool {
+	if o == nil {
+		return s.total == 0
+	}
+	return s.counts == o.counts
+}

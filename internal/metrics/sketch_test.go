@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/hpcio/das/internal/sim"
+)
+
+func TestSketchIndexUpperRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back to that bucket, and
+	// consecutive values must land in non-decreasing buckets.
+	for i := 0; i < sketchBuckets; i++ {
+		up := sketchUpper(i)
+		if got := sketchIndex(int64(up)); got != i {
+			t.Fatalf("sketchIndex(sketchUpper(%d)=%d) = %d", i, up, got)
+		}
+	}
+	prev := -1
+	for v := int64(0); v < 4096; v++ {
+		idx := sketchIndex(v)
+		if idx < prev {
+			t.Fatalf("bucket order regressed at value %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if up := sketchUpper(idx); int64(up) < v {
+			t.Fatalf("value %d above its bucket upper bound %d", v, up)
+		}
+	}
+}
+
+func TestSketchQuantileExactSmallValues(t *testing.T) {
+	// Values below 2^sketchSubBits sit in exact unit buckets: quantiles
+	// over them are exact order statistics.
+	s := NewLatencySketch()
+	for v := sim.Time(1); v <= 20; v++ {
+		s.Observe(v)
+	}
+	if got := s.Quantile(50); got != 10 {
+		t.Fatalf("p50 of 1..20 = %v, want 10", got)
+	}
+	if got := s.Quantile(100); got != 20 {
+		t.Fatalf("p100 of 1..20 = %v, want 20", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("p0 of 1..20 = %v, want 1", got)
+	}
+}
+
+func TestSketchQuantileRelativeError(t *testing.T) {
+	// Large values must come back within the log-linear resolution: the
+	// reported quantile is an upper bound no more than 1/2^sketchSubBits
+	// above the true value.
+	s := NewLatencySketch()
+	for i := 0; i < 1000; i++ {
+		s.Observe(sim.Time(i) * sim.Microsecond)
+	}
+	truev := int64(990 * sim.Microsecond) // rank 991 of 0..999µs
+	got := int64(s.Quantile(99))
+	if got < truev {
+		t.Fatalf("p99 %d under-reports true value %d", got, truev)
+	}
+	if got > truev+truev/sketchSubs+1 {
+		t.Fatalf("p99 %d exceeds error bound over true value %d", got, truev)
+	}
+}
+
+func TestSketchEmptyNegativeAndReset(t *testing.T) {
+	s := NewLatencySketch()
+	if s.Quantile(99) != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+	s.Observe(-5)
+	if s.Count() != 1 || s.Quantile(100) != 0 {
+		t.Fatalf("negative sample must clamp to 0: count=%d q=%v", s.Count(), s.Quantile(100))
+	}
+	s.Observe(time(300))
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(99) != 0 {
+		t.Fatal("reset sketch must be empty")
+	}
+}
+
+func time(us int64) sim.Time { return sim.Time(us) * sim.Microsecond }
+
+func TestSketchMergeEqualsCombinedFeed(t *testing.T) {
+	a, b, both := NewLatencySketch(), NewLatencySketch(), NewLatencySketch()
+	for i := int64(0); i < 500; i++ {
+		a.Observe(time(i))
+		both.Observe(time(i))
+	}
+	for i := int64(500); i < 900; i++ {
+		b.Observe(time(i))
+		both.Observe(time(i))
+	}
+	a.Merge(b)
+	if !a.Equal(both) {
+		t.Fatal("merged sketch differs from combined feed")
+	}
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), both.Count())
+	}
+}
+
+func TestSketchDeltaRecoversWindow(t *testing.T) {
+	cum := NewLatencySketch()
+	for i := int64(0); i < 100; i++ {
+		cum.Observe(time(10))
+	}
+	snap := cum.Clone()
+	for i := int64(0); i < 50; i++ {
+		cum.Observe(time(1000))
+	}
+	win := cum.Delta(snap)
+	if win.Count() != 50 {
+		t.Fatalf("delta count %d, want 50", win.Count())
+	}
+	// The window holds only the 1000µs samples; its p50 must sit in that
+	// bucket, far above the 10µs samples the snapshot absorbed.
+	if q := win.Quantile(50); q < time(1000) {
+		t.Fatalf("delta p50 %v includes pre-snapshot samples", q)
+	}
+	if d := cum.Delta(nil); !d.Equal(cum) {
+		t.Fatal("delta against nil must copy the sketch")
+	}
+}
+
+func TestSketchDeterministicAcrossIdenticalFeeds(t *testing.T) {
+	a, b := NewLatencySketch(), NewLatencySketch()
+	v := int64(1)
+	for i := 0; i < 10000; i++ {
+		v = (v*6364136223846793005 + 1442695040888963407) % (1 << 40)
+		if v < 0 {
+			v = -v
+		}
+		a.Observe(sim.Time(v))
+	}
+	v = int64(1)
+	for i := 0; i < 10000; i++ {
+		v = (v*6364136223846793005 + 1442695040888963407) % (1 << 40)
+		if v < 0 {
+			v = -v
+		}
+		b.Observe(sim.Time(v))
+	}
+	if !a.Equal(b) {
+		t.Fatal("identical feeds produced different sketches")
+	}
+	for _, p := range []int{0, 50, 90, 99, 100} {
+		if a.Quantile(p) != b.Quantile(p) {
+			t.Fatalf("p%d differs across identical feeds", p)
+		}
+	}
+}

@@ -76,6 +76,9 @@ type FileSystem struct {
 	// halo-cache copies die with the data they shadow. Declared as a
 	// narrow interface so pfs does not depend on the cache package.
 	invalidator StripInvalidator
+	// latObs, when set, receives per-RPC latency samples from the client
+	// call paths, tagged migration/non-migration (see LatencyObserver).
+	latObs LatencyObserver
 	// readCallFree and writeCallFree recycle task-based client call state
 	// (async.go).
 	readCallFree  []*readCall
@@ -102,6 +105,24 @@ type StripInvalidator interface {
 
 // SetInvalidator wires a strip-mutation listener (nil disables).
 func (fs *FileSystem) SetInvalidator(inv StripInvalidator) { fs.invalidator = inv }
+
+// LatencyObserver receives one sample per successful client-side data RPC:
+// the server that served it, whether the RPC moved restripe-migration
+// traffic, and its observed DES latency. The unified p99 controller
+// implements it; migration-tagged samples must never enter tuning
+// decisions — background copies inflating the latency signal is exactly
+// the feedback loop the controller exists to break. Declared as a narrow
+// interface, like StripInvalidator, so pfs does not depend on the control
+// package.
+//
+// The task-based fast-path calls (async.go) are not sampled: they are
+// used only by the scale experiment, which runs without the controller.
+type LatencyObserver interface {
+	ObserveRPCLatency(srv int, migration bool, lat sim.Time)
+}
+
+// SetLatencyObserver wires an RPC-latency listener (nil disables).
+func (fs *FileSystem) SetLatencyObserver(o LatencyObserver) { fs.latObs = o }
 
 // New deploys the file system on a cluster: one data server process per
 // storage node, started immediately.
@@ -328,6 +349,10 @@ func (fs *FileSystem) readStripOnce(p *sim.Proc, fromID, srv int, file string, s
 		*req = readReq{File: file, Strip: strip, Lo: lo, Hi: hi}
 		payload = req
 	}
+	var start sim.Time
+	if fs.latObs != nil {
+		start = p.Now()
+	}
 	resp, err := fs.call(p, fromID, srv, payload, headerBytes)
 	if err != nil {
 		return nil, err
@@ -337,6 +362,9 @@ func (fs *FileSystem) readStripOnce(p *sim.Proc, fromID, srv int, file string, s
 		data := r.Data
 		r.Data = nil
 		fs.readRespPut(r)
+		if fs.latObs != nil {
+			fs.latObs.ObserveRPCLatency(srv, false, p.Now()-start)
+		}
 		return data, nil
 	case errResp:
 		return nil, respError(r, fmt.Sprintf("pfs: read %s strip %d from server %d", file, strip, srv))
@@ -392,6 +420,13 @@ func (fs *FileSystem) readStripFailover(p *sim.Proc, fromID, preferred int, file
 // is an error the caller must see — though a crashed one is waited on for
 // the retry policy's down-window first (see callWrite).
 func (fs *FileSystem) WriteStripTo(p *sim.Proc, fromID, srv int, file string, strip int64, data []byte, forward bool) error {
+	return fs.writeStrip(p, fromID, srv, file, strip, data, forward, false)
+}
+
+// writeStrip is WriteStripTo with the latency sample's migration tag
+// explicit: restripe copy pushes (server.migrate) flow through here with
+// migration set so the controller can exclude them from tuning.
+func (fs *FileSystem) writeStrip(p *sim.Proc, fromID, srv int, file string, strip int64, data []byte, forward, migration bool) error {
 	// Same single-consumption rule as the read path: pooled pointer when
 	// fault-free, boxed value when a retry could resend it.
 	var payload any
@@ -402,6 +437,10 @@ func (fs *FileSystem) WriteStripTo(p *sim.Proc, fromID, srv int, file string, st
 		*req = writeReq{File: file, Strip: strip, Data: data, Forward: forward}
 		payload = req
 	}
+	var start sim.Time
+	if fs.latObs != nil {
+		start = p.Now()
+	}
 	resp, err := fs.callWrite(p, fromID, srv, payload,
 		headerBytes+int64(len(data)))
 	if err != nil {
@@ -409,6 +448,9 @@ func (fs *FileSystem) WriteStripTo(p *sim.Proc, fromID, srv int, file string, st
 	}
 	switch r := resp.(type) {
 	case ackResp:
+		if fs.latObs != nil {
+			fs.latObs.ObserveRPCLatency(srv, migration, p.Now()-start)
+		}
 		return nil
 	case errResp:
 		return respError(r, fmt.Sprintf("pfs: write %s strip %d to server %d", file, strip, srv))
@@ -422,10 +464,17 @@ func (fs *FileSystem) WriteStripTo(p *sim.Proc, fromID, srv int, file string, st
 // fails for a failover-eligible reason, each span is re-fetched
 // individually through ReadStripFrom's replica failover.
 func (fs *FileSystem) ReadSpansFrom(p *sim.Proc, fromID, srv int, file string, spans []Span) ([][]byte, error) {
+	var start sim.Time
+	if fs.latObs != nil {
+		start = p.Now()
+	}
 	resp, err := fs.call(p, fromID, srv, readManyReq{File: file, Spans: spans}, headerBytes)
 	if err == nil {
 		switch r := resp.(type) {
 		case readManyResp:
+			if fs.latObs != nil {
+				fs.latObs.ObserveRPCLatency(srv, false, p.Now()-start)
+			}
 			return r.Data, nil
 		case errResp:
 			err = respError(r, fmt.Sprintf("pfs: readMany %s from server %d", file, srv))
@@ -460,12 +509,19 @@ func (fs *FileSystem) WriteStripsTo(p *sim.Proc, fromID, srv int, file string, s
 	for _, d := range data {
 		size += int64(len(d))
 	}
+	var start sim.Time
+	if fs.latObs != nil {
+		start = p.Now()
+	}
 	resp, err := fs.callWrite(p, fromID, srv, writeManyReq{File: file, Strips: strips, Data: data, Forward: forward}, size)
 	if err != nil {
 		return err
 	}
 	switch r := resp.(type) {
 	case ackResp:
+		if fs.latObs != nil {
+			fs.latObs.ObserveRPCLatency(srv, false, p.Now()-start)
+		}
 		return nil
 	case errResp:
 		return respError(r, fmt.Sprintf("pfs: writeMany %s to server %d", file, srv))
@@ -475,14 +531,23 @@ func (fs *FileSystem) WriteStripsTo(p *sim.Proc, fromID, srv int, file string, s
 }
 
 // MigrateStrip asks server srv (a current holder) to push its copy of a
-// strip to the given target servers.
+// strip to the given target servers. The control RPC and the copy pushes
+// it triggers are migration-tagged for the latency observer: they are
+// background traffic, not tuning signal.
 func (fs *FileSystem) MigrateStrip(p *sim.Proc, fromID, srv int, file string, strip int64, targets []int) error {
+	var start sim.Time
+	if fs.latObs != nil {
+		start = p.Now()
+	}
 	resp, err := fs.callWrite(p, fromID, srv, migrateReq{File: file, Strip: strip, Targets: targets}, headerBytes)
 	if err != nil {
 		return err
 	}
 	switch r := resp.(type) {
 	case ackResp:
+		if fs.latObs != nil {
+			fs.latObs.ObserveRPCLatency(srv, true, p.Now()-start)
+		}
 		return nil
 	case errResp:
 		return respError(r, fmt.Sprintf("pfs: migrate %s strip %d via server %d", file, strip, srv))

@@ -464,7 +464,9 @@ func (s *Server) storePut(file string, strip int64, data []byte) {
 	}
 }
 
-// migrate pushes the local copy of a strip to each target server.
+// migrate pushes the local copy of a strip to each target server. The
+// pushes are migration-tagged writes: restripe copy traffic must not leak
+// into the latency observer's tuning samples.
 func (s *Server) migrate(p *sim.Proc, req migrateReq) error {
 	data, err := s.LocalRead(p, req.File, req.Strip, 0, 0)
 	if err != nil {
@@ -474,7 +476,7 @@ func (s *Server) migrate(p *sim.Proc, req migrateReq) error {
 		if target == s.srv {
 			continue
 		}
-		if err := s.fs.WriteStripTo(p, s.nodeID, target, req.File, req.Strip, data, false); err != nil {
+		if err := s.fs.writeStrip(p, s.nodeID, target, req.File, req.Strip, data, false, true); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/hpcio/das/internal/features"
 	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/sim"
 )
 
 // Decision is the outcome of the DAS workflow's accept/reject step
@@ -74,6 +75,37 @@ func DecideCached(pat features.Pattern, p Params, lay layout.Layout, hitFrac flo
 	default:
 		d.Reason = fmt.Sprintf("rejected: offload would move %d bytes vs %d for normal I/O", d.OffloadNetBytes, d.NormalNetBytes)
 	}
+	return d, nil
+}
+
+// DecideTail refines DecideCached with the observed cluster fetch-latency
+// tail. The byte model prices a dependent fetch as if every fetch cost
+// the same; when the controller's measured tail percentile (typically
+// p99) sits above the scale-up threshold, fetches are congested and their
+// effective cost scales with how far the tail overshoots. The fetch term
+// is inflated by p99/latHigh — capped at 4× so a single pathological
+// window cannot veto offload forever — and the accept/reject verdict is
+// recomputed. The scaling is integer cross-multiplication; floats appear
+// only in the human-readable Reason.
+func DecideTail(pat features.Pattern, p Params, lay layout.Layout, hitFrac float64, p99, latHigh sim.Time) (Decision, error) {
+	d, err := DecideCached(pat, p, lay, hitFrac)
+	if err != nil || latHigh <= 0 || p99 <= latHigh || d.Analysis.LocalByLayout {
+		return d, err
+	}
+	num, den := int64(p99), int64(latHigh)
+	if num > 4*den {
+		num = 4 * den // cap the inflation at 4×
+	}
+	fetchBytes := int64(float64(d.Analysis.StripFetchBytes) * (1 - d.CacheHitFrac))
+	inflated := fetchBytes * num / den
+	d.OffloadNetBytes += inflated - fetchBytes
+	d.Offload = d.OffloadNetBytes < d.NormalNetBytes
+	verdict := "offload still wins"
+	if !d.Offload {
+		verdict = "rejected: tail congestion tips the balance to normal I/O"
+	}
+	d.Reason = fmt.Sprintf("%s — observed fetch p99 %v vs threshold %v inflates the fetch term %.2f× (%d vs %d bytes)",
+		verdict, p99, latHigh, float64(num)/float64(den), d.OffloadNetBytes, d.NormalNetBytes)
 	return d, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/hpcio/das/internal/features"
 	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/sim"
 )
 
 func TestDecideAcceptsLocalLayout(t *testing.T) {
@@ -199,5 +200,68 @@ func TestDecideCachedClampsHitFraction(t *testing.T) {
 	}
 	if under.CacheHitFrac != 0 {
 		t.Errorf("hitFrac -0.5 not clamped: %+v", under)
+	}
+}
+
+func TestDecideTailInflatesFetchTerm(t *testing.T) {
+	// A marginal accept under DecideCached: warm cache flips the hostile
+	// stride to offload. A congested fetch tail must flip it back, a
+	// healthy tail must leave it untouched.
+	pat := features.Pattern{Name: "hostile", Offsets: []features.Offset{
+		{Const: -24}, {Const: -16}, {Const: -8}, {Const: 8}, {Const: 16}, {Const: 24},
+	}}
+	p := testParams(8, 1024)
+	lay := layout.NewRoundRobin(4)
+	const latHigh = 500 * sim.Microsecond
+
+	base, err := DecideCached(pat, p, lay, 0.9)
+	if err != nil || !base.Offload {
+		t.Fatalf("fixture no longer marginal-accepts: %+v err=%v", base, err)
+	}
+
+	healthy, err := DecideTail(pat, p, lay, 0.9, 200*sim.Microsecond, latHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.OffloadNetBytes != base.OffloadNetBytes || !healthy.Offload {
+		t.Errorf("healthy tail changed the decision: %+v vs %+v", healthy, base)
+	}
+
+	congested, err := DecideTail(pat, p, lay, 0.9, 4*sim.Millisecond, latHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congested.OffloadNetBytes <= base.OffloadNetBytes {
+		t.Errorf("congested tail did not inflate fetch term: %d vs %d",
+			congested.OffloadNetBytes, base.OffloadNetBytes)
+	}
+	if congested.Offload {
+		t.Errorf("congested tail still offloads: %+v", congested)
+	}
+	if !strings.Contains(congested.Reason, "p99") {
+		t.Errorf("Reason = %q", congested.Reason)
+	}
+
+	// The inflation is capped at 4x: an absurd tail prices the same as 4x.
+	capped, err := DecideTail(pat, p, lay, 0.9, sim.Second, latHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at4x, err := DecideTail(pat, p, lay, 0.9, 4*latHigh, latHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.OffloadNetBytes != at4x.OffloadNetBytes {
+		t.Errorf("cap not applied: %d vs %d", capped.OffloadNetBytes, at4x.OffloadNetBytes)
+	}
+
+	// Locally-resolvable layouts never pay fetches, so the tail is moot.
+	local := features.Pattern{Name: "independent", Offsets: nil}
+	ld, err := DecideTail(local, p, lay, 0, sim.Second, latHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ld.Offload {
+		t.Errorf("tail rejected a fetch-free pattern: %+v", ld)
 	}
 }

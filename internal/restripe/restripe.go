@@ -201,6 +201,11 @@ type Migrator struct {
 	timer    *sim.Timer
 	started  bool
 	batching bool
+
+	// watcher and admission are the p99 controller's hooks: lifecycle
+	// notifications out, admission verdicts in.
+	watcher   Watcher
+	admission func(file string) bool
 }
 
 // NewMigrator builds the subsystem over a deployed file system. stats is
@@ -237,6 +242,25 @@ func (m *Migrator) Counters() *metrics.Restripe { return m.stats }
 // the halo-strip cache keeps seeing all strip mutations when both
 // subsystems are enabled.
 func (m *Migrator) SetInner(inv pfs.StripInvalidator) { m.inner = inv }
+
+// Watcher observes migration lifecycle transitions. The unified p99
+// controller implements it to start its post-restripe cool-down: every
+// plan, strip flip, and completion restarts the quiet period during which
+// replica tuning holds and no new migration is admitted.
+type Watcher interface {
+	MigrationPlanned(file string)
+	StripFlipped(file string, strip int64)
+	MigrationCompleted(file string)
+}
+
+// SetWatcher wires a migration lifecycle listener (nil disables).
+func (m *Migrator) SetWatcher(w Watcher) { m.watcher = w }
+
+// SetAdmission installs a gate consulted before a new migration is
+// admitted (nil removes it). Observe still accumulates evidence while the
+// gate refuses; the file is re-considered on later observations, so a
+// migration deferred by a cool-down happens once the gate opens.
+func (m *Migrator) SetAdmission(gate func(file string) bool) { m.admission = gate }
 
 // Start arms the background tick. Ticks are daemon timers, so an idle
 // system still terminates.
@@ -287,6 +311,9 @@ func (m *Migrator) Observe(file string, pat features.Pattern, p predict.Params, 
 	if target.Name() == meta.Layout.Name() {
 		return
 	}
+	if m.admission != nil && !m.admission(meta.Name) {
+		return // deferred: evidence is kept, a later Observe retries
+	}
 	m.admit(meta, target)
 }
 
@@ -316,6 +343,9 @@ func (m *Migrator) admit(meta *pfs.FileMeta, target layout.GroupedReplicated) {
 	m.order = append(m.order, meta.Name)
 	m.stats.AddPlanned()
 	m.logEvent(meta.Name, "plan")
+	if m.watcher != nil {
+		m.watcher.MigrationPlanned(meta.Name)
+	}
 }
 
 // tick spawns one bounded copier batch when migrations are pending, then
@@ -512,6 +542,9 @@ func (m *Migrator) commit(mig *Migration, mv *move, bytes int64) {
 		m.logEvent(mig.file, "resume")
 	}
 	m.stats.AddStripMoved(bytes)
+	if m.watcher != nil {
+		m.watcher.StripFlipped(mig.file, mv.strip)
+	}
 	for srv := 0; srv < m.fs.Servers(); srv++ {
 		if m.fs.Server(srv).Holds(mig.file, mv.strip) && !layout.Holds(mig.target, mv.strip, srv) {
 			m.fs.Server(srv).Drop(mig.file, mv.strip)
@@ -542,6 +575,9 @@ func (m *Migrator) advance(mig *Migration) {
 		m.observed[mig.file] = 0
 		m.stats.AddCompleted()
 		m.logEvent(mig.file, "complete")
+		if m.watcher != nil {
+			m.watcher.MigrationCompleted(mig.file)
+		}
 	}
 }
 
