@@ -22,4 +22,5 @@ bench-smoke:
 	go run ./cmd/dasbench -quick -restripe -restripe-rounds 2 -json BENCH_restripe_smoke.json
 	go run ./cmd/dasbench -quick -p99 -p99-rounds 7 -json BENCH_p99_smoke.json
 	go run ./cmd/dasbench -scale -smoke -json BENCH_scale_smoke.json
-	go test -race ./internal/control/... ./internal/cache/... ./internal/restripe/...
+	go run ./cmd/dasbench -quick -tenants -smoke -json BENCH_tenants_smoke.json
+	go test -race ./internal/control/... ./internal/cache/... ./internal/restripe/... ./internal/tenants/...

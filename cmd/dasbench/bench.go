@@ -219,6 +219,37 @@ func p99JSON(cfg experiments.Config, rounds int, path string) error {
 	return nil
 }
 
+// tenantsRun runs the multi-tenant skewed-stream experiment (full scale,
+// or the reduced smoke configuration) and optionally writes its report to
+// path (the BENCH_tenants.json artifact).
+func tenantsRun(cfg experiments.Config, smoke bool, path string, csv, chart bool) error {
+	tcfg := experiments.DefaultTenantsConfig()
+	if smoke {
+		tcfg = experiments.SmokeTenantsConfig()
+	}
+	r, report, err := cfg.TenantsExperiment(tcfg)
+	if err != nil {
+		return err
+	}
+	if path != "" {
+		if err := writeJSON(path, report); err != nil {
+			return err
+		}
+	}
+	if csv {
+		fmt.Printf("# %s\n%s\n", r.ID, r.CSV())
+	} else {
+		fmt.Println(r.Table())
+		if chart {
+			fmt.Println(r.Chart(48))
+		}
+	}
+	if path != "" {
+		fmt.Printf("wrote %s (%d variants)\n", path, len(report.Variants))
+	}
+	return nil
+}
+
 func writeJSON(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {

@@ -17,6 +17,9 @@
 //	dasbench -restripe -json BENCH_restripe.json   # same, JSON report
 //	dasbench -p99                       # unified p99 controller experiment
 //	dasbench -p99 -json BENCH_p99.json  # same, JSON report
+//	dasbench -tenants                   # multi-tenant skewed-stream experiment
+//	dasbench -tenants -json BENCH_tenants.json  # same, JSON report
+//	dasbench -tenants -smoke            # reduced stream count for CI
 //	dasbench -cpuprofile cpu.out -exp fig11   # profile a run
 package main
 
@@ -29,6 +32,7 @@ import (
 	"strings"
 
 	"github.com/hpcio/das/internal/cache"
+	"github.com/hpcio/das/internal/cli"
 	"github.com/hpcio/das/internal/control"
 	"github.com/hpcio/das/internal/experiments"
 	"github.com/hpcio/das/internal/restripe"
@@ -44,7 +48,8 @@ func main() {
 	p99Exp := flag.Bool("p99", false, "run the unified p99 controller experiment (shorthand for -exp p99; with -json, writes the p99 report instead of micro-benchmarks)")
 	p99Rounds := flag.Int("p99-rounds", 8, "rounds per variant in the p99 controller experiment")
 	scaleExp := flag.Bool("scale", false, "run the engine-scaling sweep (24-5000 nodes, fast vs classic engine); writes BENCH_scale.json unless -json names another file")
-	smoke := flag.Bool("smoke", false, "with -scale: single bounded 640-node comparison instead of the full sweep")
+	tenantsExp := flag.Bool("tenants", false, "run the multi-tenant skewed-stream experiment (admission control, fairness, adaptive stack); with -json, writes the tenants report")
+	smoke := flag.Bool("smoke", false, "with -scale or -tenants: reduced configuration for CI smoke runs")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
 	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
@@ -53,6 +58,11 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if err := checkExclusive(*exp, *faults, *cacheExp, *restripeExp, *p99Exp, *scaleExp, *tenantsExp, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "dasbench:", err)
+		os.Exit(1)
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -84,6 +94,9 @@ func main() {
 				path = "BENCH_scale.json"
 			}
 			return scaleSweep(path, *smoke)
+		}
+		if *tenantsExp {
+			return tenantsRun(cfg, *smoke, *benchJSONPath, *csv, *chart)
 		}
 		if *benchJSONPath != "" {
 			if *cacheExp {
@@ -132,6 +145,30 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// checkExclusive rejects flag combinations that would otherwise be
+// silently ignored: each report mode owns the whole run, so modes
+// exclude each other and a named -exp, and -smoke only modifies the
+// modes that define a reduced configuration.
+func checkExclusive(exp string, faults, cacheExp, restripeExp, p99Exp, scaleExp, tenantsExp, smoke bool) error {
+	if err := cli.CheckExclusive(
+		[]cli.Flag{
+			{Name: "-faults", Set: faults},
+			{Name: "-cache", Set: cacheExp},
+			{Name: "-restripe", Set: restripeExp},
+			{Name: "-p99", Set: p99Exp},
+			{Name: "-scale", Set: scaleExp},
+			{Name: "-tenants", Set: tenantsExp},
+		},
+		[]cli.Flag{{Name: "-exp", Set: exp != "" && strings.ToLower(exp) != "all"}},
+	); err != nil {
+		return err
+	}
+	if smoke && !scaleExp && !tenantsExp {
+		return fmt.Errorf("-smoke applies only to -scale or -tenants")
+	}
+	return nil
 }
 
 func run(cfg experiments.Config, exp string, cacheRounds, restripeRounds, p99Rounds int, csv, chart bool) error {

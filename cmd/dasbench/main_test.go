@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckExclusive covers the flag-conflict error paths: every report
+// mode owns the whole run, so combining two modes, or a mode with a
+// named -exp, must fail loudly instead of silently ignoring one of them.
+func TestCheckExclusive(t *testing.T) {
+	type args struct {
+		exp                                                   string
+		faults, cacheExp, restripeExp, p99Exp, scale, tenants bool
+		smoke                                                 bool
+	}
+	cases := []struct {
+		name    string
+		a       args
+		wantErr string // empty: combination must be accepted
+	}{
+		{name: "default run", a: args{exp: "all"}},
+		{name: "named experiment", a: args{exp: "fig11"}},
+		{name: "single mode", a: args{exp: "all", tenants: true}},
+		{name: "tenants smoke", a: args{exp: "all", tenants: true, smoke: true}},
+		{name: "scale smoke", a: args{exp: "all", scale: true, smoke: true}},
+		{
+			name:    "two modes",
+			a:       args{exp: "all", cacheExp: true, tenants: true},
+			wantErr: "-tenants cannot be combined with -cache",
+		},
+		{
+			name:    "three modes",
+			a:       args{exp: "all", faults: true, p99Exp: true, scale: true},
+			wantErr: "-p99 or -scale cannot be combined with -faults",
+		},
+		{
+			name:    "mode with named experiment",
+			a:       args{exp: "fig12", tenants: true},
+			wantErr: "-tenants cannot be combined with -exp",
+		},
+		{
+			name:    "stray smoke",
+			a:       args{exp: "all", smoke: true},
+			wantErr: "-smoke applies only to -scale or -tenants",
+		},
+		{
+			name:    "smoke on wrong mode",
+			a:       args{exp: "all", p99Exp: true, smoke: true},
+			wantErr: "-smoke applies only to -scale or -tenants",
+		},
+	}
+	for _, tc := range cases {
+		err := checkExclusive(tc.a.exp, tc.a.faults, tc.a.cacheExp, tc.a.restripeExp,
+			tc.a.p99Exp, tc.a.scale, tc.a.tenants, tc.a.smoke)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: combination accepted, want %q", tc.name, tc.wantErr)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

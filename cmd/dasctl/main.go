@@ -13,6 +13,7 @@
 //	dasctl -servers 4 -cache -cache-policy arc           # halo-strip cache stats
 //	dasctl -servers 4 -restripe                          # online-restripe migration report
 //	dasctl -servers 4 -control                           # unified p99 controller report
+//	dasctl -servers 4 -tenants -streams 64               # multi-tenant fairness report
 package main
 
 import (
@@ -49,9 +50,12 @@ func main() {
 	controlDemo := flag.Bool("control", false,
 		"run a short offloaded workload under the unified p99 latency controller and report its sketches, sample accounting, and tuning actions")
 	controlRounds := flag.Int("control-rounds", 4, "offloaded rounds for -control")
+	tenantsDemo := flag.Bool("tenants", false,
+		"replay a small multi-tenant Zipf workload under admission control and report per-tenant fairness, queue tails, and file heat")
+	streams := flag.Int("streams", 48, "concurrent client streams for -tenants")
 	flag.Parse()
 
-	err := checkExclusive(*op, *faults, *cacheDemo, *restripeDemo, *controlDemo)
+	err := checkExclusive(*op, *faults, *cacheDemo, *restripeDemo, *controlDemo, *tenantsDemo)
 	if err == nil {
 		switch {
 		case *cacheDemo:
@@ -60,6 +64,8 @@ func main() {
 			err = restripeReport(os.Stdout, *servers, *restripeRounds)
 		case *controlDemo:
 			err = controlReport(os.Stdout, *servers, *controlRounds)
+		case *tenantsDemo:
+			err = tenantsReport(os.Stdout, *servers, *streams)
 		default:
 			err = run(*servers, *strips, *groupSize, *halo, *stripSize, *op, *width, *size, *faults)
 		}
@@ -71,12 +77,17 @@ func main() {
 }
 
 // checkExclusive rejects flag combinations that would otherwise be
-// silently ignored: -cache, -restripe, and -control each produce their
-// own report and compose with neither the fetch-plan (-op) nor the
-// fault-coverage (-faults) analyses, nor with each other.
-func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo, controlDemo bool) error {
+// silently ignored: -cache, -restripe, -control, and -tenants each
+// produce their own report and compose with neither the fetch-plan (-op)
+// nor the fault-coverage (-faults) analyses, nor with each other.
+func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo, controlDemo, tenantsDemo bool) error {
 	return cli.CheckExclusive(
-		[]cli.Flag{{Name: "-cache", Set: cacheDemo}, {Name: "-restripe", Set: restripeDemo}, {Name: "-control", Set: controlDemo}},
+		[]cli.Flag{
+			{Name: "-cache", Set: cacheDemo},
+			{Name: "-restripe", Set: restripeDemo},
+			{Name: "-control", Set: controlDemo},
+			{Name: "-tenants", Set: tenantsDemo},
+		},
 		[]cli.Flag{{Name: "-op", Set: op != ""}, {Name: "-faults", Set: faultSpec != ""}},
 	)
 }

@@ -8,43 +8,48 @@ import (
 
 func TestCheckExclusiveRejectsDemoWithOtherReports(t *testing.T) {
 	cases := []struct {
-		op, faults               string
-		cache, restripe, control bool
-		wantErr                  string
+		op, faults                        string
+		cache, restripe, control, tenants bool
+		wantErr                           string
 	}{
-		{"", "", false, false, false, ""},
-		{"flow-routing", "", false, false, false, ""},
-		{"flow-routing", "crash@10ms:s1", false, false, false, ""}, // -op and -faults compose
-		{"", "", true, false, false, ""},
-		{"flow-routing", "", true, false, false, "-op"},
-		{"", "crash@10ms:s1", true, false, false, "-faults"},
-		{"flow-routing", "crash@10ms:s1", true, false, false, "-op or -faults"},
-		{"", "", false, true, false, ""},
-		{"flow-routing", "", false, true, false, "-op"},
-		{"", "crash@10ms:s1", false, true, false, "-faults"},
-		{"flow-routing", "crash@10ms:s1", false, true, false, "-op or -faults"},
-		{"", "", true, true, false, "-cache"},
-		{"flow-routing", "crash@10ms:s1", true, true, false, "-cache"},
-		{"", "", false, false, true, ""},
-		{"flow-routing", "", false, false, true, "-op"},
-		{"", "crash@10ms:s1", false, false, true, "-faults"},
-		{"", "", true, false, true, "-cache"},
-		{"", "", false, true, true, "-restripe"},
+		{"", "", false, false, false, false, ""},
+		{"flow-routing", "", false, false, false, false, ""},
+		{"flow-routing", "crash@10ms:s1", false, false, false, false, ""}, // -op and -faults compose
+		{"", "", true, false, false, false, ""},
+		{"flow-routing", "", true, false, false, false, "-op"},
+		{"", "crash@10ms:s1", true, false, false, false, "-faults"},
+		{"flow-routing", "crash@10ms:s1", true, false, false, false, "-op or -faults"},
+		{"", "", false, true, false, false, ""},
+		{"flow-routing", "", false, true, false, false, "-op"},
+		{"", "crash@10ms:s1", false, true, false, false, "-faults"},
+		{"flow-routing", "crash@10ms:s1", false, true, false, false, "-op or -faults"},
+		{"", "", true, true, false, false, "-cache"},
+		{"flow-routing", "crash@10ms:s1", true, true, false, false, "-cache"},
+		{"", "", false, false, true, false, ""},
+		{"flow-routing", "", false, false, true, false, "-op"},
+		{"", "crash@10ms:s1", false, false, true, false, "-faults"},
+		{"", "", true, false, true, false, "-cache"},
+		{"", "", false, true, true, false, "-restripe"},
+		{"", "", false, false, false, true, ""},
+		{"flow-routing", "", false, false, false, true, "-op"},
+		{"", "crash@10ms:s1", false, false, false, true, "-faults"},
+		{"", "", true, false, false, true, "-cache"},
+		{"", "", false, false, true, true, "-control"},
 	}
 	for _, c := range cases {
-		err := checkExclusive(c.op, c.faults, c.cache, c.restripe, c.control)
+		err := checkExclusive(c.op, c.faults, c.cache, c.restripe, c.control, c.tenants)
 		if c.wantErr == "" {
 			if err != nil {
-				t.Errorf("checkExclusive(%q, %q, %v, %v, %v) = %v, want nil", c.op, c.faults, c.cache, c.restripe, c.control, err)
+				t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v) = %v, want nil", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, err)
 			}
 			continue
 		}
 		if err == nil {
-			t.Errorf("checkExclusive(%q, %q, %v, %v, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.restripe, c.control, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, c.wantErr)
 			continue
 		}
 		if !strings.Contains(err.Error(), c.wantErr) {
-			t.Errorf("checkExclusive(%q, %q, %v, %v, %v) = %q, want mention of %s", c.op, c.faults, c.cache, c.restripe, c.control, err, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v) = %q, want mention of %s", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, err, c.wantErr)
 		}
 	}
 }
@@ -126,6 +131,34 @@ func TestControlReportRunsAndPrintsSketches(t *testing.T) {
 func TestControlReportRejectsBadGeometry(t *testing.T) {
 	var out bytes.Buffer
 	if err := controlReport(&out, 0, 1); err == nil {
+		t.Error("accepted zero servers")
+	}
+}
+
+func TestTenantsReportRunsAndPrintsFairness(t *testing.T) {
+	var out bytes.Buffer
+	if err := tenantsReport(&out, 4, 32); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"multi-tenant demo: 32 streams",
+		"fairness:",
+		"spread",
+		"per-server queue depth",
+		"server  0:",
+		"hottest files",
+		"tfile-",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tenants report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTenantsReportRejectsBadGeometry(t *testing.T) {
+	var out bytes.Buffer
+	if err := tenantsReport(&out, 0, 8); err == nil {
 		t.Error("accepted zero servers")
 	}
 }

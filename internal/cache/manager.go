@@ -247,6 +247,42 @@ func (m *Manager) HitRateEstimate(file string) float64 {
 // signal the online restriper watches to decide a file is worth migrating.
 func (m *Manager) FileMissBytes(file string) int64 { return m.fileMiss[file] }
 
+// FileHeat is one file's aggregate halo-fetch traffic through the cache,
+// the per-file view multi-tenant reports rank files by.
+type FileHeat struct {
+	File      string `json:"file"`
+	HitBytes  int64  `json:"hit_bytes"`
+	MissBytes int64  `json:"miss_bytes"`
+}
+
+// TopFiles returns the n hottest files by total halo traffic (hit+miss
+// bytes), ties broken by file name — deterministic regardless of map
+// iteration order. n <= 0 or n beyond the population returns everything.
+func (m *Manager) TopFiles(n int) []FileHeat {
+	names := make(map[string]bool, len(m.fileHit)+len(m.fileMiss))
+	for f := range m.fileHit {
+		names[f] = true
+	}
+	for f := range m.fileMiss {
+		names[f] = true
+	}
+	out := make([]FileHeat, 0, len(names))
+	for f := range names {
+		out = append(out, FileHeat{File: f, HitBytes: m.fileHit[f], MissBytes: m.fileMiss[f]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].HitBytes+out[i].MissBytes, out[j].HitBytes+out[j].MissBytes
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].File < out[j].File
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
 // Actions returns the replica-tuning log in decision order.
 func (m *Manager) Actions() []Action { return m.actions }
 

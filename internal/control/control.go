@@ -36,6 +36,7 @@ package control
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/hpcio/das/internal/cache"
 	"github.com/hpcio/das/internal/metrics"
@@ -149,6 +150,15 @@ type serverState struct {
 	demotions  int64 // strips unpinned by this controller
 }
 
+// fileState is one file's operation-latency heat: every tenant operation
+// touching the file lands one sample here, so a skewed workload makes hot
+// files visibly hot instead of smearing their latency across per-server
+// aggregates.
+type fileState struct {
+	sketch *metrics.LatencySketch
+	ops    int64
+}
+
 // Controller is the unified p99 latency controller. It is engine-
 // goroutine state driven by daemon timers, like the subsystems it
 // coordinates.
@@ -156,7 +166,8 @@ type Controller struct {
 	eng     *sim.Engine
 	cfg     Config
 	servers []*serverState
-	mgr     *cache.Manager // nil until AttachCache: pure observer mode
+	files   map[string]*fileState // per-file heat, fed by ObserveFileOp
+	mgr     *cache.Manager        // nil until AttachCache: pure observer mode
 
 	// cool-down state: the last restripe lifecycle event seen.
 	restripeSeen   bool
@@ -186,7 +197,7 @@ func New(eng *sim.Engine, nServers int, cfg Config) (*Controller, error) {
 	if nServers <= 0 {
 		return nil, fmt.Errorf("control: server count %d", nServers)
 	}
-	c := &Controller{eng: eng, cfg: cfg}
+	c := &Controller{eng: eng, cfg: cfg, files: make(map[string]*fileState)}
 	for i := 0; i < nServers; i++ {
 		c.servers = append(c.servers, &serverState{
 			win: metrics.NewLatencySketch(),
@@ -257,6 +268,61 @@ func (c *Controller) ObserveRPCLatency(srv int, migration bool, lat sim.Time) {
 	}
 }
 
+// ObserveFileOp records one completed operation's latency against the
+// file it touched — the per-file heat signal. The multi-tenant engine
+// feeds it once per tenant operation; single-file experiments never call
+// it and keep the per-server admission semantics unchanged.
+func (c *Controller) ObserveFileOp(file string, lat sim.Time) {
+	st, ok := c.files[file]
+	if !ok {
+		st = &fileState{sketch: metrics.NewLatencySketch()}
+		c.files[file] = st
+	}
+	st.sketch.Observe(lat)
+	st.ops++
+}
+
+// FileP99 returns a file's operation-latency tail at the configured
+// percentile and its sample count; (0, 0) for a file never observed.
+func (c *Controller) FileP99(file string) (sim.Time, int64) {
+	st, ok := c.files[file]
+	if !ok {
+		return 0, 0
+	}
+	return st.sketch.Quantile(c.cfg.Percentile), st.sketch.Count()
+}
+
+// FileStat is one file's heat snapshot for reports.
+type FileStat struct {
+	File  string   `json:"file"`
+	Ops   int64    `json:"ops"`
+	P50   sim.Time `json:"p50"`
+	P99   sim.Time `json:"p99"`
+	MaxNS sim.Time `json:"max"`
+}
+
+// FileStats returns per-file heat snapshots sorted by file name — a
+// deterministic order regardless of map iteration.
+func (c *Controller) FileStats() []FileStat {
+	names := make([]string, 0, len(c.files))
+	for name := range c.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]FileStat, 0, len(names))
+	for _, name := range names {
+		st := c.files[name]
+		out = append(out, FileStat{
+			File:  name,
+			Ops:   st.ops,
+			P50:   st.sketch.Quantile(50),
+			P99:   st.sketch.Quantile(c.cfg.Percentile),
+			MaxNS: st.sketch.Max(),
+		})
+	}
+	return out
+}
+
 // noteRestripe restarts the cool-down clock.
 func (c *Controller) noteRestripe() {
 	c.restripeSeen = true
@@ -279,12 +345,32 @@ func (c *Controller) InCooldown() bool {
 }
 
 // AllowRestripe is the migrator's admission gate: a new migration starts
-// only when no cool-down is running and some server's cumulative fetch
-// tail actually sits at or above the scale-up threshold. A cold or
-// already-converged cluster keeps its layout; a deferred file is retried
-// on later observations.
-func (c *Controller) AllowRestripe(string) bool {
+// only when no cool-down is running and the latency evidence says the
+// named file is actually worth moving.
+//
+// With per-file heat available (ObserveFileOp has been fed — the
+// multi-tenant path), the verdict is per file: the file itself must have
+// a sample quorum with its operation tail at or above the scale-up
+// threshold. Under real skew this is what stops one hot file's congestion
+// from admitting a migration for every lukewarm file on the same servers
+// — the failure mode of the per-server aggregate.
+//
+// Without per-file observations (the single-file experiments), the gate
+// falls back to the original per-server rule: some server's cumulative
+// fetch tail at or above the threshold. A cold or already-converged
+// cluster keeps its layout; a deferred file is retried on later
+// observations.
+func (c *Controller) AllowRestripe(file string) bool {
 	if c.InCooldown() {
+		c.admitsDenied++
+		return false
+	}
+	if len(c.files) > 0 {
+		st, ok := c.files[file]
+		if ok && st.sketch.Count() >= c.cfg.MinWindowSamples && st.sketch.Quantile(c.cfg.Percentile) >= c.cfg.LatencyHigh {
+			c.admitsAllowed++
+			return true
+		}
 		c.admitsDenied++
 		return false
 	}

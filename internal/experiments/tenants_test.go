@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTenantsExperimentSmoke runs the smoke-sized multi-tenant
+// comparison end to end: all four variants complete, the report is
+// byte-identical across two full replays (asserted inside
+// TenantsExperiment), admission engages, and the adaptive variant's
+// subsystems actually fire.
+func TestTenantsExperimentSmoke(t *testing.T) {
+	c := quick()
+	r, report, err := c.TenantsExperiment(SmokeTenantsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.DeterministicReplay {
+		t.Fatal("replay flag not set")
+	}
+	if len(report.Variants) != 4 {
+		t.Fatalf("got %d variants, want 4", len(report.Variants))
+	}
+	byName := make(map[string]TenantsVariantReport)
+	for _, v := range report.Variants {
+		byName[v.Name] = v
+	}
+	for _, name := range []string{"nas-unbounded", "nas", "das-static", "das-adaptive"} {
+		v, ok := byName[name]
+		if !ok {
+			t.Fatalf("variant %s missing", name)
+		}
+		if v.Ops == 0 || v.Reads == 0 || v.Writes == 0 || v.Offloads == 0 {
+			t.Errorf("%s: some operation kind never ran: %+v", name, v)
+		}
+		if v.ThroughputMBps <= 0 {
+			t.Errorf("%s: no throughput recorded", name)
+		}
+		if v.FairSpreadNanos < 0 || v.FairMaxP99Nanos < v.FairMinP99Nanos {
+			t.Errorf("%s: degenerate fairness %+v", name, v)
+		}
+	}
+	if byName["nas-unbounded"].Sheds != 0 {
+		t.Error("unbounded variant shed operations")
+	}
+	if byName["nas"].Deferrals == 0 {
+		t.Error("bounded NAS never deferred — admission never engaged")
+	}
+	adp := byName["das-adaptive"]
+	if adp.CacheHitBytes == 0 {
+		t.Error("adaptive variant: halo cache never hit")
+	}
+	if adp.Promotions == 0 {
+		t.Error("adaptive variant: controller never promoted")
+	}
+	if len(r.Rows) == 0 || len(r.Notes) == 0 {
+		t.Error("plot result empty")
+	}
+}

@@ -79,6 +79,18 @@ func (s *LatencySketch) Observe(d sim.Time) {
 // Count returns how many samples the sketch holds.
 func (s *LatencySketch) Count() int64 { return s.total }
 
+// ObserveValue records a dimensionless non-negative sample — a queue
+// depth, a byte count. The log-linear buckets are unit-agnostic; only
+// the accessors name nanoseconds.
+func (s *LatencySketch) ObserveValue(v int64) { s.Observe(sim.Time(v)) }
+
+// QuantileValue is Quantile for dimensionless samples recorded with
+// ObserveValue.
+func (s *LatencySketch) QuantileValue(p int) int64 { return int64(s.Quantile(p)) }
+
+// MaxValue is Max for dimensionless samples recorded with ObserveValue.
+func (s *LatencySketch) MaxValue() int64 { return int64(s.Max()) }
+
 // Quantile returns an upper bound for the p-th percentile (p in [0,100])
 // of the observed samples: the upper edge of the bucket containing the
 // rank-⌈total·p/100⌉ sample. An empty sketch reports 0. The rank is

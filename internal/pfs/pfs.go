@@ -84,6 +84,17 @@ type FileSystem struct {
 	readCallFree  []*readCall
 	writeCallFree []*writeCall
 
+	// inflight counts, per server, the client RPCs currently outstanding
+	// against it — queued at its NIC or disk, or in service. It is the
+	// queue-depth signal the multi-tenant admission control sheds on: the
+	// offered load a new request would join. Counters move on the engine
+	// goroutine only (one process runs at a time), so plain ints suffice.
+	inflight []int
+	// queueObs, when set, receives one (server, depth) sample per client
+	// RPC as it is issued, with the depth including the new request —
+	// queue length as seen by arrivals.
+	queueObs func(srv, depth int)
+
 	// readReqFree and readRespFree recycle the read protocol payloads.
 	// Boxing a readReq or readResp value into a message's Payload field
 	// allocates on every RPC — the dominant allocation at scale — so the
@@ -124,13 +135,32 @@ type LatencyObserver interface {
 // SetLatencyObserver wires an RPC-latency listener (nil disables).
 func (fs *FileSystem) SetLatencyObserver(o LatencyObserver) { fs.latObs = o }
 
+// QueueDepth returns the number of client RPCs currently outstanding
+// against server srv — the deterministic saturation signal admission
+// control consults before committing a tenant's operation to a server.
+// The task-based fast-path calls (async.go) are not counted, matching
+// the latency observer's scope.
+func (fs *FileSystem) QueueDepth(srv int) int {
+	if srv < 0 || srv >= len(fs.inflight) {
+		return 0
+	}
+	return fs.inflight[srv]
+}
+
+// SetQueueObserver wires a per-RPC queue-depth listener (nil disables):
+// it fires once per client RPC at issue time with the post-arrival depth,
+// so a sketch over the samples is the queue-length distribution seen by
+// arriving requests.
+func (fs *FileSystem) SetQueueObserver(fn func(srv, depth int)) { fs.queueObs = fn }
+
 // New deploys the file system on a cluster: one data server process per
 // storage node, started immediately.
 func New(clu *cluster.Cluster) *FileSystem {
 	fs := &FileSystem{
-		clu:   clu,
-		meta:  make(map[string]*FileMeta),
-		Retry: DefaultRetryPolicy(),
+		clu:      clu,
+		meta:     make(map[string]*FileMeta),
+		Retry:    DefaultRetryPolicy(),
+		inflight: make([]int, clu.Cfg.StorageNodes),
 	}
 	for s := 0; s < clu.Cfg.StorageNodes; s++ {
 		srv := newServer(fs, s)
@@ -241,6 +271,14 @@ func (fs *FileSystem) call(p *sim.Proc, fromID, srv int, payload any, size int64
 		Class:   fs.clu.ClassBetween(fromID, toID),
 		Payload: payload,
 	}
+	// The request joins srv's queue for its whole lifetime — queued,
+	// in service, or awaiting the response — so the counter is the
+	// offered-load depth admission control and the tenants engine sample.
+	fs.inflight[srv]++
+	if fs.queueObs != nil {
+		fs.queueObs(srv, fs.inflight[srv])
+	}
+	defer func() { fs.inflight[srv]-- }()
 	f := fs.clu.Faults
 	if !f.Active() {
 		return fs.clu.Net.Call(p, msg).Payload, nil

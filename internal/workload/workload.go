@@ -13,14 +13,19 @@ import (
 	"github.com/hpcio/das/internal/grid"
 )
 
-// rng is a splitmix64 generator: tiny, fast, and identical on every
+// RNG is a splitmix64 generator: tiny, fast, and identical on every
 // platform, keeping workloads reproducible without math/rand's global
-// state.
-type rng struct{ state uint64 }
+// state. It is the package's single deterministic source — the raster
+// generators, the Zipf file-popularity sampler, and the multi-tenant
+// engine's hot-set rotation all draw from it, always with an explicit
+// seed threaded from the caller.
+type RNG struct{ state uint64 }
 
-func newRNG(seed uint64) *rng { return &rng{state: seed} }
+// NewRNG returns a generator seeded with the given state.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
-func (r *rng) next() uint64 {
+// Next returns the next 64 uniform bits.
+func (r *RNG) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -28,8 +33,18 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// float returns a uniform value in [0, 1).
-func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+// Intn returns a uniform value in [0, n); n must be positive. The modulo
+// bias over a 64-bit draw is negligible for the small ranges (file
+// counts, strip counts) the workloads use.
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Intn on non-positive n")
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Float returns a uniform value in [0, 1).
+func (r *RNG) Float() float64 { return float64(r.Next()>>11) / float64(1<<53) }
 
 // Terrain produces a w×h digital elevation model: several octaves of
 // value noise (bilinear interpolation of random lattices) over a gentle
@@ -68,10 +83,10 @@ type lattice struct {
 }
 
 func newLattice(w, h int, seed uint64) *lattice {
-	r := newRNG(seed)
+	r := NewRNG(seed)
 	l := &lattice{w: w, h: h, v: make([]float64, w*h)}
 	for i := range l.v {
-		l.v[i] = r.float()
+		l.v[i] = r.Float()
 	}
 	return l
 }
@@ -102,12 +117,12 @@ func (l *lattice) sample(x, y float64) float64 {
 // median and Gaussian filters are evaluated on.
 func Image(w, h int, seed uint64, speckleFrac float64) *grid.Grid {
 	g := grid.New(w, h)
-	r := newRNG(seed)
+	r := NewRNG(seed)
 	for row := 0; row < h; row++ {
 		for col := 0; col < w; col++ {
 			v := 128 + 80*math.Sin(float64(col)/23)*math.Cos(float64(row)/17)
-			if r.float() < speckleFrac {
-				if r.float() < 0.5 {
+			if r.Float() < speckleFrac {
+				if r.Float() < 0.5 {
 					v = 0
 				} else {
 					v = 255

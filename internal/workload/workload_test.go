@@ -80,11 +80,11 @@ func TestRamp(t *testing.T) {
 }
 
 func TestRNGUniformity(t *testing.T) {
-	r := newRNG(123)
+	r := NewRNG(123)
 	var sum float64
 	const n = 10000
 	for i := 0; i < n; i++ {
-		v := r.float()
+		v := r.Float()
 		if v < 0 || v >= 1 {
 			t.Fatalf("float out of range: %v", v)
 		}

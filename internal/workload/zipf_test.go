@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestZipfReplayDeterminism draws a long sequence twice from equally
+// seeded samplers and requires the exact rank-frequency histograms (and
+// the sequences themselves) to match — the replay contract the
+// multi-tenant engine builds on.
+func TestZipfReplayDeterminism(t *testing.T) {
+	const n, draws = 97, 20000
+	run := func() ([]int, []int64) {
+		z, err := NewZipf(NewRNG(12345), n, 1.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := make([]int, draws)
+		freq := make([]int64, n)
+		for i := range seq {
+			r := z.Sample()
+			if r < 0 || r >= n {
+				t.Fatalf("sample %d out of range [0,%d)", r, n)
+			}
+			seq[i] = r
+			freq[r]++
+		}
+		return seq, freq
+	}
+	seq1, freq1 := run()
+	seq2, freq2 := run()
+	if !reflect.DeepEqual(freq1, freq2) {
+		t.Fatalf("rank-frequency histograms diverged across replays:\n%v\n%v", freq1, freq2)
+	}
+	if !reflect.DeepEqual(seq1, seq2) {
+		t.Fatal("sampled sequences diverged across replays")
+	}
+	// Sanity: the head rank must dominate the tail rank by roughly n^s.
+	if freq1[0] <= freq1[n-1]*10 {
+		t.Fatalf("rank 0 drawn %d times vs rank %d's %d — not Zipf-shaped", freq1[0], n-1, freq1[n-1])
+	}
+}
+
+// TestZipfSkewMonotonicity checks that raising the skew parameter
+// concentrates more mass on the top rank, both analytically (Weight) and
+// empirically (sampled head share).
+func TestZipfSkewMonotonicity(t *testing.T) {
+	const n, draws = 64, 10000
+	prevWeight, prevHead := 0.0, int64(-1)
+	for _, s := range []float64{0.5, 0.8, 1.0, 1.2, 1.5} {
+		z, err := NewZipf(NewRNG(7), n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := z.Weight(0); w <= prevWeight {
+			t.Errorf("skew %v: rank-0 weight %v not above previous %v", s, w, prevWeight)
+		} else {
+			prevWeight = w
+		}
+		var head int64
+		for i := 0; i < draws; i++ {
+			if z.Sample() == 0 {
+				head++
+			}
+		}
+		if head <= prevHead {
+			t.Errorf("skew %v: rank-0 drawn %d times, not above previous %d", s, head, prevHead)
+		}
+		prevHead = head
+	}
+}
+
+// TestZipfPinnedSequence is the regression pin: the first draws for a
+// fixed (seed, n, s) are part of the replay contract — any change to the
+// RNG, the CDF construction, or the search invalidates every committed
+// BENCH_tenants artifact and must be deliberate.
+func TestZipfPinnedSequence(t *testing.T) {
+	z, err := NewZipf(NewRNG(42), 16, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, 24)
+	for i := range got {
+		got[i] = z.Sample()
+	}
+	want := []int{5, 0, 0, 1, 0, 9, 0, 7, 1, 3, 0, 2, 2, 2, 4, 0, 0, 2, 0, 4, 13, 0, 3, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pinned Zipf sequence changed:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestZipfRejectsBadInputs covers the constructor's validation.
+func TestZipfRejectsBadInputs(t *testing.T) {
+	if _, err := NewZipf(nil, 4, 1.0); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := NewZipf(NewRNG(1), 0, 1.0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := NewZipf(NewRNG(1), 4, 0); err == nil {
+		t.Error("zero skew accepted")
+	}
+	if _, err := NewZipf(NewRNG(1), 4, -1); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+// TestRNGPinnedStream pins the exported splitmix64 stream itself: the
+// generators and the Zipf sampler both ride on it.
+func TestRNGPinnedStream(t *testing.T) {
+	r := NewRNG(1)
+	want := []uint64{0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+	f := NewRNG(99).Float()
+	if f < 0 || f >= 1 {
+		t.Fatalf("Float() = %v outside [0,1)", f)
+	}
+	if got := NewRNG(3).Intn(10); got < 0 || got >= 10 {
+		t.Fatalf("Intn(10) = %d", got)
+	}
+}
