@@ -23,4 +23,5 @@ bench-smoke:
 	go run ./cmd/dasbench -quick -p99 -p99-rounds 7 -json BENCH_p99_smoke.json
 	go run ./cmd/dasbench -scale -smoke -json BENCH_scale_smoke.json
 	go run ./cmd/dasbench -quick -tenants -smoke -json BENCH_tenants_smoke.json
-	go test -race ./internal/control/... ./internal/cache/... ./internal/restripe/... ./internal/tenants/...
+	go run ./cmd/dasbench -quick -pipeline -smoke -json BENCH_pipeline_smoke.json
+	go test -race ./internal/control/... ./internal/cache/... ./internal/restripe/... ./internal/tenants/... ./internal/pipeline/...

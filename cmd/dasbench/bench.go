@@ -250,6 +250,33 @@ func tenantsRun(cfg experiments.Config, smoke bool, path string, csv, chart bool
 	return nil
 }
 
+// pipelineRun runs the kernel-DAG pushdown experiment (full scale, or
+// the reduced smoke configuration) and optionally writes its report to
+// path (the BENCH_pipeline.json artifact).
+func pipelineRun(cfg experiments.Config, smoke bool, path string, csv, chart bool) error {
+	r, report, err := cfg.PipelineExperiment(smoke)
+	if err != nil {
+		return err
+	}
+	if path != "" {
+		if err := writeJSON(path, report); err != nil {
+			return err
+		}
+	}
+	if csv {
+		fmt.Printf("# %s\n%s\n", r.ID, r.CSV())
+	} else {
+		fmt.Println(r.Table())
+		if chart {
+			fmt.Println(r.Chart(48))
+		}
+	}
+	if path != "" {
+		fmt.Printf("wrote %s (%d variants)\n", path, len(report.Variants))
+	}
+	return nil
+}
+
 func writeJSON(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {

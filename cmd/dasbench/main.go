@@ -20,6 +20,9 @@
 //	dasbench -tenants                   # multi-tenant skewed-stream experiment
 //	dasbench -tenants -json BENCH_tenants.json  # same, JSON report
 //	dasbench -tenants -smoke            # reduced stream count for CI
+//	dasbench -pipeline                  # kernel-DAG pushdown vs per-pass experiment
+//	dasbench -pipeline -json BENCH_pipeline.json  # same, JSON report
+//	dasbench -pipeline -smoke           # reduced dataset for CI
 //	dasbench -cpuprofile cpu.out -exp fig11   # profile a run
 package main
 
@@ -49,7 +52,8 @@ func main() {
 	p99Rounds := flag.Int("p99-rounds", 8, "rounds per variant in the p99 controller experiment")
 	scaleExp := flag.Bool("scale", false, "run the engine-scaling sweep (24-5000 nodes, fast vs classic engine); writes BENCH_scale.json unless -json names another file")
 	tenantsExp := flag.Bool("tenants", false, "run the multi-tenant skewed-stream experiment (admission control, fairness, adaptive stack); with -json, writes the tenants report")
-	smoke := flag.Bool("smoke", false, "with -scale or -tenants: reduced configuration for CI smoke runs")
+	pipelineExp := flag.Bool("pipeline", false, "run the kernel-DAG pushdown experiment (per-pass vs pipelined under NAS and DAS); with -json, writes the pipeline report")
+	smoke := flag.Bool("smoke", false, "with -scale, -tenants, or -pipeline: reduced configuration for CI smoke runs")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart to each table")
 	quick := flag.Bool("quick", false, "reduced sweep (2-4 GB, 8-16 nodes) for smoke testing")
@@ -59,7 +63,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := checkExclusive(*exp, *faults, *cacheExp, *restripeExp, *p99Exp, *scaleExp, *tenantsExp, *smoke); err != nil {
+	if err := checkExclusive(*exp, *faults, *cacheExp, *restripeExp, *p99Exp, *scaleExp, *tenantsExp, *pipelineExp, *smoke); err != nil {
 		fmt.Fprintln(os.Stderr, "dasbench:", err)
 		os.Exit(1)
 	}
@@ -97,6 +101,9 @@ func main() {
 		}
 		if *tenantsExp {
 			return tenantsRun(cfg, *smoke, *benchJSONPath, *csv, *chart)
+		}
+		if *pipelineExp {
+			return pipelineRun(cfg, *smoke, *benchJSONPath, *csv, *chart)
 		}
 		if *benchJSONPath != "" {
 			if *cacheExp {
@@ -151,7 +158,7 @@ func main() {
 // silently ignored: each report mode owns the whole run, so modes
 // exclude each other and a named -exp, and -smoke only modifies the
 // modes that define a reduced configuration.
-func checkExclusive(exp string, faults, cacheExp, restripeExp, p99Exp, scaleExp, tenantsExp, smoke bool) error {
+func checkExclusive(exp string, faults, cacheExp, restripeExp, p99Exp, scaleExp, tenantsExp, pipelineExp, smoke bool) error {
 	if err := cli.CheckExclusive(
 		[]cli.Flag{
 			{Name: "-faults", Set: faults},
@@ -160,13 +167,14 @@ func checkExclusive(exp string, faults, cacheExp, restripeExp, p99Exp, scaleExp,
 			{Name: "-p99", Set: p99Exp},
 			{Name: "-scale", Set: scaleExp},
 			{Name: "-tenants", Set: tenantsExp},
+			{Name: "-pipeline", Set: pipelineExp},
 		},
 		[]cli.Flag{{Name: "-exp", Set: exp != "" && strings.ToLower(exp) != "all"}},
 	); err != nil {
 		return err
 	}
-	if smoke && !scaleExp && !tenantsExp {
-		return fmt.Errorf("-smoke applies only to -scale or -tenants")
+	if smoke && !scaleExp && !tenantsExp && !pipelineExp {
+		return fmt.Errorf("-smoke applies only to -scale, -tenants, or -pipeline")
 	}
 	return nil
 }

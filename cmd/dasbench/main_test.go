@@ -10,9 +10,9 @@ import (
 // named -exp, must fail loudly instead of silently ignoring one of them.
 func TestCheckExclusive(t *testing.T) {
 	type args struct {
-		exp                                                   string
-		faults, cacheExp, restripeExp, p99Exp, scale, tenants bool
-		smoke                                                 bool
+		exp                                                             string
+		faults, cacheExp, restripeExp, p99Exp, scale, tenants, pipeline bool
+		smoke                                                           bool
 	}
 	cases := []struct {
 		name    string
@@ -24,10 +24,21 @@ func TestCheckExclusive(t *testing.T) {
 		{name: "single mode", a: args{exp: "all", tenants: true}},
 		{name: "tenants smoke", a: args{exp: "all", tenants: true, smoke: true}},
 		{name: "scale smoke", a: args{exp: "all", scale: true, smoke: true}},
+		{name: "pipeline smoke", a: args{exp: "all", pipeline: true, smoke: true}},
 		{
 			name:    "two modes",
 			a:       args{exp: "all", cacheExp: true, tenants: true},
 			wantErr: "-tenants cannot be combined with -cache",
+		},
+		{
+			name:    "pipeline with another mode",
+			a:       args{exp: "all", pipeline: true, scale: true},
+			wantErr: "-pipeline cannot be combined with -scale",
+		},
+		{
+			name:    "pipeline with named experiment",
+			a:       args{exp: "fig10", pipeline: true},
+			wantErr: "-pipeline cannot be combined with -exp",
 		},
 		{
 			name:    "three modes",
@@ -42,17 +53,17 @@ func TestCheckExclusive(t *testing.T) {
 		{
 			name:    "stray smoke",
 			a:       args{exp: "all", smoke: true},
-			wantErr: "-smoke applies only to -scale or -tenants",
+			wantErr: "-smoke applies only to -scale, -tenants, or -pipeline",
 		},
 		{
 			name:    "smoke on wrong mode",
 			a:       args{exp: "all", p99Exp: true, smoke: true},
-			wantErr: "-smoke applies only to -scale or -tenants",
+			wantErr: "-smoke applies only to -scale, -tenants, or -pipeline",
 		},
 	}
 	for _, tc := range cases {
 		err := checkExclusive(tc.a.exp, tc.a.faults, tc.a.cacheExp, tc.a.restripeExp,
-			tc.a.p99Exp, tc.a.scale, tc.a.tenants, tc.a.smoke)
+			tc.a.p99Exp, tc.a.scale, tc.a.tenants, tc.a.pipeline, tc.a.smoke)
 		switch {
 		case tc.wantErr == "" && err != nil:
 			t.Errorf("%s: unexpected error %v", tc.name, err)

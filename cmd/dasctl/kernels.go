@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/hpcio/das/internal/features"
+	"github.com/hpcio/das/internal/kernels"
+)
+
+// kernelsReport prints every registered operator — kernels, combiners,
+// and reducers — with the metadata a client needs to author DAG specs:
+// the symbolic dependence offsets (in units of the raster width w), the
+// relative per-element compute weight, and reducer partial lengths.
+func kernelsReport(w io.Writer) error {
+	reg := kernels.Default()
+	combs := kernels.DefaultCombiners()
+	reds := kernels.DefaultReducers()
+
+	infos := reg.List()
+	infos = append(infos, combs.List()...)
+	infos = append(infos, reds.List()...)
+	if len(infos) == 0 {
+		return fmt.Errorf("no operators registered")
+	}
+
+	fmt.Fprintf(w, "registered operators (%d kernels, %d combiners, %d reducers)\n",
+		len(reg.List()), len(combs.List()), len(reds.List()))
+	fmt.Fprintf(w, "dependence offsets are element distances with imgWidth = raster width\n\n")
+	fmt.Fprintf(w, "%-20s %-8s %-11s %-8s %s\n", "name", "kind", "weight", "partial", "dependence offsets / description")
+	for _, info := range infos {
+		detail := info.Description
+		if len(info.Offsets) > 0 {
+			detail = fmt.Sprintf("{%s}  %s", offsetsString(info.Offsets), info.Description)
+		}
+		partial := "-"
+		if info.PartialLen > 0 {
+			partial = fmt.Sprintf("%d", info.PartialLen)
+		}
+		fmt.Fprintf(w, "%-20s %-8s %-11s %-8s %s\n",
+			info.Name, info.Kind, fmt.Sprintf("%.2f f/el", info.Weight), partial, detail)
+	}
+	return nil
+}
+
+// offsetsString renders a dependence pattern compactly: symmetric 3×3
+// windows print all nine offsets on one line in pattern order.
+func offsetsString(offs []features.Offset) string {
+	parts := make([]string, len(offs))
+	for i, o := range offs {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, ", ")
+}

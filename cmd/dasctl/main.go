@@ -14,6 +14,7 @@
 //	dasctl -servers 4 -restripe                          # online-restripe migration report
 //	dasctl -servers 4 -control                           # unified p99 controller report
 //	dasctl -servers 4 -tenants -streams 64               # multi-tenant fairness report
+//	dasctl -kernels                                      # operator registry listing
 package main
 
 import (
@@ -53,11 +54,15 @@ func main() {
 	tenantsDemo := flag.Bool("tenants", false,
 		"replay a small multi-tenant Zipf workload under admission control and report per-tenant fairness, queue tails, and file heat")
 	streams := flag.Int("streams", 48, "concurrent client streams for -tenants")
+	kernelsList := flag.Bool("kernels", false,
+		"list every registered operator (kernels, combiners, reducers) with dependence offsets and per-element weights")
 	flag.Parse()
 
-	err := checkExclusive(*op, *faults, *cacheDemo, *restripeDemo, *controlDemo, *tenantsDemo)
+	err := checkExclusive(*op, *faults, *cacheDemo, *restripeDemo, *controlDemo, *tenantsDemo, *kernelsList)
 	if err == nil {
 		switch {
+		case *kernelsList:
+			err = kernelsReport(os.Stdout)
 		case *cacheDemo:
 			err = cacheReport(os.Stdout, *servers, *cachePolicy, *cacheRounds)
 		case *restripeDemo:
@@ -77,16 +82,17 @@ func main() {
 }
 
 // checkExclusive rejects flag combinations that would otherwise be
-// silently ignored: -cache, -restripe, -control, and -tenants each
-// produce their own report and compose with neither the fetch-plan (-op)
-// nor the fault-coverage (-faults) analyses, nor with each other.
-func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo, controlDemo, tenantsDemo bool) error {
+// silently ignored: -cache, -restripe, -control, -tenants, and -kernels
+// each produce their own report and compose with neither the fetch-plan
+// (-op) nor the fault-coverage (-faults) analyses, nor with each other.
+func checkExclusive(op, faultSpec string, cacheDemo, restripeDemo, controlDemo, tenantsDemo, kernelsList bool) error {
 	return cli.CheckExclusive(
 		[]cli.Flag{
 			{Name: "-cache", Set: cacheDemo},
 			{Name: "-restripe", Set: restripeDemo},
 			{Name: "-control", Set: controlDemo},
 			{Name: "-tenants", Set: tenantsDemo},
+			{Name: "-kernels", Set: kernelsList},
 		},
 		[]cli.Flag{{Name: "-op", Set: op != ""}, {Name: "-faults", Set: faultSpec != ""}},
 	)

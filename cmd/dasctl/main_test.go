@@ -2,54 +2,104 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"github.com/hpcio/das/internal/kernels"
 )
 
 func TestCheckExclusiveRejectsDemoWithOtherReports(t *testing.T) {
 	cases := []struct {
-		op, faults                        string
-		cache, restripe, control, tenants bool
-		wantErr                           string
+		op, faults                                 string
+		cache, restripe, control, tenants, kernels bool
+		wantErr                                    string
 	}{
-		{"", "", false, false, false, false, ""},
-		{"flow-routing", "", false, false, false, false, ""},
-		{"flow-routing", "crash@10ms:s1", false, false, false, false, ""}, // -op and -faults compose
-		{"", "", true, false, false, false, ""},
-		{"flow-routing", "", true, false, false, false, "-op"},
-		{"", "crash@10ms:s1", true, false, false, false, "-faults"},
-		{"flow-routing", "crash@10ms:s1", true, false, false, false, "-op or -faults"},
-		{"", "", false, true, false, false, ""},
-		{"flow-routing", "", false, true, false, false, "-op"},
-		{"", "crash@10ms:s1", false, true, false, false, "-faults"},
-		{"flow-routing", "crash@10ms:s1", false, true, false, false, "-op or -faults"},
-		{"", "", true, true, false, false, "-cache"},
-		{"flow-routing", "crash@10ms:s1", true, true, false, false, "-cache"},
-		{"", "", false, false, true, false, ""},
-		{"flow-routing", "", false, false, true, false, "-op"},
-		{"", "crash@10ms:s1", false, false, true, false, "-faults"},
-		{"", "", true, false, true, false, "-cache"},
-		{"", "", false, true, true, false, "-restripe"},
-		{"", "", false, false, false, true, ""},
-		{"flow-routing", "", false, false, false, true, "-op"},
-		{"", "crash@10ms:s1", false, false, false, true, "-faults"},
-		{"", "", true, false, false, true, "-cache"},
-		{"", "", false, false, true, true, "-control"},
+		{"", "", false, false, false, false, false, ""},
+		{"flow-routing", "", false, false, false, false, false, ""},
+		{"flow-routing", "crash@10ms:s1", false, false, false, false, false, ""}, // -op and -faults compose
+		{"", "", true, false, false, false, false, ""},
+		{"flow-routing", "", true, false, false, false, false, "-op"},
+		{"", "crash@10ms:s1", true, false, false, false, false, "-faults"},
+		{"flow-routing", "crash@10ms:s1", true, false, false, false, false, "-op or -faults"},
+		{"", "", false, true, false, false, false, ""},
+		{"flow-routing", "", false, true, false, false, false, "-op"},
+		{"", "crash@10ms:s1", false, true, false, false, false, "-faults"},
+		{"flow-routing", "crash@10ms:s1", false, true, false, false, false, "-op or -faults"},
+		{"", "", true, true, false, false, false, "-cache"},
+		{"flow-routing", "crash@10ms:s1", true, true, false, false, false, "-cache"},
+		{"", "", false, false, true, false, false, ""},
+		{"flow-routing", "", false, false, true, false, false, "-op"},
+		{"", "crash@10ms:s1", false, false, true, false, false, "-faults"},
+		{"", "", true, false, true, false, false, "-cache"},
+		{"", "", false, true, true, false, false, "-restripe"},
+		{"", "", false, false, false, true, false, ""},
+		{"flow-routing", "", false, false, false, true, false, "-op"},
+		{"", "crash@10ms:s1", false, false, false, true, false, "-faults"},
+		{"", "", true, false, false, true, false, "-cache"},
+		{"", "", false, false, true, true, false, "-control"},
+		{"", "", false, false, false, false, true, ""},
+		{"flow-routing", "", false, false, false, false, true, "-op"},
+		{"", "crash@10ms:s1", false, false, false, false, true, "-faults"},
+		{"", "", false, false, false, true, true, "-tenants"},
+		{"", "", true, false, false, false, true, "-cache"},
 	}
 	for _, c := range cases {
-		err := checkExclusive(c.op, c.faults, c.cache, c.restripe, c.control, c.tenants)
+		err := checkExclusive(c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, c.kernels)
 		if c.wantErr == "" {
 			if err != nil {
-				t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v) = %v, want nil", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, err)
+				t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v, %v) = %v, want nil", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, c.kernels, err)
 			}
 			continue
 		}
 		if err == nil {
-			t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v, %v) accepted, want error naming %s", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, c.kernels, c.wantErr)
 			continue
 		}
 		if !strings.Contains(err.Error(), c.wantErr) {
-			t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v) = %q, want mention of %s", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, err, c.wantErr)
+			t.Errorf("checkExclusive(%q, %q, %v, %v, %v, %v, %v) = %q, want mention of %s", c.op, c.faults, c.cache, c.restripe, c.control, c.tenants, c.kernels, err, c.wantErr)
+		}
+	}
+}
+
+// TestKernelsReportListsEveryOperator checks the registry listing names
+// every default kernel, combiner, and reducer with its dependence
+// offsets, weight, and (for reducers) partial length.
+func TestKernelsReportListsEveryOperator(t *testing.T) {
+	var out bytes.Buffer
+	if err := kernelsReport(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	reg := kernels.Default()
+	for _, name := range reg.Names() {
+		if !strings.Contains(got, name) {
+			t.Errorf("listing missing kernel %q:\n%s", name, got)
+		}
+	}
+	for _, info := range kernels.DefaultCombiners().List() {
+		if !strings.Contains(got, info.Name) {
+			t.Errorf("listing missing combiner %q:\n%s", info.Name, got)
+		}
+	}
+	for _, info := range kernels.DefaultReducers().List() {
+		if !strings.Contains(got, info.Name) {
+			t.Errorf("listing missing reducer %q:\n%s", info.Name, got)
+		}
+		if info.PartialLen > 0 && !strings.Contains(got, fmt.Sprintf("%d", info.PartialLen)) {
+			t.Errorf("listing missing partial length %d for %q", info.PartialLen, info.Name)
+		}
+	}
+	for _, want := range []string{"kernel", "combine", "reduce", "f/el", "dependence offsets"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("listing missing %q:\n%s", want, got)
+		}
+	}
+	// A 3×3 stencil's reach is one row each way: the symbolic offsets
+	// ±imgWidth±1 must appear for the stencil kernels.
+	for _, want := range []string{"imgWidth+1", "-imgWidth-1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("listing missing symbolic offset %q:\n%s", want, got)
 		}
 	}
 }

@@ -249,8 +249,8 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		return execResp{}, err
 	}
 	for _, run := range assignedRuns(srv, in, req.Strips) {
-		e0 := run.lo / in.ElemSize
-		e1 := run.hi / in.ElemSize
+		e0 := run.Lo / in.ElemSize
+		e1 := run.Hi / in.ElemSize
 		lo, hi := grid.HaloRange(e0, e1, maxAbs, total)
 		band := grid.NewBandPooled(in.Width, total, e0, e1, lo, hi)
 
@@ -292,7 +292,7 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 			}
 			resp.Phases.LocalRead += p.Now() - t0
 			clu.Trace.Record(t0, p.Now()-t0, actor(srv), "local-read",
-				fmt.Sprintf("%d spans for strips %d-%d of %s", len(localSpans), run.first, run.last, req.Input))
+				fmt.Sprintf("%d spans for strips %d-%d of %s", len(localSpans), run.First, run.Last, req.Input))
 			for i, chunk := range chunks {
 				band.FillBytes(localLo[i]/in.ElemSize, chunk)
 				pfs.ReleaseBuffer(chunk)
@@ -349,7 +349,7 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		resp.Phases.Fetch += p.Now() - fetchStart
 		if len(remotes) > 0 {
 			clu.Trace.Record(fetchStart, p.Now()-fetchStart, actor(srv), "fetch",
-				fmt.Sprintf("%d dependent strips for strips %d-%d (%s)", len(remotes), run.first, run.last, req.Mode))
+				fmt.Sprintf("%d dependent strips for strips %d-%d (%s)", len(remotes), run.First, run.Last, req.Mode))
 		}
 
 		// Run the kernel: real computation on real bytes, plus the
@@ -375,12 +375,12 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		outBytes := grid.FloatsToBytesInto(pfs.AcquireBuffer((e1-e0)*in.ElemSize), outVals)
 		grid.PutFloats(outVals)
 		pooledOut = append(pooledOut, outBytes)
-		strips := make([]int64, 0, run.last-run.first+1)
-		chunks := make([][]byte, 0, run.last-run.first+1)
-		for t := run.first; t <= run.last; t++ {
+		strips := make([]int64, 0, run.Last-run.First+1)
+		chunks := make([][]byte, 0, run.Last-run.First+1)
+		for t := run.First; t <= run.Last; t++ {
 			tLo, tHi := out.StripBounds(t)
 			strips = append(strips, t)
-			chunks = append(chunks, outBytes[tLo-run.lo:tHi-run.lo])
+			chunks = append(chunks, outBytes[tLo-run.Lo:tHi-run.Lo])
 		}
 		writeStart := p.Now()
 		if err := srv.LocalWriteMany(p, req.Output, strips, chunks, false); err != nil {
@@ -389,9 +389,9 @@ func (svc *Service) exec(p *sim.Proc, srv *pfs.Server, req execReq) (execResp, e
 		resp.Phases.Write += p.Now() - writeStart
 		clu.Trace.Record(writeStart, p.Now()-writeStart, actor(srv), "write",
 			fmt.Sprintf("%d output strips of %s", len(strips), req.Output))
-		done := sim.NewSignal[error](clu.Eng, fmt.Sprintf("as-forward-%d-%d", srv.Index(), run.first))
+		done := sim.NewSignal[error](clu.Eng, fmt.Sprintf("as-forward-%d-%d", srv.Index(), run.First))
 		forwards = append(forwards, done)
-		p.Spawn(fmt.Sprintf("as-forward-%d-%d", srv.Index(), run.first), func(f *sim.Proc) {
+		p.Spawn(fmt.Sprintf("as-forward-%d-%d", srv.Index(), run.First), func(f *sim.Proc) {
 			done.Fire(srv.ForwardReplicas(f, req.Output, strips, chunks))
 		})
 		resp.Strips += int64(len(strips))
@@ -458,53 +458,52 @@ func (svc *Service) fetchRemote(p *sim.Proc, srv *pfs.Server, in *pfs.FileMeta, 
 // actor names a storage server for trace events.
 func actor(srv *pfs.Server) string { return fmt.Sprintf("server-%d", srv.Index()) }
 
-// stripRun is a maximal run of consecutive strips whose primary is one
-// server, with its byte range [lo, hi).
-type stripRun struct {
-	first, last int64
-	lo, hi      int64
+// StripRun is a maximal run of consecutive strips processed as one band,
+// with its byte range [Lo, Hi). Both the AS exec path and the pipeline
+// pushdown assemble their per-server work this way: one run reads shared
+// halo data once instead of once per strip.
+type StripRun struct {
+	First, Last int64
+	Lo, Hi      int64
+}
+
+// StripRuns splits an explicit ascending strip list into maximal
+// consecutive runs under a file's geometry.
+func StripRuns(m *pfs.FileMeta, strips []int64) []StripRun {
+	var runs []StripRun
+	for _, s := range strips {
+		lo, hi := m.StripBounds(s)
+		if n := len(runs); n > 0 && runs[n-1].Last == s-1 {
+			runs[n-1].Last = s
+			runs[n-1].Hi = hi
+			continue
+		}
+		runs = append(runs, StripRun{First: s, Last: s, Lo: lo, Hi: hi})
+	}
+	return runs
 }
 
 // assignedRuns returns the strip runs this exec request covers: the
 // explicitly assigned strips when the request carries them (degraded
 // dispatch), the server's primary strips otherwise.
-func assignedRuns(srv *pfs.Server, m *pfs.FileMeta, strips []int64) []stripRun {
+func assignedRuns(srv *pfs.Server, m *pfs.FileMeta, strips []int64) []StripRun {
 	if strips == nil {
-		return primaryRuns(srv, m)
+		return PrimaryRuns(srv, m)
 	}
-	var runs []stripRun
-	for _, s := range strips {
-		lo, hi := m.StripBounds(s)
-		if n := len(runs); n > 0 && runs[n-1].last == s-1 {
-			runs[n-1].last = s
-			runs[n-1].hi = hi
-			continue
-		}
-		runs = append(runs, stripRun{first: s, last: s, lo: lo, hi: hi})
-	}
-	return runs
+	return StripRuns(m, strips)
 }
 
-// primaryRuns enumerates the server's primary strips as consecutive runs:
+// PrimaryRuns enumerates the server's primary strips as consecutive runs:
 // single strips under round-robin, whole groups under the improved
-// distribution. Processing per run reads shared halo data once instead of
-// once per strip.
-func primaryRuns(srv *pfs.Server, m *pfs.FileMeta) []stripRun {
-	var runs []stripRun
-	strips := m.Strips()
-	for s := int64(0); s < strips; s++ {
-		if m.Layout.Primary(s) != srv.Index() {
-			continue
+// distribution.
+func PrimaryRuns(srv *pfs.Server, m *pfs.FileMeta) []StripRun {
+	var strips []int64
+	for s := int64(0); s < m.Strips(); s++ {
+		if m.Layout.Primary(s) == srv.Index() {
+			strips = append(strips, s)
 		}
-		lo, hi := m.StripBounds(s)
-		if n := len(runs); n > 0 && runs[n-1].last == s-1 {
-			runs[n-1].last = s
-			runs[n-1].hi = hi
-			continue
-		}
-		runs = append(runs, stripRun{first: s, last: s, lo: lo, hi: hi})
 	}
-	return runs
+	return StripRuns(m, strips)
 }
 
 // Client is the Active Storage Client from Fig. 2, bound to a compute

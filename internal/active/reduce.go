@@ -59,10 +59,10 @@ func (svc *Service) handleReduce(p *sim.Proc, srv *pfs.Server, msg simnet.Messag
 	total := in.Size / in.ElemSize
 	var partials [][]float64
 	var elements int64
-	for _, run := range primaryRuns(srv, in) {
-		e0, e1 := run.lo/in.ElemSize, run.hi/in.ElemSize
-		spans := make([]pfs.Span, 0, run.last-run.first+1)
-		for t := run.first; t <= run.last; t++ {
+	for _, run := range PrimaryRuns(srv, in) {
+		e0, e1 := run.Lo/in.ElemSize, run.Hi/in.ElemSize
+		spans := make([]pfs.Span, 0, run.Last-run.First+1)
+		for t := run.First; t <= run.Last; t++ {
 			spans = append(spans, pfs.Span{Strip: t})
 		}
 		chunks, err := srv.LocalReadMany(p, req.Input, spans)

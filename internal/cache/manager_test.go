@@ -382,3 +382,28 @@ func TestManagerExternalTuningHandsOverTrigger(t *testing.T) {
 		t.Errorf("actions = %v, want externally driven promote then demote", acts)
 	}
 }
+
+func TestManagerBandHeatRanksFiles(t *testing.T) {
+	eng := sim.NewEngine()
+	m, err := NewManager(eng, 1, testConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	m.RecordFetch(0, "cold", 1, 0, buf, sim.Microsecond)
+	m.AddBandHeat("piped", 500)
+	m.AddBandHeat("piped", 250)
+	m.AddBandHeat("piped", 0)  // no-op
+	m.AddBandHeat("piped", -8) // no-op
+	if got := m.FileBandBytes("piped"); got != 750 {
+		t.Errorf("FileBandBytes = %d, want 750", got)
+	}
+	// Band heat ranks files but never biases the predictor's hit fraction.
+	if m.HitRateEstimate("piped") != 0 {
+		t.Error("band heat leaked into the hit-rate estimate")
+	}
+	top := m.TopFiles(0)
+	if len(top) != 2 || top[0].File != "piped" || top[0].BandBytes != 750 || top[1].File != "cold" {
+		t.Errorf("TopFiles = %+v, want piped (750 band bytes) ahead of cold", top)
+	}
+}

@@ -126,6 +126,10 @@ type Cluster struct {
 	// RestripeStats aggregates online-migration activity once
 	// core.EnableRestripe wires the migrator; it stays all-zero otherwise.
 	RestripeStats *metrics.Restripe
+	// PipelineStats aggregates operator-DAG pushdown activity (stage
+	// rounds, halo exchanges, lower-bound accounting); it stays all-zero
+	// until a pipeline runs.
+	PipelineStats *metrics.Pipeline
 	// Trace, when non-nil, receives annotated events from the DAS layers
 	// (scheme workers, AS helpers); see the trace package and cmd/dastrace.
 	Trace *trace.Recorder
@@ -154,6 +158,7 @@ func New(cfg Config) (*Cluster, error) {
 		FaultLog:      faultLog,
 		CacheStats:    metrics.NewCache(),
 		RestripeStats: metrics.NewRestripe(),
+		PipelineStats: metrics.NewPipeline(),
 		disks:         make([]*simdisk.Disk, cfg.TotalNodes()),
 	}
 	net.SetFaults(c.Faults)

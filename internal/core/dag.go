@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/hpcio/das/internal/cluster"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/pipeline"
+	"github.com/hpcio/das/internal/predict"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// EnsurePipeline deploys the server-side pipeline service on first use
+// (lazily, so systems that never submit DAGs — scale sweeps, tenant
+// benchmarks — pay nothing for it) and returns it.
+func (s *System) EnsurePipeline() *pipeline.Service {
+	if s.Pipeline == nil {
+		s.Pipeline = pipeline.Deploy(s.FS, s.Registry, s.Combiners, s.Reducers)
+		if s.Cache != nil {
+			s.Pipeline.SetCache(s.Cache)
+		}
+	}
+	return s.Pipeline
+}
+
+// DAGRequest submits an operator DAG for execution.
+type DAGRequest struct {
+	// DAG is the operator graph; its single sink's raster commits to
+	// Output, and a terminal reduce's aggregate returns in the report.
+	DAG kernels.DAG
+	// Input names an existing raster file. Output is created with the
+	// input's geometry and layout (ignored by the per-pass path, which
+	// names intermediates itself — see Report.Output for the actual file).
+	Input, Output string
+	// Scheme selects NAS (unconditional pushdown) or DAS (the prediction
+	// core prices the whole DAG first). TS is rejected: traditional
+	// storage has no DAG executor — use PerPass with per-stage TS.
+	Scheme Scheme
+	// PerPass forces the one-kernel-per-pass reference path: each stage
+	// runs as a normal Execute writing its full intermediate raster back,
+	// then the next stage reads it. Requires a linear chain.
+	PerPass bool
+	// DisablePrediction makes DAS push down unconditionally (ablation).
+	DisablePrediction bool
+}
+
+// DAGReport is the outcome of one DAG execution.
+type DAGReport struct {
+	Scheme Scheme
+	DAG    string
+	// Pipelined is true when the kernel-DAG pushdown ran (no intermediate
+	// writeback); false when the per-pass path served the request.
+	Pipelined bool
+	// Output is the file holding the DAG's grid output: Request.Output
+	// when pipelined, the per-pass naming scheme's final stage otherwise.
+	Output string
+	// Decision is the prediction core's whole-DAG verdict (DAS pushdown
+	// only; advisory for non-chain DAGs, which have no per-pass fallback).
+	Decision *predict.PipelineDecision
+	ExecTime sim.Time
+	// Run carries the pushdown execution's statistics, including the
+	// achieved-vs-lower-bound halo accounting.
+	Run pipeline.RunResult
+	// StageReports carries the per-pass path's per-stage reports.
+	StageReports []Report
+	// ReduceReport carries the per-pass path's terminal reduction.
+	ReduceReport *ReduceReport
+	// Reduce is the terminal reduce aggregate, nil when the DAG has none.
+	Reduce []float64
+	// Degraded notes the pushdown lost strips to faults and fell back to
+	// the per-pass path (which can degrade further to normal I/O).
+	Degraded       bool
+	DegradedReason string
+	Traffic        map[metrics.TrafficClass]int64
+	ServerLoad     cluster.Utilization
+}
+
+// ExecuteDAG runs an operator DAG to completion under the selected
+// scheme. The pushdown path executes the whole DAG on the storage
+// servers, streaming only halo-boundary bands between stages and
+// committing only the final raster; the per-pass path is the classic
+// alternative that writes every intermediate back. Both commit
+// byte-identical grid output.
+func (s *System) ExecuteDAG(req DAGRequest) (DAGReport, error) {
+	m, ok := s.FS.Meta(req.Input)
+	if !ok {
+		return DAGReport{}, fmt.Errorf("core: unknown input %q", req.Input)
+	}
+	if m.Width == 0 || m.ElemSize == 0 {
+		return DAGReport{}, fmt.Errorf("core: input %q lacks raster metadata", req.Input)
+	}
+	if err := req.DAG.Validate(s.Registry, s.Combiners, s.Reducers); err != nil {
+		return DAGReport{}, err
+	}
+	if req.Scheme != NAS && req.Scheme != DAS {
+		return DAGReport{}, fmt.Errorf("core: scheme %v has no DAG executor (use PerPass per-stage schemes)", req.Scheme)
+	}
+	before := s.Clu.Traffic.Snapshot()
+	loadBefore := s.Clu.UtilizationSnapshot()
+	rep := DAGReport{Scheme: req.Scheme, DAG: req.DAG.Name}
+	var err error
+	if req.PerPass {
+		err = s.runDAGPerPass(&rep, req)
+	} else {
+		err = s.runDAGPushdown(&rep, req, m)
+	}
+	if err != nil {
+		return DAGReport{}, err
+	}
+	after := s.Clu.Traffic.Snapshot()
+	rep.Traffic = make(map[metrics.TrafficClass]int64, len(after))
+	for c, b := range after {
+		rep.Traffic[c] = b - before[c]
+	}
+	rep.ServerLoad = s.Clu.UtilizationSnapshot().Sub(loadBefore)
+	return rep, nil
+}
+
+// runDAGPushdown executes the DAG on the storage servers. DAS prices the
+// whole DAG first — fetch + exchange + final writeback against both the
+// per-pass offload and traditional storage — unless the cluster is
+// degraded, where the catch-up machinery (not the healthy-cluster cost
+// model) is the relevant authority. A pushdown that fails because strips
+// lost their last live copy falls back to the per-pass path for chains.
+func (s *System) runDAGPushdown(rep *DAGReport, req DAGRequest, in *pfs.FileMeta) error {
+	if req.Scheme == DAS && !s.Clu.AnyStorageDown() {
+		pl, err := pipeline.Compile(req.DAG, s.Registry, s.Combiners, s.Reducers,
+			in.Width, pipeline.LocalHaloOf(in.Layout, in.Locator()))
+		if err != nil {
+			return err
+		}
+		var hitFrac float64
+		var p99, latHigh sim.Time
+		if s.Cache != nil {
+			hitFrac = s.Cache.HitRateEstimate(req.Input)
+		}
+		if s.Control != nil && s.Cache != nil {
+			p99, latHigh = s.Control.ClusterP99(), s.Control.Config().LatencyHigh
+		}
+		decision, err := predict.DecidePipeline(pl.Spec(), predictParams(in), in.Layout, hitFrac, p99, latHigh)
+		if err != nil {
+			return err
+		}
+		rep.Decision = &decision
+		if !decision.Offload && !req.DisablePrediction {
+			if _, _, chain := chainOps(req.DAG); chain {
+				// Rejected: the per-pass path serves the request, each
+				// stage running its own accept/reject workflow.
+				return s.runDAGPerPass(rep, req)
+			}
+			// A branching DAG has no per-pass executor; the decision
+			// stays advisory and the pushdown runs regardless.
+		}
+	}
+	if _, err := s.FS.Create(req.Output, in.Size, outputLayout(in), pfs.CreateOptions{
+		StripSize: in.StripSize, Width: in.Width, Height: in.Height, ElemSize: in.ElemSize,
+	}); err != nil {
+		return err
+	}
+	s.EnsurePipeline()
+	attemptStart := s.Clu.Eng.Now()
+	execTime, err := s.run("dag-"+req.DAG.Name, func(p *sim.Proc) error {
+		s.startup(p)
+		res, err := pipeline.NewClient(s.FS, s.Clu.ComputeID(0), s.Registry, s.Combiners, s.Reducers).
+			Run(p, req.DAG, req.Input, req.Output)
+		rep.Run = res
+		return err
+	})
+	if err != nil {
+		wasted := s.Clu.Eng.Now() - attemptStart
+		if _, _, chain := chainOps(req.DAG); chain && errors.Is(err, pfs.ErrNoLiveCopy) {
+			// Strips lost their last live copy mid-pushdown: scrap the
+			// partial output and serve per-pass, whose stages degrade
+			// further to normal I/O as needed.
+			s.FS.Delete(req.Output)
+			rep.Run = pipeline.RunResult{}
+			rep.Degraded = true
+			rep.DegradedReason = err.Error()
+			if perr := s.runDAGPerPass(rep, req); perr != nil {
+				return perr
+			}
+			rep.ExecTime += wasted
+			return nil
+		}
+		return err
+	}
+	rep.Pipelined = true
+	rep.Output = req.Output
+	rep.Reduce = rep.Run.Reduce
+	rep.ExecTime = execTime
+	return nil
+}
+
+// runDAGPerPass executes a chain DAG one kernel per pass: every stage is
+// a normal Execute materializing its full intermediate raster, plus a
+// terminal Reduce scan when the chain ends in one. This is the reference
+// the pushdown is priced — and byte-compared — against.
+func (s *System) runDAGPerPass(rep *DAGReport, req DAGRequest) error {
+	ops, reduceOp, ok := chainOps(req.DAG)
+	if !ok {
+		return fmt.Errorf("core: per-pass execution requires a linear chain, dag %q branches", req.DAG.Name)
+	}
+	reports, err := s.ExecutePipeline(req.Scheme, req.Input, ops)
+	rep.StageReports = reports
+	if err != nil {
+		return err
+	}
+	rep.Pipelined = false
+	rep.Output = PipelineOutput(req.Input, ops)
+	for _, r := range reports {
+		rep.ExecTime += r.ExecTime
+	}
+	if reduceOp != "" {
+		rrep, err := s.Reduce(ReduceRequest{Op: reduceOp, Input: rep.Output, Scheme: req.Scheme})
+		if err != nil {
+			return err
+		}
+		rep.ReduceReport = &rrep
+		rep.Reduce = rrep.Result
+		rep.ExecTime += rrep.ExecTime
+	}
+	return nil
+}
+
+// chainOps extracts the kernel sequence (and optional terminal reduce)
+// from a DAG when it is a linear chain; ok=false when it branches.
+func chainOps(d kernels.DAG) (ops []string, reduce string, ok bool) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, "", false
+	}
+	prev := ""
+	for i, oi := range order {
+		n := d.Nodes[oi]
+		switch n.Kind {
+		case kernels.KindKernel:
+			if reduce != "" {
+				return nil, "", false
+			}
+			if i == 0 {
+				if len(n.Parents) != 0 {
+					return nil, "", false
+				}
+			} else if len(n.Parents) != 1 || n.Parents[0] != prev {
+				return nil, "", false
+			}
+			ops = append(ops, n.Op)
+		case kernels.KindReduce:
+			if i != len(order)-1 || len(n.Parents) != 1 || n.Parents[0] != prev {
+				return nil, "", false
+			}
+			reduce = n.Op
+		default:
+			return nil, "", false
+		}
+		prev = n.ID
+	}
+	if len(ops) == 0 {
+		return nil, "", false
+	}
+	return ops, reduce, true
+}

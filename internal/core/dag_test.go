@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/workload"
+)
+
+func dagChain3() kernels.DAG {
+	return kernels.Chain("terrain3", []string{"gaussian-filter", "flow-routing", "flow-accumulation"}, "")
+}
+
+func TestExecuteDAGPushdownMatchesPerPassBitwise(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	d := dagChain3()
+	want, err := kernels.ApplyDAG(d, kernels.Default(), kernels.DefaultCombiners(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{NAS, DAS} {
+		for _, perPass := range []bool{false, true} {
+			s := newSystem(t, scheme, g)
+			rep, err := s.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out",
+				Scheme: scheme, PerPass: perPass, DisablePrediction: true})
+			if err != nil {
+				t.Fatalf("%v perPass=%v: %v", scheme, perPass, err)
+			}
+			if rep.Pipelined == perPass {
+				t.Errorf("%v perPass=%v: Pipelined=%v", scheme, perPass, rep.Pipelined)
+			}
+			got, err := s.FetchGrid(rep.Output)
+			if err != nil {
+				t.Fatalf("%v perPass=%v: %v", scheme, perPass, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%v perPass=%v: output differs from sequential DAG reference", scheme, perPass)
+			}
+			s.Close()
+		}
+	}
+}
+
+func TestExecuteDAGPushdownMovesFewerBytes(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	d := dagChain3()
+	total := func(m map[metrics.TrafficClass]int64) int64 {
+		var sum int64
+		for _, b := range m {
+			sum += b
+		}
+		return sum
+	}
+	s1 := newSystem(t, DAS, g)
+	per, err := s1.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out", Scheme: DAS, PerPass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2 := newSystem(t, DAS, g)
+	piped, err := s2.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out", Scheme: DAS, DisablePrediction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if !piped.Pipelined {
+		t.Fatal("pushdown did not run pipelined")
+	}
+	pb, ppb := total(piped.Traffic), total(per.Traffic)
+	if pb >= ppb {
+		t.Errorf("pipelined moved %d bytes, per-pass %d — pushdown should move strictly fewer", pb, ppb)
+	}
+	if piped.Run.LowerBoundBytes <= 0 {
+		t.Errorf("no lower bound reported: %+v", piped.Run)
+	}
+	// Under the DAS grouped-replicated layout the achieved halo traffic
+	// may legitimately undercut the bound: the bound prices an
+	// unreplicated placement, while replica-prepaid halos were paid at
+	// ingest. The ratio just has to be reported.
+	if piped.Run.LowerBoundRatio() <= 0 {
+		t.Errorf("no lower-bound ratio: %+v", piped.Run)
+	}
+}
+
+func TestExecuteDAGReduceAgreesAcrossPaths(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	d := kernels.Chain("terrain-stats", []string{"gaussian-filter", "flow-routing"}, "stats")
+	want, err := kernels.ApplyDAG(d, kernels.Default(), kernels.DefaultCombiners(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRed := kernels.ReduceStriped(kernels.Stats{}, want, testStrip/grid.ElemSize)
+
+	s := newSystem(t, DAS, g)
+	piped, err := s.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out", Scheme: DAS, DisablePrediction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// The pipelined reduce is the canonical ascending-strip merge:
+	// exactly ReduceStriped on the reference grid.
+	if len(piped.Reduce) != len(wantRed) {
+		t.Fatalf("pipelined reduce len %d, want %d", len(piped.Reduce), len(wantRed))
+	}
+	for i := range wantRed {
+		if piped.Reduce[i] != wantRed[i] {
+			t.Errorf("pipelined reduce[%d] = %v, want %v", i, piped.Reduce[i], wantRed[i])
+		}
+	}
+
+	s2 := newSystem(t, DAS, g)
+	per, err := s2.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out", Scheme: DAS, PerPass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if per.ReduceReport == nil || len(per.Reduce) != len(wantRed) {
+		t.Fatalf("per-pass reduce missing: %+v", per.Reduce)
+	}
+	// The per-pass reduction merges per-server partials, not per-strip:
+	// count/min/max agree exactly, the float sums within tolerance.
+	for _, i := range []int{kernels.StatCount, kernels.StatMin, kernels.StatMax} {
+		if per.Reduce[i] != wantRed[i] {
+			t.Errorf("per-pass reduce[%d] = %v, want %v", i, per.Reduce[i], wantRed[i])
+		}
+	}
+	for _, i := range []int{kernels.StatSum, kernels.StatSumSq} {
+		if diff := math.Abs(per.Reduce[i] - wantRed[i]); diff > 1e-9*math.Abs(wantRed[i]) {
+			t.Errorf("per-pass reduce[%d] = %v vs %v", i, per.Reduce[i], wantRed[i])
+		}
+	}
+}
+
+func TestExecuteDAGDecisionGateFallsBackToPerPass(t *testing.T) {
+	// Round-robin grants no local halo, so the whole-DAG exchange is
+	// priced at full cost; with the default small geometry the decision
+	// can go either way, so force the reject by requesting a chain on a
+	// system whose predictor sees TS as cheaper — validated structurally:
+	// when the decision rejects and prediction is enabled, the chain runs
+	// per-pass and the report says so.
+	g := workload.Terrain(testW, testH, 5)
+	s := newSystem(t, DAS, g)
+	defer s.Close()
+	d := dagChain3()
+	rep, err := s.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out", Scheme: DAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decision == nil {
+		t.Fatal("DAS pushdown skipped the whole-DAG decision")
+	}
+	if rep.Decision.Offload != rep.Pipelined {
+		t.Errorf("decision Offload=%v but Pipelined=%v", rep.Decision.Offload, rep.Pipelined)
+	}
+	if !rep.Pipelined && len(rep.StageReports) == 0 {
+		t.Error("rejected pushdown did not run per-pass stages")
+	}
+}
+
+func TestExecuteDAGRejectsBadRequests(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	s := newSystem(t, NAS, g)
+	defer s.Close()
+	d := dagChain3()
+	if _, err := s.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out", Scheme: TS}); err == nil || !strings.Contains(err.Error(), "no DAG executor") {
+		t.Errorf("TS scheme error: %v", err)
+	}
+	if _, err := s.ExecuteDAG(DAGRequest{DAG: d, Input: "nope", Output: "out", Scheme: NAS}); err == nil {
+		t.Error("unknown input accepted")
+	}
+	diamond := kernels.DAG{Name: "diamond", Nodes: []kernels.Node{
+		{ID: "a", Kind: kernels.KindKernel, Op: "gaussian-filter"},
+		{ID: "b", Kind: kernels.KindKernel, Op: "surface-slope"},
+		{ID: "c", Kind: kernels.KindCombine, Op: "add", Parents: []string{"a", "b"}},
+	}}
+	if _, err := s.ExecuteDAG(DAGRequest{DAG: diamond, Input: "in", Output: "out2", Scheme: NAS, PerPass: true}); err == nil || !strings.Contains(err.Error(), "linear chain") {
+		t.Errorf("per-pass diamond error: %v", err)
+	}
+	bad := kernels.Chain("bad", []string{"no-such"}, "")
+	if _, err := s.ExecuteDAG(DAGRequest{DAG: bad, Input: "in", Output: "out3", Scheme: NAS}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestExecuteDAGDiamondPushdown(t *testing.T) {
+	g := workload.Terrain(testW, testH, 5)
+	d := kernels.DAG{Name: "diamond", Nodes: []kernels.Node{
+		{ID: "a", Kind: kernels.KindKernel, Op: "gaussian-filter"},
+		{ID: "b", Kind: kernels.KindKernel, Op: "surface-slope"},
+		{ID: "c", Kind: kernels.KindCombine, Op: "add", Parents: []string{"a", "b"}},
+	}}
+	want, err := kernels.ApplyDAG(d, kernels.Default(), kernels.DefaultCombiners(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSystem(t, NAS, g)
+	defer s.Close()
+	rep, err := s.ExecuteDAG(DAGRequest{DAG: d, Input: "in", Output: "out", Scheme: NAS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pipelined {
+		t.Error("diamond did not push down")
+	}
+	got, err := s.FetchGrid("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("diamond pushdown differs from sequential DAG reference")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"github.com/hpcio/das/internal/layout"
 	"github.com/hpcio/das/internal/metrics"
 	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/pipeline"
 	"github.com/hpcio/das/internal/predict"
 	"github.com/hpcio/das/internal/restripe"
 	"github.com/hpcio/das/internal/sim"
@@ -71,12 +72,16 @@ const DefaultMaxOverhead = 0.5
 // System is one deployed platform: cluster, parallel file system, active
 // storage service, kernel and feature registries.
 type System struct {
-	Clu      *cluster.Cluster
-	FS       *pfs.FileSystem
-	AS       *active.Service
-	Registry *kernels.Registry
-	Reducers *kernels.ReducerRegistry
-	Features *features.Registry
+	Clu       *cluster.Cluster
+	FS        *pfs.FileSystem
+	AS        *active.Service
+	Registry  *kernels.Registry
+	Reducers  *kernels.ReducerRegistry
+	Combiners *kernels.CombinerRegistry
+	Features  *features.Registry
+	// Pipeline is the server-side operator-pipeline service, deployed
+	// lazily on the first ExecuteDAG (see EnsurePipeline).
+	Pipeline *pipeline.Service
 	// Cache is the halo-strip cache subsystem, nil until EnableCache.
 	Cache *cache.Manager
 	// Restripe is the online restriping subsystem, nil until
@@ -109,6 +114,9 @@ func (s *System) EnableCache(cfg cache.Config) error {
 		s.FS.SetInvalidator(mgr)
 	}
 	s.AS.SetCache(mgr)
+	if s.Pipeline != nil {
+		s.Pipeline.SetCache(mgr)
+	}
 	mgr.Start()
 	return nil
 }
@@ -189,12 +197,13 @@ func NewSystem(cfg cluster.Config) (*System, error) {
 	reg := kernels.Default()
 	reducers := kernels.DefaultReducers()
 	return &System{
-		Clu:      clu,
-		FS:       fs,
-		AS:       active.Deploy(fs, reg, reducers),
-		Registry: reg,
-		Reducers: reducers,
-		Features: reg.Features(),
+		Clu:       clu,
+		FS:        fs,
+		AS:        active.Deploy(fs, reg, reducers),
+		Registry:  reg,
+		Reducers:  reducers,
+		Combiners: kernels.DefaultCombiners(),
+		Features:  reg.Features(),
 	}, nil
 }
 

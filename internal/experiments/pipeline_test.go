@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPipelineExperimentSmoke runs the smoke-sized pushdown comparison
+// end to end: all four variants complete with bitwise-verified output,
+// the DAS pushdown moves strictly fewer bytes than its per-pass twin
+// (asserted inside PipelineExperiment, checked again here), the fault
+// run recovers, and the report is byte-identical across two replays.
+func TestPipelineExperimentSmoke(t *testing.T) {
+	c := quick()
+	r, report, err := c.PipelineExperiment(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.DeterministicReplay {
+		t.Fatal("replay flag not set")
+	}
+	if len(report.Variants) != 4 {
+		t.Fatalf("got %d variants, want 4", len(report.Variants))
+	}
+	byName := make(map[string]PipelineVariantReport)
+	for _, v := range report.Variants {
+		byName[v.Name] = v
+	}
+	for _, name := range []string{"nas-per-pass", "nas-pipelined", "das-per-pass", "das-pipelined"} {
+		v, ok := byName[name]
+		if !ok {
+			t.Fatalf("variant %s missing", name)
+		}
+		if !v.OutputVerified {
+			t.Errorf("%s: output not verified", name)
+		}
+		if v.TotalBytes <= 0 || v.ElapsedSeconds <= 0 {
+			t.Errorf("%s: degenerate counters %+v", name, v)
+		}
+		if len(v.Reduce) == 0 {
+			t.Errorf("%s: terminal reduce missing", name)
+		}
+	}
+	for _, name := range []string{"nas-pipelined", "das-pipelined"} {
+		v := byName[name]
+		if !v.Pipelined || v.Rounds == 0 || v.Stages == 0 {
+			t.Errorf("%s: pushdown shape missing: %+v", name, v)
+		}
+		if v.AchievedHaloBytes <= 0 || v.LowerBoundBytes <= 0 || v.LowerBoundRatio <= 0 {
+			t.Errorf("%s: lower-bound accounting missing: %+v", name, v)
+		}
+	}
+	if nas := byName["nas-pipelined"]; nas.AchievedHaloBytes < nas.LowerBoundBytes {
+		t.Errorf("round-robin pushdown beat the lower bound: %+v", nas)
+	}
+	if byName["das-pipelined"].TotalBytes >= byName["das-per-pass"].TotalBytes {
+		t.Error("pushdown did not move fewer bytes than per-pass")
+	}
+	f := report.Fault
+	if !f.OutputVerified || f.Redispatches+f.CatchUps == 0 || f.FaultEvents == 0 {
+		t.Errorf("fault run did not exercise recovery: %+v", f)
+	}
+	if len(r.Rows) == 0 || len(r.Notes) == 0 {
+		t.Error("plot result empty")
+	}
+}

@@ -1,0 +1,87 @@
+package features
+
+// Minkowski composition of dependence patterns.
+//
+// When operator B consumes the output of operator A, an element of B's
+// output at position i reads A's output at i+ob for each ob in B's
+// dependence list, and each of those reads in turn touched the original
+// input at i+ob+oa for each oa in A's list (plus the element itself).
+// The chain's dependence on the raw input is therefore the Minkowski sum
+// of the per-stage offset sets, each augmented with the zero offset.
+// Reaches add along a chain; a DAG join (two branches feeding one
+// consumer) unions the branch compositions, so the composed reach is the
+// per-direction maximum over paths. A zero-offset stage (a reduce or an
+// element-wise combine) composes as the identity.
+
+// Compose returns the dependence pattern of a chain of stages run in
+// order: the Minkowski sum of their offset sets, deduplicated, under the
+// given name. The zero offset is always included (every stage reads the
+// element it produces), so composing with a pure reduce pattern is the
+// identity. Offsets appear in deterministic insertion order: stage by
+// stage, earlier partial sums first.
+func Compose(name string, stages ...Pattern) Pattern {
+	cur := []Offset{{}}
+	for _, st := range stages {
+		cur = minkowskiSum(cur, st.Offsets)
+	}
+	return Pattern{Name: name, Offsets: cur}
+}
+
+// minkowskiSum returns {a + b : a ∈ set, b ∈ add ∪ {0}} with duplicates
+// removed, preserving first-seen order. Iteration is over slices only, so
+// the result order is deterministic.
+func minkowskiSum(set, add []Offset) []Offset {
+	withZero := make([]Offset, 0, len(add)+1)
+	withZero = append(withZero, Offset{})
+	for _, o := range add {
+		if !o.IsZero() {
+			withZero = append(withZero, o)
+		}
+	}
+	seen := make(map[Offset]bool, len(set)*len(withZero))
+	out := make([]Offset, 0, len(set)*len(withZero))
+	for _, a := range set {
+		for _, b := range withZero {
+			s := Offset{Coef: a.Coef + b.Coef, Const: a.Const + b.Const}
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// UnionOffsets returns the union of the two patterns' offset sets under
+// the given name, preserving first-seen order — the dependence of a DAG
+// join, whose consumer may read through either branch.
+func UnionOffsets(name string, a, b Pattern) Pattern {
+	seen := make(map[Offset]bool, len(a.Offsets)+len(b.Offsets))
+	out := make([]Offset, 0, len(a.Offsets)+len(b.Offsets))
+	for _, set := range [][]Offset{a.Offsets, b.Offsets} {
+		for _, o := range set {
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	return Pattern{Name: name, Offsets: out}
+}
+
+// Reach returns the backward and forward dependence reach of the pattern
+// in elements for a raster of the given width: back is the magnitude of
+// the most negative resolved offset and fwd the largest positive one.
+// Both are ≥ 0; a pure self-reference pattern has zero reach.
+func (p Pattern) Reach(width int) (back, fwd int64) {
+	for _, o := range p.Offsets {
+		r := o.Resolve(int64(width))
+		if r < 0 && -r > back {
+			back = -r
+		}
+		if r > fwd {
+			fwd = r
+		}
+	}
+	return back, fwd
+}

@@ -1,0 +1,156 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPattern draws a small dependence pattern with offsets in
+// [-rows..rows]·imgWidth + [-cols..cols], zero included implicitly by
+// composition. Drawing from a seeded source keeps the property runs
+// replayable.
+func randPattern(rng *rand.Rand, name string) Pattern {
+	n := 1 + rng.Intn(6)
+	seen := map[Offset]bool{}
+	var offs []Offset
+	for len(offs) < n {
+		o := Offset{
+			Coef:  int64(rng.Intn(5) - 2),
+			Const: int64(rng.Intn(9) - 4),
+		}
+		if o.IsZero() || seen[o] {
+			continue
+		}
+		seen[o] = true
+		offs = append(offs, o)
+	}
+	return Pattern{Name: name, Offsets: offs}
+}
+
+// Property: along a chain, the composed backward and forward reaches are
+// the per-stage sums.
+func TestComposeChainReachSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const width = 64
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(4)
+		var stages []Pattern
+		var wantBack, wantFwd int64
+		for i := 0; i < k; i++ {
+			p := randPattern(rng, "stage")
+			b, f := p.Reach(width)
+			wantBack += b
+			wantFwd += f
+			stages = append(stages, p)
+		}
+		comp := Compose("chain", stages...)
+		if err := comp.Validate(); err != nil {
+			t.Fatalf("trial %d: composed pattern invalid: %v", trial, err)
+		}
+		back, fwd := comp.Reach(width)
+		if back != wantBack || fwd != wantFwd {
+			t.Fatalf("trial %d: chain reach = (%d, %d), want per-stage sums (%d, %d)",
+				trial, back, fwd, wantBack, wantFwd)
+		}
+	}
+}
+
+// Property: a diamond (input → A, input → B, join consumes both through
+// stage C) has per-direction reach max(reach A, reach B) + reach C — the
+// maximum over root-to-sink paths, not the sum over branches.
+func TestComposeDiamondReachPerDirectionMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const width = 64
+	for trial := 0; trial < 200; trial++ {
+		a := randPattern(rng, "a")
+		b := randPattern(rng, "b")
+		c := randPattern(rng, "c")
+		// Each branch composes with the tail independently; the join
+		// unions the two branch compositions.
+		left := Compose("left", a, c)
+		right := Compose("right", b, c)
+		diamond := UnionOffsets("diamond", left, right)
+
+		ab, af := a.Reach(width)
+		bb, bf := b.Reach(width)
+		cb, cf := c.Reach(width)
+		wantBack := max64(ab, bb) + cb
+		wantFwd := max64(af, bf) + cf
+		back, fwd := diamond.Reach(width)
+		if back != wantBack || fwd != wantFwd {
+			t.Fatalf("trial %d: diamond reach = (%d, %d), want per-direction maxima (%d, %d)",
+				trial, back, fwd, wantBack, wantFwd)
+		}
+	}
+}
+
+// Property: a zero-offset stage (a reduce, or an element-wise combine)
+// composes as the identity anywhere in the chain.
+func TestComposeZeroOffsetStageIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const width = 64
+	reduce := Pattern{Name: "stats", Offsets: []Offset{{}}}
+	for trial := 0; trial < 100; trial++ {
+		p := randPattern(rng, "p")
+		q := randPattern(rng, "q")
+		plain := Compose("plain", p, q)
+		withReduce := Compose("with-reduce", p, reduce, q)
+		tailReduce := Compose("tail-reduce", p, q, reduce)
+		pb, pf := plain.Reach(width)
+		for _, c := range []Pattern{withReduce, tailReduce} {
+			b, f := c.Reach(width)
+			if b != pb || f != pf {
+				t.Fatalf("trial %d: %s reach = (%d, %d), want unchanged (%d, %d)",
+					trial, c.Name, b, f, pb, pf)
+			}
+			if len(c.Offsets) != len(plain.Offsets) {
+				t.Fatalf("trial %d: %s has %d offsets, want %d (zero stage must not add any)",
+					trial, c.Name, len(c.Offsets), len(plain.Offsets))
+			}
+		}
+	}
+}
+
+// Composition must keep the invariants Validate enforces: no duplicate
+// offsets, and always at least the zero offset.
+func TestComposeDeduplicatesAndValidates(t *testing.T) {
+	up := Pattern{Name: "up", Offsets: []Offset{{Coef: -1}, {Const: -1}}}
+	down := Pattern{Name: "down", Offsets: []Offset{{Coef: 1}, {Const: 1}}}
+	comp := Compose("both", up, down)
+	if err := comp.Validate(); err != nil {
+		t.Fatalf("composed pattern invalid: %v", err)
+	}
+	// {0,-W,-1} ⊕ {0,+W,+1} = {0,W,1,-W,-W+W=0 dup,-W+1,-1,W-1,0 dup} → 7.
+	if len(comp.Offsets) != 7 {
+		t.Fatalf("composed offsets = %v (len %d), want 7 distinct", comp.Offsets, len(comp.Offsets))
+	}
+	seen := map[Offset]bool{}
+	for _, o := range comp.Offsets {
+		if seen[o] {
+			t.Fatalf("duplicate offset %s in composition", o)
+		}
+		seen[o] = true
+	}
+	if !seen[(Offset{})] {
+		t.Fatal("composition lost the zero offset")
+	}
+}
+
+// Compose with no stages is the pure self-reference pattern.
+func TestComposeEmptyIsSelfReference(t *testing.T) {
+	p := Compose("empty")
+	if len(p.Offsets) != 1 || !p.Offsets[0].IsZero() {
+		t.Fatalf("empty composition = %v, want [0]", p.Offsets)
+	}
+	b, f := p.Reach(8192)
+	if b != 0 || f != 0 {
+		t.Fatalf("empty composition reach = (%d, %d), want (0, 0)", b, f)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

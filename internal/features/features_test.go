@@ -197,8 +197,16 @@ func TestRegistryRoundTripProperty(t *testing.T) {
 		}
 		r := NewRegistry()
 		var offs []Offset
+		seen := map[Offset]bool{}
 		for i := 0; i < n; i++ {
-			offs = append(offs, Offset{Coef: int64(coefs[i]), Const: int64(consts[i])})
+			o := Offset{Coef: int64(coefs[i]), Const: int64(consts[i])}
+			if seen[o] {
+				// Validate rejects duplicate offsets, so a draw that
+				// repeats one is outside the round-trip property's domain.
+				return true
+			}
+			seen[o] = true
+			offs = append(offs, o)
 		}
 		_ = r.Register(Pattern{Name: "op", Offsets: offs})
 		parsed, err := Parse(strings.NewReader(r.Format()))

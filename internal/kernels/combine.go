@@ -1,0 +1,90 @@
+package kernels
+
+// Combiner is an element-wise binary operator joining two rasters of the
+// same shape. Combiners are the join points of operator DAGs: they carry
+// no dependence offsets (each output element reads only the co-located
+// element of each input), so they compose as the identity under Minkowski
+// summation and never add halo traffic.
+type Combiner interface {
+	// Name is the operator name used in DAG specs.
+	Name() string
+	// Description is the human-readable summary.
+	Description() string
+	// Combine merges the co-located elements of the two inputs.
+	Combine(a, b float64) float64
+	// Weight is the relative per-element compute cost.
+	Weight() float64
+}
+
+// Add sums the two branches — the classic accumulation join.
+type Add struct{}
+
+func (Add) Name() string                 { return "add" }
+func (Add) Description() string          { return "Element-wise sum of two rasters." }
+func (Add) Combine(a, b float64) float64 { return a + b }
+func (Add) Weight() float64              { return 0.1 }
+
+// Sub differences the branches, e.g. a before/after change raster.
+type Sub struct{}
+
+func (Sub) Name() string                 { return "sub" }
+func (Sub) Description() string          { return "Element-wise difference of two rasters." }
+func (Sub) Combine(a, b float64) float64 { return a - b }
+func (Sub) Weight() float64              { return 0.1 }
+
+// MaxOf keeps the per-element maximum of the branches.
+type MaxOf struct{}
+
+func (MaxOf) Name() string        { return "max" }
+func (MaxOf) Description() string { return "Element-wise maximum of two rasters." }
+func (MaxOf) Combine(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (MaxOf) Weight() float64 { return 0.1 }
+
+// CombinerRegistry maps combiner names, analogous to Registry.
+type CombinerRegistry struct {
+	byName map[string]Combiner
+	order  []string
+}
+
+// NewCombinerRegistry returns an empty registry.
+func NewCombinerRegistry() *CombinerRegistry {
+	return &CombinerRegistry{byName: make(map[string]Combiner)}
+}
+
+// Register adds a combiner; re-registering a name replaces it.
+func (r *CombinerRegistry) Register(c Combiner) {
+	if c.Name() == "" {
+		panic("kernels: combiner with empty name")
+	}
+	if _, exists := r.byName[c.Name()]; !exists {
+		r.order = append(r.order, c.Name())
+	}
+	r.byName[c.Name()] = c
+}
+
+// Lookup returns the combiner for an operator name.
+func (r *CombinerRegistry) Lookup(name string) (Combiner, bool) {
+	c, ok := r.byName[name]
+	return c, ok
+}
+
+// Names returns registered names in order.
+func (r *CombinerRegistry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// DefaultCombiners returns add, sub, and max.
+func DefaultCombiners() *CombinerRegistry {
+	r := NewCombinerRegistry()
+	r.Register(Add{})
+	r.Register(Sub{})
+	r.Register(MaxOf{})
+	return r
+}

@@ -1,0 +1,218 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/workload"
+)
+
+func testRegistries() (*Registry, *CombinerRegistry, *ReducerRegistry) {
+	return Default(), DefaultCombiners(), DefaultReducers()
+}
+
+func TestChainDAGValidatesAndOrders(t *testing.T) {
+	reg, combs, reds := testRegistries()
+	d := Chain("terrain", []string{"gaussian-filter", "flow-routing", "flow-accumulation"}, "stats")
+	if err := d.Validate(reg, combs, reds); err != nil {
+		t.Fatal(err)
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("chain topo order = %v, want identity", order)
+		}
+	}
+	gridOut, err := d.GridOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridOut != 2 {
+		t.Fatalf("grid output node = %d, want 2 (the reduce's parent)", gridOut)
+	}
+	if rn := d.ReduceNode(); rn != 3 {
+		t.Fatalf("reduce node = %d, want 3", rn)
+	}
+}
+
+func TestDAGValidateRejectsMalformedGraphs(t *testing.T) {
+	reg, combs, reds := testRegistries()
+	cases := []struct {
+		name string
+		d    DAG
+		want string
+	}{
+		{"empty", DAG{Name: "x"}, "no nodes"},
+		{"unknown kernel", Chain("x", []string{"nope"}, ""), "unknown kernel"},
+		{"unknown reducer", Chain("x", []string{"gaussian-filter"}, "nope"), "unknown reducer"},
+		{"cycle", DAG{Name: "x", Nodes: []Node{
+			{ID: "a", Kind: KindKernel, Op: "gaussian-filter", Parents: []string{"b"}},
+			{ID: "b", Kind: KindKernel, Op: "gaussian-filter", Parents: []string{"a"}},
+		}}, "cycle"},
+		{"dup id", DAG{Name: "x", Nodes: []Node{
+			{ID: "a", Kind: KindKernel, Op: "gaussian-filter"},
+			{ID: "a", Kind: KindKernel, Op: "median-filter"},
+		}}, "duplicate node ID"},
+		{"unknown parent", DAG{Name: "x", Nodes: []Node{
+			{ID: "a", Kind: KindKernel, Op: "gaussian-filter", Parents: []string{"ghost"}},
+		}}, "unknown parent"},
+		{"two sinks", DAG{Name: "x", Nodes: []Node{
+			{ID: "a", Kind: KindKernel, Op: "gaussian-filter"},
+			{ID: "b", Kind: KindKernel, Op: "median-filter"},
+		}}, "multiple sinks"},
+		{"combine one parent", DAG{Name: "x", Nodes: []Node{
+			{ID: "a", Kind: KindKernel, Op: "gaussian-filter"},
+			{ID: "c", Kind: KindCombine, Op: "add", Parents: []string{"a", "a"}},
+		}}, "distinct parents"},
+		{"reduce mid-graph", DAG{Name: "x", Nodes: []Node{
+			{ID: "a", Kind: KindKernel, Op: "gaussian-filter"},
+			{ID: "r", Kind: KindReduce, Op: "stats", Parents: []string{"a"}},
+			{ID: "b", Kind: KindKernel, Op: "median-filter", Parents: []string{"r"}},
+		}}, "must be the sink"},
+	}
+	for _, c := range cases {
+		err := c.d.Validate(reg, combs, reds)
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// The composed input pattern of a chain of 3×3 stencils reaches k rows in
+// each direction; the reduce adds nothing.
+func TestDAGInputPatternChain(t *testing.T) {
+	reg, _, _ := testRegistries()
+	const width = 512
+	d := Chain("terrain", []string{"gaussian-filter", "flow-routing", "flow-accumulation"}, "stats")
+	pat, err := d.InputPattern(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, fwd := pat.Reach(width)
+	want := int64(3 * (width + 1)) // three 3×3 stencils, each reaching one row ± one column
+	if back != want || fwd != want {
+		t.Fatalf("chain reach = (%d, %d), want (%d, %d)", back, fwd, want, want)
+	}
+}
+
+// A diamond's composed reach is the per-direction maximum over branches,
+// and the element-wise combine adds none of its own.
+func TestDAGInputPatternDiamond(t *testing.T) {
+	reg, combs, reds := testRegistries()
+	const width = 512
+	d := DAG{Name: "diamond", Nodes: []Node{
+		{ID: "blur", Kind: KindKernel, Op: "gaussian-filter"},
+		{ID: "deep", Kind: KindKernel, Op: "flow-routing", Parents: []string{"blur"}},
+		{ID: "shallow", Kind: KindKernel, Op: "median-filter"},
+		{ID: "join", Kind: KindCombine, Op: "sub", Parents: []string{"deep", "shallow"}},
+	}}
+	if err := d.Validate(reg, combs, reds); err != nil {
+		t.Fatal(err)
+	}
+	pat, err := d.InputPattern(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, fwd := pat.Reach(width)
+	want := int64(2 * (width + 1)) // deep branch: two stencils; shallow: one
+	if back != want || fwd != want {
+		t.Fatalf("diamond reach = (%d, %d), want branch maxima (%d, %d)", back, fwd, want, want)
+	}
+}
+
+// ApplyDAG on a chain equals manually applying each kernel in sequence.
+func TestApplyDAGMatchesSequentialChain(t *testing.T) {
+	reg, combs, _ := testRegistries()
+	g := workload.Terrain(64, 48, 7)
+	d := Chain("terrain", []string{"gaussian-filter", "flow-routing"}, "")
+	got, err := ApplyDAG(d, reg, combs, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := reg.Lookup("gaussian-filter")
+	fr, _ := reg.Lookup("flow-routing")
+	want := Apply(fr, Apply(ga, g))
+	if !got.Equal(want) {
+		t.Fatalf("ApplyDAG diverges from sequential chain: max|Δ| = %g", got.MaxAbsDiff(want))
+	}
+}
+
+// ApplyDAG evaluates combines element-wise over both branches.
+func TestApplyDAGDiamond(t *testing.T) {
+	reg, combs, _ := testRegistries()
+	g := workload.Terrain(64, 32, 9)
+	d := DAG{Name: "diamond", Nodes: []Node{
+		{ID: "a", Kind: KindKernel, Op: "gaussian-filter"},
+		{ID: "b", Kind: KindKernel, Op: "median-filter"},
+		{ID: "j", Kind: KindCombine, Op: "sub", Parents: []string{"a", "b"}},
+	}}
+	got, err := ApplyDAG(d, reg, combs, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := reg.Lookup("gaussian-filter")
+	md, _ := reg.Lookup("median-filter")
+	a, b := Apply(ga, g), Apply(md, g)
+	want := grid.New(g.W, g.H)
+	for i := range want.Data {
+		want.Data[i] = a.Data[i] - b.Data[i]
+	}
+	if !got.Equal(want) {
+		t.Fatalf("diamond ApplyDAG diverges: max|Δ| = %g", got.MaxAbsDiff(want))
+	}
+}
+
+// The canonical striped reduce is a fixed merge tree: folding the same
+// grid with any strip size yields the same counters, and (count, min,
+// max) match the single-pass reference exactly.
+func TestReduceStripedCanonical(t *testing.T) {
+	g := workload.Terrain(128, 64, 3)
+	red := Stats{}
+	whole := ReduceAll(red, g)
+	for _, stripElems := range []int64{64, 128, 1024, g.Len()} {
+		agg := ReduceStriped(red, g, stripElems)
+		if agg[StatCount] != whole[StatCount] || agg[StatMin] != whole[StatMin] || agg[StatMax] != whole[StatMax] {
+			t.Fatalf("stripElems=%d: count/min/max diverge from ReduceAll", stripElems)
+		}
+	}
+	// Bitwise stability across equal strip sizes (the property pipeline
+	// crash-reassignment relies on).
+	a := ReduceStriped(red, g, 128)
+	b := ReduceStriped(red, g, 128)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("striped reduce not reproducible at slot %d", i)
+		}
+	}
+}
+
+func TestRegistryListings(t *testing.T) {
+	reg, combs, reds := testRegistries()
+	ks := reg.List()
+	if len(ks) != len(reg.Names()) {
+		t.Fatalf("kernel list has %d entries, want %d", len(ks), len(reg.Names()))
+	}
+	for _, info := range ks {
+		if info.Kind != "kernel" || info.Name == "" || info.Weight <= 0 || len(info.Offsets) == 0 {
+			t.Fatalf("bad kernel info: %+v", info)
+		}
+	}
+	for _, info := range reds.List() {
+		if info.Kind != "reduce" || info.PartialLen <= 0 {
+			t.Fatalf("bad reducer info: %+v", info)
+		}
+	}
+	for _, info := range combs.List() {
+		if info.Kind != "combine" || len(info.Offsets) != 0 {
+			t.Fatalf("bad combiner info: %+v", info)
+		}
+	}
+}

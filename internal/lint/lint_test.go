@@ -35,6 +35,14 @@ func TestSimclockCoversControllerPackages(t *testing.T) {
 	linttest.Run(t, lint.Simclock, "simclock_controller", lint.ModulePath+"/internal/control")
 }
 
+func TestSimclockCoversPipelinePackage(t *testing.T) {
+	// The server-side operator pipeline replays byte-identically across
+	// runs (the -pipeline experiment asserts it), which depends on every
+	// timestamp coming from the simulated clock. The package may never
+	// join the exemption list.
+	linttest.Run(t, lint.Simclock, "simclock_controller", lint.ModulePath+"/internal/pipeline")
+}
+
 func TestDetrand(t *testing.T) {
 	linttest.Run(t, lint.Detrand, "detrand", lint.ModulePath+"/internal/fakerand")
 }

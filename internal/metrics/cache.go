@@ -148,10 +148,13 @@ func (c *Cache) ByteHitRate() float64 {
 	return float64(c.hitBytes) / float64(c.hitBytes+c.missBytes)
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter. (Overwriting the whole struct would also
+// zero the held mutex and panic on unlock.)
 func (c *Cache) Reset() {
 	c.mu.Lock()
-	*c = Cache{}
+	c.hits, c.misses, c.hitBytes, c.missBytes = 0, 0, 0, 0
+	c.inserts, c.insertBytes, c.evictions, c.evictedBytes = 0, 0, 0, 0
+	c.invalidations, c.restartPurges, c.promotions, c.demotions = 0, 0, 0, 0
 	c.mu.Unlock()
 }
 

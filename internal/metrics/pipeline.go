@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Pipeline counts server-side operator-DAG pushdown activity across a
+// run: per-stage dispatch rounds, stages fused away (no exchange round of
+// their own), intermediate halo-band exchanges between servers, input
+// halo fetched by the fused prefix, final writebacks, crash-triggered
+// catch-up recomputes, and the achieved-vs-lower-bound halo accounting.
+// Like Traffic, the simulator core is single-threaded but collectors may
+// be read from test goroutines, so access is guarded.
+type Pipeline struct {
+	mu            sync.Mutex
+	runs          int64
+	stages        int64
+	fusedStages   int64
+	rounds        int64
+	exchangeOps   int64
+	exchangeBytes int64
+	fetchBytes    int64
+	writebacks    int64
+	reduceMerges  int64
+	catchUps      int64
+	redispatches  int64
+	achievedBytes int64
+	boundBytes    int64
+}
+
+// NewPipeline returns an empty collector.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// AddRun records one completed DAG execution: its stage count, how many
+// stages fused, and the achieved halo bytes against the composed-offset
+// lower bound.
+func (p *Pipeline) AddRun(stages, fused int, achieved, bound int64) {
+	p.mu.Lock()
+	p.runs++
+	p.stages += int64(stages)
+	p.fusedStages += int64(fused)
+	p.achievedBytes += achieved
+	p.boundBytes += bound
+	p.mu.Unlock()
+}
+
+// AddRound records one barrier-stepped dispatch round.
+func (p *Pipeline) AddRound() { p.add(&p.rounds) }
+
+// AddExchange records one intermediate halo-band pull and its bytes.
+func (p *Pipeline) AddExchange(bytes int64) {
+	p.mu.Lock()
+	p.exchangeOps++
+	p.exchangeBytes += bytes
+	p.mu.Unlock()
+}
+
+// AddFetch records input halo bytes the fused prefix fetched remotely.
+func (p *Pipeline) AddFetch(bytes int64) {
+	p.mu.Lock()
+	p.fetchBytes += bytes
+	p.mu.Unlock()
+}
+
+// AddWriteback records one server committing final-output strips.
+func (p *Pipeline) AddWriteback() { p.add(&p.writebacks) }
+
+// AddReduceMerge records a terminal reduce folding its partials.
+func (p *Pipeline) AddReduceMerge() { p.add(&p.reduceMerges) }
+
+// AddCatchUp records a reassigned strip run recomputed from the durable
+// input after a crash lost its in-memory intermediates.
+func (p *Pipeline) AddCatchUp() { p.add(&p.catchUps) }
+
+// AddRedispatch records a dispatch round retried after a crash.
+func (p *Pipeline) AddRedispatch() { p.add(&p.redispatches) }
+
+func (p *Pipeline) add(field *int64) {
+	p.mu.Lock()
+	*field++
+	p.mu.Unlock()
+}
+
+// Runs returns the number of completed DAG executions.
+func (p *Pipeline) Runs() int64 { return p.get(&p.runs) }
+
+// Stages returns the total stages dispatched across runs.
+func (p *Pipeline) Stages() int64 { return p.get(&p.stages) }
+
+// FusedStages returns stages that needed no exchange round of their own.
+func (p *Pipeline) FusedStages() int64 { return p.get(&p.fusedStages) }
+
+// Rounds returns barrier-stepped dispatch rounds.
+func (p *Pipeline) Rounds() int64 { return p.get(&p.rounds) }
+
+// ExchangeOps returns intermediate band pulls.
+func (p *Pipeline) ExchangeOps() int64 { return p.get(&p.exchangeOps) }
+
+// ExchangeBytes returns intermediate band bytes moved server-to-server.
+func (p *Pipeline) ExchangeBytes() int64 { return p.get(&p.exchangeBytes) }
+
+// FetchBytes returns remote input-halo bytes the fused prefix fetched.
+func (p *Pipeline) FetchBytes() int64 { return p.get(&p.fetchBytes) }
+
+// Writebacks returns final-output commit operations.
+func (p *Pipeline) Writebacks() int64 { return p.get(&p.writebacks) }
+
+// ReduceMerges returns terminal reduce folds.
+func (p *Pipeline) ReduceMerges() int64 { return p.get(&p.reduceMerges) }
+
+// CatchUps returns crash-triggered lineage recomputes.
+func (p *Pipeline) CatchUps() int64 { return p.get(&p.catchUps) }
+
+// Redispatches returns dispatch rounds retried after crashes.
+func (p *Pipeline) Redispatches() int64 { return p.get(&p.redispatches) }
+
+// AchievedBytes returns the halo bytes runs actually moved.
+func (p *Pipeline) AchievedBytes() int64 { return p.get(&p.achievedBytes) }
+
+// BoundBytes returns the summed composed-offset lower bounds.
+func (p *Pipeline) BoundBytes() int64 { return p.get(&p.boundBytes) }
+
+func (p *Pipeline) get(field *int64) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return *field
+}
+
+// LowerBoundRatio returns achieved/bound halo bytes, or 0 before any
+// bounded run. Unreplicated placements sit at or above 1; DAS layouts can
+// dip below it because write-time replication prepaid part of the halo.
+func (p *Pipeline) LowerBoundRatio() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.boundBytes == 0 {
+		return 0
+	}
+	return float64(p.achievedBytes) / float64(p.boundBytes)
+}
+
+// Reset zeroes every counter. (Overwriting the whole struct would also
+// zero the held mutex and panic on unlock.)
+func (p *Pipeline) Reset() {
+	p.mu.Lock()
+	p.runs, p.stages, p.fusedStages, p.rounds = 0, 0, 0, 0
+	p.exchangeOps, p.exchangeBytes, p.fetchBytes = 0, 0, 0
+	p.writebacks, p.reduceMerges, p.catchUps, p.redispatches = 0, 0, 0, 0
+	p.achievedBytes, p.boundBytes = 0, 0
+	p.mu.Unlock()
+}
+
+// String renders the non-zero counters.
+func (p *Pipeline) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var parts []string
+	for _, f := range []struct {
+		label string
+		n     int64
+	}{
+		{"runs", p.runs},
+		{"stages", p.stages},
+		{"fused", p.fusedStages},
+		{"rounds", p.rounds},
+		{"exchanges", p.exchangeOps},
+		{"exchange-bytes", p.exchangeBytes},
+		{"fetch-bytes", p.fetchBytes},
+		{"writebacks", p.writebacks},
+		{"reduce-merges", p.reduceMerges},
+		{"catch-ups", p.catchUps},
+		{"redispatches", p.redispatches},
+		{"achieved-bytes", p.achievedBytes},
+		{"bound-bytes", p.boundBytes},
+	} {
+		if f.n != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f.label, f.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no pipeline activity)"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineCountersAndRatio(t *testing.T) {
+	p := NewPipeline()
+	if p.LowerBoundRatio() != 0 {
+		t.Fatalf("empty ratio = %v", p.LowerBoundRatio())
+	}
+	if p.String() != "(no pipeline activity)" {
+		t.Fatalf("empty String = %q", p.String())
+	}
+	p.AddRun(4, 2, 300, 200)
+	p.AddRound()
+	p.AddRound()
+	p.AddExchange(128)
+	p.AddExchange(64)
+	p.AddFetch(32)
+	p.AddWriteback()
+	p.AddReduceMerge()
+	p.AddCatchUp()
+	p.AddRedispatch()
+	if p.Runs() != 1 || p.Stages() != 4 || p.FusedStages() != 2 {
+		t.Fatalf("run counters wrong: %s", p)
+	}
+	if p.Rounds() != 2 || p.ExchangeOps() != 2 || p.ExchangeBytes() != 192 || p.FetchBytes() != 32 {
+		t.Fatalf("traffic counters wrong: %s", p)
+	}
+	if p.Writebacks() != 1 || p.ReduceMerges() != 1 || p.CatchUps() != 1 || p.Redispatches() != 1 {
+		t.Fatalf("event counters wrong: %s", p)
+	}
+	if got := p.LowerBoundRatio(); got != 1.5 {
+		t.Fatalf("ratio = %v, want 1.5", got)
+	}
+	if s := p.String(); !strings.Contains(s, "exchange-bytes=192") || !strings.Contains(s, "bound-bytes=200") {
+		t.Fatalf("String = %q", s)
+	}
+	p.Reset()
+	if p.Runs() != 0 || p.AchievedBytes() != 0 {
+		t.Fatal("Reset left counters")
+	}
+}

@@ -1,0 +1,401 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hpcio/das/internal/active"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/predict"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// maxAttempts bounds redispatch attempts within one round. Catch-up
+// always recomputes from the durable input, so under any single-failure
+// plan the second attempt completes.
+const maxAttempts = 6
+
+// RunResult summarizes one pipeline run: the execution shape the
+// compiled plan chose, the achieved halo traffic against the
+// composed-offset lower bound, and the merged reduce values when the DAG
+// ends in a reduce.
+type RunResult struct {
+	Stages      int
+	FusedStages int
+	Rounds      int
+	Elements    int64
+
+	FetchOps      int64
+	FetchBytes    int64
+	CacheHits     int64
+	CacheHitBytes int64
+	ExchangeOps   int64
+	ExchangeBytes int64
+	CatchUps      int64
+	Redispatches  int64
+	Wrote         int64
+
+	// AchievedHaloBytes is every byte the servers moved to satisfy
+	// dependence windows (input halo fetches plus inter-stage band
+	// pulls); LowerBoundBytes is the minimum the composed DAG offsets
+	// admit for any schedule that never writes intermediates back.
+	AchievedHaloBytes int64
+	LowerBoundBytes   int64
+
+	// Reduce holds the canonical ascending-strip merge of the terminal
+	// reduce, nil when the DAG has none.
+	Reduce []float64
+}
+
+// LowerBoundRatio reports achieved halo bytes over the composed-offset
+// minimum (1.0 = optimal; 0 when the bound is zero).
+func (r RunResult) LowerBoundRatio() float64 {
+	if r.LowerBoundBytes <= 0 {
+		return 0
+	}
+	return float64(r.AchievedHaloBytes) / float64(r.LowerBoundBytes)
+}
+
+// Client coordinates pipeline runs from a compute node: it compiles the
+// DAG, drives the dispatch rounds strip-set by strip-set, reassigns
+// strips with catch-up when a server crash loses in-memory state, and
+// merges the terminal reduce partials in canonical strip order.
+type Client struct {
+	fs     *pfs.FileSystem
+	nodeID int
+	reg    *kernels.Registry
+	combs  *kernels.CombinerRegistry
+	reds   *kernels.ReducerRegistry
+	seq    int
+}
+
+// NewClient builds a pipeline client on the given compute node. Nil
+// combiner or reducer registries install the defaults (they must match
+// the deployed service's registries: both sides compile the same plan).
+func NewClient(fs *pfs.FileSystem, nodeID int, reg *kernels.Registry, combs *kernels.CombinerRegistry, reds *kernels.ReducerRegistry) *Client {
+	if combs == nil {
+		combs = kernels.DefaultCombiners()
+	}
+	if reds == nil {
+		reds = kernels.DefaultReducers()
+	}
+	return &Client{fs: fs, nodeID: nodeID, reg: reg, combs: combs, reds: reds}
+}
+
+// Run executes the DAG over input, committing the grid output into the
+// already-created output file. The output commits byte-identical to a
+// sequential per-stage evaluation of the same DAG — with or without
+// faults — because sub-range kernel evaluation equals slicing a
+// full-raster pass and catch-up recomputes exactly the lost lineage.
+func (c *Client) Run(p *sim.Proc, d kernels.DAG, input, output string) (RunResult, error) {
+	clu := c.fs.Cluster()
+	in, ok := c.fs.Meta(input)
+	if !ok {
+		return RunResult{}, fmt.Errorf("pipeline: unknown input %q", input)
+	}
+	if in.Width == 0 || in.ElemSize == 0 {
+		return RunResult{}, fmt.Errorf("pipeline: input %q lacks raster metadata", input)
+	}
+	out, ok := c.fs.Meta(output)
+	if !ok {
+		return RunResult{}, fmt.Errorf("pipeline: unknown output %q", output)
+	}
+	if out.Size != in.Size || out.StripSize != in.StripSize {
+		return RunResult{}, fmt.Errorf("pipeline: output geometry differs from input")
+	}
+	pl, err := Compile(d, c.reg, c.combs, c.reds, in.Width, LocalHaloOf(in.Layout, in.Locator()))
+	if err != nil {
+		return RunResult{}, err
+	}
+	c.seq++
+	token := fmt.Sprintf("%s#%d@%d", d.Name, c.seq, c.nodeID)
+
+	f := clu.Faults
+	strips := in.Strips()
+	// owner tracks which server's memory holds each strip's retained
+	// state; ownerInc the incarnation it was built under, recorded
+	// PRE-dispatch so a crash right after the response still reads as a
+	// changed incarnation next round.
+	owner := make([]int32, strips)
+	ownerInc := make([]uint64, strips)
+	for s := range owner {
+		owner[s] = -1
+	}
+	ownerLost := func(s int64) bool {
+		if owner[s] < 0 {
+			return true
+		}
+		id := clu.StorageID(int(owner[s]))
+		return f.Down(id) || f.Incarnation(id) != ownerInc[s]
+	}
+
+	var res RunResult
+	partials := make(map[int64][]float64)
+	for round := 0; round < pl.Rounds(); round++ {
+		clu.PipelineStats.AddRound()
+		pending := make([]int64, 0, strips)
+		for s := int64(0); s < strips; s++ {
+			pending = append(pending, s)
+		}
+		catch := make(map[int64]bool)
+		if round > 0 {
+			for s := int64(0); s < strips; s++ {
+				if ownerLost(s) {
+					catch[s] = true
+				}
+			}
+		}
+		for attempt := 0; len(pending) > 0; attempt++ {
+			if attempt >= maxAttempts {
+				return RunResult{}, fmt.Errorf("pipeline: %d strips unprocessed after %d attempts in round %d: %w",
+					len(pending), attempt, round, pfs.ErrTimeout)
+			}
+			if attempt > 0 {
+				clu.PipelineStats.AddRedispatch()
+				clu.Recovery.AddExecRetry()
+				res.Redispatches++
+			}
+			var catchStrips, normal []int64
+			for _, s := range pending {
+				if catch[s] {
+					catchStrips = append(catchStrips, s)
+				} else {
+					normal = append(normal, s)
+				}
+			}
+			// Wave A: catch-up strips recompute their lineage from the
+			// durable input on a freshly chosen live holder. They must
+			// land before wave B, whose band pulls target the new owners.
+			if len(catchStrips) > 0 {
+				failed, err := c.dispatch(p, pl, token, d, input, output, round, true, catchStrips, owner, ownerInc, partials, &res)
+				if err != nil {
+					return RunResult{}, err
+				}
+				if len(failed) > 0 {
+					// Retry everything next attempt: wave B's owner
+					// snapshot would point pulls at strips still in
+					// flight.
+					for _, s := range failed {
+						catch[s] = true
+					}
+					pending = append(failed, normal...)
+					sortStrips(pending)
+					continue
+				}
+			}
+			pending = pending[:0]
+			if len(normal) > 0 {
+				failed, err := c.dispatch(p, pl, token, d, input, output, round, false, normal, owner, ownerInc, partials, &res)
+				if err != nil {
+					return RunResult{}, err
+				}
+				for _, s := range failed {
+					catch[s] = true
+				}
+				pending = append(pending, failed...)
+				sortStrips(pending)
+			}
+		}
+	}
+
+	if pl.Reduce >= 0 {
+		red := pl.Nodes[pl.Reduce].Reducer
+		order := make([]int64, 0, len(partials))
+		for s := range partials {
+			order = append(order, s)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		ordered := make([][]float64, len(order))
+		for i, s := range order {
+			ordered[i] = partials[s]
+		}
+		res.Reduce = red.Merge(ordered)
+		clu.PipelineStats.AddReduceMerge()
+	}
+
+	c.release(p, token)
+
+	spec := pl.Spec()
+	res.Stages = len(pl.Nodes)
+	res.FusedStages = fusedStages(pl)
+	res.Rounds = pl.Rounds()
+	res.AchievedHaloBytes = res.FetchBytes + res.ExchangeBytes
+	bound, err := predict.PipelineLowerBound(predict.Params{
+		ElemSize:     in.ElemSize,
+		StripSize:    in.StripSize,
+		FileSize:     in.Size,
+		Width:        in.Width,
+		OutputFactor: 1,
+	}, in.Layout, spec.DAGBack, spec.DAGFwd)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res.LowerBoundBytes = bound
+	clu.PipelineStats.AddRun(res.Stages, res.FusedStages, res.AchievedHaloBytes, bound)
+	return res, nil
+}
+
+// dispatch sends one wave of stage requests, grouped by assigned server,
+// and folds successful responses into owner tracking, partials, and the
+// run result. It returns the strips whose server failed transiently
+// (crash mid-round, lost state) for reassignment; hard errors abort.
+func (c *Client) dispatch(p *sim.Proc, pl *Plan, token string, d kernels.DAG, input, output string,
+	round int, catchUp bool, strips []int64, owner []int32, ownerInc []uint64,
+	partials map[int64][]float64, res *RunResult) ([]int64, error) {
+	clu := c.fs.Cluster()
+	f := clu.Faults
+	live := func(srv int) bool { return !clu.ServerDown(srv) }
+	out, _ := c.fs.Meta(output)
+
+	assign := make(map[int][]int64)
+	var order []int
+	for _, s := range strips {
+		var srv int
+		if !catchUp && round > 0 {
+			// A normal strip past round 0 must run where its state
+			// lives; the caller already diverted lost owners to
+			// catch-up.
+			srv = int(owner[s])
+		} else if !catchUp && round == 0 && owner[s] >= 0 && live(int(owner[s])) {
+			// A round-0 redispatch keeps strips that already succeeded
+			// on their recorded owner out of this wave entirely; fresh
+			// strips fall through to holder assignment.
+			srv = int(owner[s])
+		} else {
+			holder, ok := layout.FirstLiveHolder(out.Layout, s, live)
+			if !ok {
+				return nil, &active.NoLiveCopyError{File: input, Strip: s}
+			}
+			srv = holder
+		}
+		if _, seen := assign[srv]; !seen {
+			order = append(order, srv)
+		}
+		assign[srv] = append(assign[srv], s)
+	}
+	sort.Ints(order)
+
+	// Owners snapshot for wave-B pulls: current state owners, with this
+	// wave's own strips pointed at their assigned server (a server's
+	// pulls never target strips assigned to the same request, but a
+	// concurrent peer's may).
+	owners := make([]int32, len(owner))
+	copy(owners, owner)
+	for srv, ss := range assign {
+		for _, s := range ss {
+			owners[s] = int32(srv)
+		}
+	}
+
+	type result struct {
+		srv    int
+		inc    uint64
+		strips []int64
+		resp   stageResp
+		ok     bool
+	}
+	sigs := make([]*sim.Signal[result], 0, len(order))
+	for _, srv := range order {
+		srv, ss := srv, assign[srv]
+		done := sim.NewSignal[result](clu.Eng, "pipe-dispatch")
+		sigs = append(sigs, done)
+		p.Spawn("pipe-dispatch", func(dp *sim.Proc) {
+			toID := clu.StorageID(srv)
+			inc := f.Incarnation(toID)
+			msg := simnet.Message{
+				From:  c.nodeID,
+				To:    toID,
+				Port:  Port,
+				Size:  headerBytes + int64(len(ss))*8,
+				Class: clu.ClassBetween(c.nodeID, toID),
+				Payload: stageReq{Token: token, DAG: d, Input: input, Output: output,
+					Round: round, Strips: ss, CatchUp: catchUp, Owners: owners},
+			}
+			r := result{srv: srv, inc: inc, strips: ss}
+			if f.Active() {
+				crashed := func() bool { return f.Down(toID) || f.Incarnation(toID) != inc }
+				resp, delivered := clu.Net.CallCancelable(dp, msg, c.fs.Retry.Quantum, 0, crashed)
+				if delivered {
+					r.resp, r.ok = resp.Payload.(stageResp)
+				}
+			} else {
+				resp := clu.Net.Call(dp, msg)
+				r.resp, r.ok = resp.Payload.(stageResp)
+			}
+			done.Fire(r)
+		})
+	}
+	var failed []int64
+	for _, r := range sim.WaitAll(p, sigs) {
+		if !r.ok || (r.resp.Err != "" && r.resp.Transient) {
+			failed = append(failed, r.strips...)
+			continue
+		}
+		if r.resp.Err != "" {
+			if strings.Contains(r.resp.Err, pfs.ErrNoLiveCopy.Error()) {
+				return nil, &active.NoLiveCopyError{File: input, Strip: -1}
+			}
+			return nil, fmt.Errorf("pipeline: %s", r.resp.Err)
+		}
+		for _, s := range r.strips {
+			owner[s] = int32(r.srv)
+			ownerInc[s] = r.inc
+		}
+		for i, s := range r.resp.PartialStrips {
+			partials[s] = r.resp.Partials[i]
+		}
+		res.Elements += r.resp.Elements
+		res.FetchOps += r.resp.FetchOps
+		res.FetchBytes += r.resp.FetchBytes
+		res.CacheHits += r.resp.CacheHits
+		res.CacheHitBytes += r.resp.CacheHitBytes
+		res.ExchangeOps += r.resp.ExchangeOps
+		res.ExchangeBytes += r.resp.ExchangeBytes
+		res.CatchUps += r.resp.CatchUps
+		res.Wrote += r.resp.Wrote
+	}
+	sortStrips(failed)
+	return failed, nil
+}
+
+// release drops the run's retained state on every live server (one-way;
+// a down server's state died with it, and a restart purges by
+// incarnation anyway).
+func (c *Client) release(p *sim.Proc, token string) {
+	clu := c.fs.Cluster()
+	for s := 0; s < c.fs.Servers(); s++ {
+		toID := clu.StorageID(s)
+		if clu.Faults.Down(toID) {
+			continue
+		}
+		clu.Net.Send(p, simnet.Message{
+			From:    c.nodeID,
+			To:      toID,
+			Port:    Port,
+			Size:    headerBytes,
+			Class:   clu.ClassBetween(c.nodeID, toID),
+			Payload: releaseReq{Token: token},
+		})
+	}
+}
+
+// fusedStages counts the stages a run avoids dispatching separately:
+// the fused prefix beyond its first stage plus every zero-reach stage
+// that folds into its parent's round — mirroring predict.DecidePipeline.
+func fusedStages(pl *Plan) int {
+	fused := pl.Prefix - 1
+	for i := pl.Prefix; i < len(pl.Nodes); i++ {
+		if pl.Nodes[i].Back == 0 && pl.Nodes[i].Fwd == 0 {
+			fused++
+		}
+	}
+	return fused
+}
+
+func sortStrips(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,664 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/hpcio/das/internal/active"
+	"github.com/hpcio/das/internal/cache"
+	"github.com/hpcio/das/internal/grid"
+	"github.com/hpcio/das/internal/kernels"
+	"github.com/hpcio/das/internal/pfs"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// Port is the mailbox pipeline servers listen on.
+const Port = "pipe"
+
+const headerBytes = 128
+
+// stageReq asks one server to compute one dispatch round of a DAG over
+// an explicit ascending strip set. Round 0 evaluates the fused prefix
+// from the durable input; later rounds evaluate one node from parent
+// state, pulling halo-boundary bands from the strips' state owners.
+// CatchUp reruns the whole lineage from the input instead — the recovery
+// path when a crash lost the previous owner's in-memory state.
+type stageReq struct {
+	Token   string
+	DAG     kernels.DAG
+	Input   string
+	Output  string
+	Round   int
+	Strips  []int64
+	CatchUp bool
+	// Owners maps every input strip to the server whose state holds the
+	// previous rounds' values for it (-1 unknown). nil in round 0.
+	Owners []int32
+}
+
+// releaseReq drops a token's state on every server (one-way, best
+// effort: a dead server's state died with it).
+type releaseReq struct{ Token string }
+
+// stageResp reports one server's round statistics.
+type stageResp struct {
+	Err string
+	// Transient marks failures the coordinator can cure by reassigning
+	// the strips with catch-up (lost state, aborted pulls), as opposed
+	// to hard errors.
+	Transient     bool
+	Elements      int64
+	FetchOps      int64
+	FetchBytes    int64
+	CacheHits     int64
+	CacheHitBytes int64
+	ExchangeOps   int64
+	ExchangeBytes int64
+	CatchUps      int64
+	Wrote         int64
+	// PartialStrips/Partials carry the per-strip reduce partials when
+	// the round computed the grid output of a reduced DAG.
+	PartialStrips []int64
+	Partials      [][]float64
+}
+
+// bandSpan is a global element range [Lo, Hi) within one strip.
+type bandSpan struct {
+	Strip  int64
+	Lo, Hi int64
+}
+
+// bandReq pulls stored node state for a set of spans from their owner.
+type bandReq struct {
+	Token string
+	Node  int
+	Spans []bandSpan
+}
+
+// bandResp returns one value slice per requested span. The slices alias
+// the owner's stored state and must not be mutated.
+type bandResp struct {
+	Err       string
+	Transient bool
+	Data      [][]float64
+}
+
+// runState is one server's view of one pipeline run: the compiled plan
+// and the retained per-node per-strip values. inc records the server
+// incarnation the state was built under; a restart wipes it, exactly as
+// a crash wipes real memory.
+type runState struct {
+	plan  *Plan
+	in    *pfs.FileMeta
+	inc   uint64
+	state map[int]map[int64][]float64
+}
+
+// Service runs the pipeline helper on every storage server.
+type Service struct {
+	fs    *pfs.FileSystem
+	reg   *kernels.Registry
+	combs *kernels.CombinerRegistry
+	reds  *kernels.ReducerRegistry
+	cache *cache.Manager
+	// runs is per-server token state; the DES engine serializes handler
+	// execution, so no locking is needed.
+	runs []map[string]*runState
+}
+
+// SetCache attaches the halo-strip cache manager (nil detaches): input
+// halo fetches consult it and intermediate-band pulls feed file heat.
+func (svc *Service) SetCache(m *cache.Manager) { svc.cache = m }
+
+// Deploy starts a pipeline daemon on each storage node. Nil combiner or
+// reducer registries install the defaults.
+func Deploy(fs *pfs.FileSystem, reg *kernels.Registry, combs *kernels.CombinerRegistry, reds *kernels.ReducerRegistry) *Service {
+	if combs == nil {
+		combs = kernels.DefaultCombiners()
+	}
+	if reds == nil {
+		reds = kernels.DefaultReducers()
+	}
+	svc := &Service{fs: fs, reg: reg, combs: combs, reds: reds, runs: make([]map[string]*runState, fs.Servers())}
+	for s := 0; s < fs.Servers(); s++ {
+		svc.runs[s] = make(map[string]*runState)
+		srv := fs.Server(s)
+		fs.Cluster().Eng.SpawnDaemon(fmt.Sprintf("pipe-server-%d", s), func(p *sim.Proc) {
+			port := fs.Cluster().Net.Node(srv.NodeID()).Port(Port)
+			reqs := 0
+			for {
+				msg := port.Get(p)
+				reqs++
+				p.Spawn(fmt.Sprintf("pipe-handle-%d-%d", s, reqs), func(h *sim.Proc) {
+					svc.handle(h, srv, msg)
+				})
+			}
+		})
+	}
+	return svc
+}
+
+func (svc *Service) handle(p *sim.Proc, srv *pfs.Server, msg simnet.Message) {
+	clu := svc.fs.Cluster()
+	switch req := msg.Payload.(type) {
+	case stageReq:
+		resp, err := svc.stage(p, srv, req)
+		if err != nil {
+			resp = stageResp{Err: err.Error(), Transient: transientErr(err)}
+		}
+		size := headerBytes + int64(len(resp.Partials))*partialBytes(resp.Partials)
+		clu.Net.Respond(p, msg, resp, size, clu.ClassBetween(srv.NodeID(), msg.From))
+	case bandReq:
+		resp := svc.band(srv, req)
+		size := int64(headerBytes)
+		for _, d := range resp.Data {
+			size += int64(len(d)) * grid.ElemSize
+		}
+		clu.Net.Respond(p, msg, resp, size, clu.ClassBetween(srv.NodeID(), msg.From))
+	case releaseReq:
+		delete(svc.runs[srv.Index()], req.Token)
+	default:
+		clu.Net.Respond(p, msg, stageResp{Err: fmt.Sprintf("pipeline: unknown request %T", msg.Payload)},
+			headerBytes, clu.ClassBetween(srv.NodeID(), msg.From))
+	}
+}
+
+func partialBytes(partials [][]float64) int64 {
+	if len(partials) == 0 {
+		return 0
+	}
+	return int64(len(partials[0])) * grid.ElemSize
+}
+
+// transientErr reports whether the coordinator can cure the failure by
+// reassigning strips with catch-up.
+type transient struct{ error }
+
+func transientErr(err error) bool {
+	_, ok := err.(transient)
+	return ok
+}
+
+// runStateFor returns (building if needed) this server's state for the
+// request's token, purging it first when the server restarted since it
+// was built: a new incarnation's memory starts empty.
+func (svc *Service) runStateFor(srv *pfs.Server, req stageReq, in *pfs.FileMeta) (*runState, error) {
+	clu := svc.fs.Cluster()
+	inc := clu.Faults.Incarnation(srv.NodeID())
+	rs, ok := svc.runs[srv.Index()][req.Token]
+	if ok && rs.inc != inc {
+		delete(svc.runs[srv.Index()], req.Token)
+		ok = false
+	}
+	if !ok {
+		lc := in.Locator()
+		pl, err := Compile(req.DAG, svc.reg, svc.combs, svc.reds, in.Width, LocalHaloOf(in.Layout, lc))
+		if err != nil {
+			return nil, err
+		}
+		rs = &runState{plan: pl, in: in, inc: inc, state: make(map[int]map[int64][]float64)}
+		svc.runs[srv.Index()][req.Token] = rs
+	}
+	return rs, nil
+}
+
+// stage computes one dispatch round over the request's strips.
+func (svc *Service) stage(p *sim.Proc, srv *pfs.Server, req stageReq) (stageResp, error) {
+	clu := svc.fs.Cluster()
+	in, ok := svc.fs.Meta(req.Input)
+	if !ok {
+		return stageResp{}, fmt.Errorf("pipeline: unknown input %q", req.Input)
+	}
+	if in.Width == 0 || in.ElemSize == 0 {
+		return stageResp{}, fmt.Errorf("pipeline: input %q lacks raster metadata", req.Input)
+	}
+	out, ok := svc.fs.Meta(req.Output)
+	if !ok {
+		return stageResp{}, fmt.Errorf("pipeline: unknown output %q", req.Output)
+	}
+	if out.Size != in.Size || out.StripSize != in.StripSize {
+		return stageResp{}, fmt.Errorf("pipeline: output geometry differs from input")
+	}
+	rs, err := svc.runStateFor(srv, req, in)
+	if err != nil {
+		return stageResp{}, err
+	}
+	pl := rs.plan
+	if req.Round < 0 || req.Round >= pl.Rounds() {
+		return stageResp{}, fmt.Errorf("pipeline: round %d of %d", req.Round, pl.Rounds())
+	}
+	node := pl.RoundNode(req.Round)
+	final := req.Round == pl.Rounds()-1
+
+	var resp stageResp
+	var forwards []*sim.Signal[error]
+	var pooledOut [][]byte
+	fail := func(err error) (stageResp, error) {
+		sim.WaitAll(p, forwards)
+		for _, b := range pooledOut {
+			pfs.ReleaseBuffer(b)
+		}
+		pooledOut = nil
+		return stageResp{}, err
+	}
+
+	for _, run := range active.StripRuns(in, req.Strips) {
+		e0, e1 := run.Lo/in.ElemSize, run.Hi/in.ElemSize
+		var weighted float64
+		charge := func(elems int64, w float64) { weighted += float64(elems) * w }
+
+		var vals map[int][]float64
+		if req.Round == 0 || req.CatchUp {
+			vals, err = svc.evalFromDurable(p, srv, rs, in, req, e0, e1, charge, &resp)
+		} else {
+			vals, err = svc.evalRound(p, srv, rs, in, req, node, e0, e1, charge, &resp)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if req.CatchUp {
+			n := run.Last - run.First + 1
+			resp.CatchUps += n
+			for i := int64(0); i < n; i++ {
+				clu.PipelineStats.AddCatchUp()
+			}
+		}
+
+		// Retain per-strip state sub-slices for later rounds' reads and
+		// pulls. Slices are never mutated once stored, so pulls can alias
+		// them safely.
+		for ni := 0; ni <= node; ni++ {
+			v, ok := vals[ni]
+			if !ok || !pl.Nodes[ni].Retain {
+				continue
+			}
+			st := rs.state[ni]
+			if st == nil {
+				st = make(map[int64][]float64)
+				rs.state[ni] = st
+			}
+			for t := run.First; t <= run.Last; t++ {
+				tLo, tHi := in.StripBounds(t)
+				st[t] = v[tLo/in.ElemSize-e0 : tHi/in.ElemSize-e0]
+			}
+		}
+
+		p.Sleep(sim.Time(weighted * clu.Cfg.ComputeNsPerElem))
+		resp.Elements += e1 - e0
+
+		if final {
+			gridVals := vals[pl.GridOut]
+			//das:transfer -- ownership joins pooledOut; released once the replica forwards acknowledge (fail() covers error paths)
+			outBytes := grid.FloatsToBytesInto(pfs.AcquireBuffer((e1-e0)*in.ElemSize), gridVals)
+			pooledOut = append(pooledOut, outBytes)
+			strips := make([]int64, 0, run.Last-run.First+1)
+			chunks := make([][]byte, 0, run.Last-run.First+1)
+			for t := run.First; t <= run.Last; t++ {
+				tLo, tHi := out.StripBounds(t)
+				strips = append(strips, t)
+				chunks = append(chunks, outBytes[tLo-run.Lo:tHi-run.Lo])
+			}
+			if err := srv.LocalWriteMany(p, req.Output, strips, chunks, false); err != nil {
+				return fail(err)
+			}
+			done := sim.NewSignal[error](clu.Eng, fmt.Sprintf("pipe-forward-%d-%d", srv.Index(), run.First))
+			forwards = append(forwards, done)
+			p.Spawn(fmt.Sprintf("pipe-forward-%d-%d", srv.Index(), run.First), func(f *sim.Proc) {
+				done.Fire(srv.ForwardReplicas(f, req.Output, strips, chunks))
+			})
+			resp.Wrote += int64(len(strips))
+			clu.PipelineStats.AddWriteback()
+
+			if pl.Reduce >= 0 {
+				red := pl.Nodes[pl.Reduce].Reducer
+				total := in.Size / in.ElemSize
+				for t := run.First; t <= run.Last; t++ {
+					tLo, tHi := in.StripBounds(t)
+					se0, se1 := tLo/in.ElemSize, tHi/in.ElemSize
+					b := &grid.Band{Width: in.Width, GlobalLen: total, Start: se0, End: se1, Lo: se0,
+						Data: gridVals[se0-e0 : se1-e0]}
+					resp.PartialStrips = append(resp.PartialStrips, t)
+					resp.Partials = append(resp.Partials, red.ReduceBand(b))
+				}
+				p.Sleep(clu.ComputeTime(e1-e0, pl.Nodes[pl.Reduce].Weight))
+			}
+		}
+	}
+	for _, err := range sim.WaitAll(p, forwards) {
+		if err != nil {
+			return fail(err)
+		}
+	}
+	for _, b := range pooledOut {
+		pfs.ReleaseBuffer(b) // replica forwards acknowledged: last references gone
+	}
+	return resp, nil
+}
+
+// evalFromDurable evaluates the round's targets from the durable input:
+// the fused-prefix round, and the catch-up path that rebuilds a
+// reassigned strip's whole lineage. Returns values over [e0, e1) per
+// target node.
+func (svc *Service) evalFromDurable(p *sim.Proc, srv *pfs.Server, rs *runState, in *pfs.FileMeta,
+	req stageReq, e0, e1 int64, charge func(int64, float64), resp *stageResp) (map[int][]float64, error) {
+	pl := rs.plan
+	var targets []int
+	if req.CatchUp {
+		targets = pl.catchUpTargets(req.Round)
+	} else {
+		targets = pl.roundTargets(0)
+	}
+	band, err := svc.inputBand(p, srv, in, e0, e1, pl.inputHaloFor(targets), resp)
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[int][]float64, len(targets))
+	for _, t := range targets {
+		vals[t] = pl.evalFromInput(t, e0, e1, band, charge)
+	}
+	band.Release()
+	return vals, nil
+}
+
+// inputBand assembles the input raster over [e0, e1) plus a symmetric
+// halo of depth elements: locally held strips in one batched disk pass,
+// the rest fetched row-granular from their owners through the halo
+// cache.
+func (svc *Service) inputBand(p *sim.Proc, srv *pfs.Server, in *pfs.FileMeta, e0, e1, depth int64, resp *stageResp) (*grid.Band, error) {
+	clu := svc.fs.Cluster()
+	total := in.Size / in.ElemSize
+	lo, hi := grid.HaloRange(e0, e1, depth, total)
+	band := grid.NewBandPooled(in.Width, total, e0, e1, lo, hi)
+
+	var localSpans []pfs.Span
+	var localLo []int64
+	type remote struct{ strip, needLo, needHi int64 }
+	var remotes []remote
+	for t := lo * in.ElemSize / in.StripSize; t*in.StripSize < hi*in.ElemSize; t++ {
+		tLo, tHi := in.StripBounds(t)
+		needLo, needHi := lo*in.ElemSize, hi*in.ElemSize
+		if needLo < tLo {
+			needLo = tLo
+		}
+		if needHi > tHi {
+			needHi = tHi
+		}
+		if needHi <= needLo {
+			continue
+		}
+		if srv.Holds(in.Name, t) {
+			localSpans = append(localSpans, pfs.Span{Strip: t, Lo: needLo - tLo, Hi: needHi - tLo})
+			localLo = append(localLo, needLo)
+		} else {
+			remotes = append(remotes, remote{strip: t, needLo: needLo, needHi: needHi})
+		}
+	}
+	if len(localSpans) > 0 {
+		chunks, err := srv.LocalReadMany(p, in.Name, localSpans)
+		if err != nil {
+			band.Release()
+			return nil, err
+		}
+		for i, chunk := range chunks {
+			band.FillBytes(localLo[i]/in.ElemSize, chunk)
+			pfs.ReleaseBuffer(chunk)
+		}
+	}
+	type fetched struct {
+		data  []byte
+		gotLo int64
+		hit   bool
+		err   error
+	}
+	sigs := make([]*sim.Signal[fetched], len(remotes))
+	for i, rm := range remotes {
+		rm := rm
+		sig := sim.NewSignal[fetched](clu.Eng, fmt.Sprintf("pipe-fetch-%d-%d", srv.Index(), rm.strip))
+		sigs[i] = sig
+		p.Spawn(fmt.Sprintf("pipe-fetch-%d-%d", srv.Index(), rm.strip), func(f *sim.Proc) {
+			tLo, _ := in.StripBounds(rm.strip)
+			wantLo, wantHi := rm.needLo-tLo, rm.needHi-tLo
+			if svc.cache != nil {
+				if cached, ok := svc.cache.Get(srv.Index(), in.Name, rm.strip, wantLo, wantHi); ok {
+					sig.Fire(fetched{data: cached, gotLo: rm.needLo, hit: true})
+					return
+				}
+			}
+			start := f.Now()
+			data, err := svc.fs.ReadStripFrom(f, srv.NodeID(), in.Layout.Primary(rm.strip), in.Name, rm.strip, wantLo, wantHi)
+			if err != nil {
+				sig.Fire(fetched{err: err})
+				return
+			}
+			if svc.cache != nil {
+				svc.cache.RecordFetch(srv.Index(), in.Name, rm.strip, wantLo, data, f.Now()-start)
+			}
+			sig.Fire(fetched{data: data, gotLo: rm.needLo})
+		})
+	}
+	results := sim.WaitAll(p, sigs)
+	var fetchErr error
+	for _, got := range results {
+		if got.err != nil {
+			fetchErr = got.err
+		}
+	}
+	if fetchErr != nil {
+		for _, got := range results {
+			pfs.ReleaseBuffer(got.data)
+		}
+		band.Release()
+		return nil, fetchErr
+	}
+	for _, got := range results {
+		if got.hit {
+			resp.CacheHits++
+			resp.CacheHitBytes += int64(len(got.data))
+		} else {
+			resp.FetchOps++
+			resp.FetchBytes += int64(len(got.data))
+			clu.PipelineStats.AddFetch(int64(len(got.data)))
+		}
+		band.FillBytes(got.gotLo/in.ElemSize, got.data)
+		pfs.ReleaseBuffer(got.data)
+	}
+	return band, nil
+}
+
+// evalRound evaluates one non-prefix node over [e0, e1) from parent
+// state: local state for strips this server owns, halo-band pulls from
+// the strips' state owners for the rest. A parentless kernel (a second
+// DAG root) reads the durable input instead.
+func (svc *Service) evalRound(p *sim.Proc, srv *pfs.Server, rs *runState, in *pfs.FileMeta,
+	req stageReq, node int, e0, e1 int64, charge func(int64, float64), resp *stageResp) (map[int][]float64, error) {
+	pl := rs.plan
+	n := pl.Nodes[node]
+	total := in.Size / in.ElemSize
+
+	if n.Kind == kernels.KindKernel && len(n.Parents) == 0 {
+		band, err := svc.inputBand(p, srv, in, e0, e1, n.Halo, resp)
+		if err != nil {
+			return nil, err
+		}
+		out := pl.applyKernel(node, e0, e1, band.Lo, band.Data, total, charge)
+		band.Release()
+		return map[int][]float64{node: out}, nil
+	}
+
+	plo, phi := e0, e1
+	if n.Kind == kernels.KindKernel {
+		plo, phi = grid.HaloRange(e0, e1, n.Halo, total)
+	}
+	parents := make([][]float64, len(n.Parents))
+	for i, pa := range n.Parents {
+		pv, err := svc.parentValues(p, srv, rs, in, req, pa, plo, phi, resp)
+		if err != nil {
+			return nil, err
+		}
+		parents[i] = pv
+	}
+	switch n.Kind {
+	case kernels.KindKernel:
+		return map[int][]float64{node: pl.applyKernel(node, e0, e1, plo, parents[0], total, charge)}, nil
+	case kernels.KindCombine:
+		return map[int][]float64{node: pl.applyCombine(node, parents[0], parents[1], charge)}, nil
+	default:
+		return nil, fmt.Errorf("pipeline: round on %v node %q", n.Kind, n.ID)
+	}
+}
+
+// parentValues materializes a parent node's values over global element
+// range [plo, phi): strip by strip from local state, with missing strips
+// batched into per-owner band pulls.
+func (svc *Service) parentValues(p *sim.Proc, srv *pfs.Server, rs *runState, in *pfs.FileMeta,
+	req stageReq, parent int, plo, phi int64, resp *stageResp) ([]float64, error) {
+	out := make([]float64, phi-plo)
+	st := rs.state[parent]
+	elemsPerStrip := in.StripSize / in.ElemSize
+	type pull struct {
+		owner int
+		spans []bandSpan
+	}
+	var pulls []pull
+	byOwner := make(map[int]int)
+	for t := plo / elemsPerStrip; t*elemsPerStrip < phi; t++ {
+		tLo, tHi := in.StripBounds(t)
+		se0, se1 := tLo/in.ElemSize, tHi/in.ElemSize
+		needLo, needHi := plo, phi
+		if needLo < se0 {
+			needLo = se0
+		}
+		if needHi > se1 {
+			needHi = se1
+		}
+		if needHi <= needLo {
+			continue
+		}
+		if v, ok := st[t]; ok {
+			copy(out[needLo-plo:needHi-plo], v[needLo-se0:needHi-se0])
+			continue
+		}
+		if req.Owners == nil || t >= int64(len(req.Owners)) || req.Owners[t] < 0 {
+			return nil, transient{fmt.Errorf("pipeline: no state owner for strip %d of %q node %d", t, req.Token, parent)}
+		}
+		owner := int(req.Owners[t])
+		if owner == srv.Index() {
+			// The coordinator thinks this server owns the strip but the
+			// state is gone — a restart wiped it.
+			return nil, transient{fmt.Errorf("pipeline: state for strip %d of %q lost at server %d", t, req.Token, owner)}
+		}
+		i, ok := byOwner[owner]
+		if !ok {
+			i = len(pulls)
+			byOwner[owner] = i
+			pulls = append(pulls, pull{owner: owner})
+		}
+		pulls[i].spans = append(pulls[i].spans, bandSpan{Strip: t, Lo: needLo, Hi: needHi})
+	}
+
+	clu := svc.fs.Cluster()
+	type pulled struct {
+		idx  int
+		resp bandResp
+		ok   bool
+	}
+	sigs := make([]*sim.Signal[pulled], len(pulls))
+	for i, pu := range pulls {
+		i, pu := i, pu
+		sig := sim.NewSignal[pulled](clu.Eng, fmt.Sprintf("pipe-pull-%d-%d", srv.Index(), pu.owner))
+		sigs[i] = sig
+		p.Spawn(fmt.Sprintf("pipe-pull-%d-%d", srv.Index(), pu.owner), func(f *sim.Proc) {
+			toID := clu.StorageID(pu.owner)
+			selfID := srv.NodeID()
+			msg := simnet.Message{
+				From:    selfID,
+				To:      toID,
+				Port:    Port,
+				Size:    headerBytes,
+				Class:   clu.ClassBetween(selfID, toID),
+				Payload: bandReq{Token: req.Token, Node: parent, Spans: pu.spans},
+			}
+			var reply simnet.Message
+			delivered := true
+			if clu.Faults.Active() {
+				// Abort on either end crashing: a down PULLER's request
+				// (or the response back to it) is silently dropped, so
+				// watching only the owner would poll forever. The
+				// deadline is a final backstop against lost messages
+				// neither liveness check explains.
+				fl := clu.Faults
+				toInc, selfInc := fl.Incarnation(toID), fl.Incarnation(selfID)
+				dead := func() bool {
+					return fl.Down(toID) || fl.Incarnation(toID) != toInc ||
+						fl.Down(selfID) || fl.Incarnation(selfID) != selfInc
+				}
+				pol := svc.fs.Retry
+				deadline := pol.Timeout * sim.Time(pol.Retries+1)
+				reply, delivered = clu.Net.CallCancelable(f, msg, pol.Quantum, deadline, dead)
+			} else {
+				reply = clu.Net.Call(f, msg)
+			}
+			r := pulled{idx: i}
+			if delivered {
+				r.resp, r.ok = reply.Payload.(bandResp)
+			}
+			sig.Fire(r)
+		})
+	}
+	var pullErr error
+	for _, r := range sim.WaitAll(p, sigs) {
+		if !r.ok {
+			pullErr = transient{fmt.Errorf("pipeline: band pull to server %d lost", pulls[r.idx].owner)}
+			continue
+		}
+		if r.resp.Err != "" {
+			err := fmt.Errorf("pipeline: %s", r.resp.Err)
+			if r.resp.Transient {
+				pullErr = transient{err}
+			} else {
+				pullErr = err
+			}
+			continue
+		}
+		for j, span := range pulls[r.idx].spans {
+			v := r.resp.Data[j]
+			copy(out[span.Lo-plo:span.Hi-plo], v)
+			bytes := int64(len(v)) * grid.ElemSize
+			resp.ExchangeOps++
+			resp.ExchangeBytes += bytes
+			clu.PipelineStats.AddExchange(bytes)
+			if svc.cache != nil {
+				svc.cache.AddBandHeat(in.Name, bytes)
+			}
+		}
+	}
+	if pullErr != nil {
+		return nil, pullErr
+	}
+	return out, nil
+}
+
+// band serves a pull from this server's stored state. Free on the DES
+// clock beyond the wire: the values already sit in memory.
+func (svc *Service) band(srv *pfs.Server, req bandReq) bandResp {
+	clu := svc.fs.Cluster()
+	rs, ok := svc.runs[srv.Index()][req.Token]
+	if ok && rs.inc != clu.Faults.Incarnation(srv.NodeID()) {
+		delete(svc.runs[srv.Index()], req.Token)
+		ok = false
+	}
+	if !ok {
+		return bandResp{Err: fmt.Sprintf("pipeline: state for %q lost at server %d", req.Token, srv.Index()), Transient: true}
+	}
+	st := rs.state[req.Node]
+	data := make([][]float64, len(req.Spans))
+	for i, span := range req.Spans {
+		v, ok := st[span.Strip]
+		if !ok {
+			return bandResp{Err: fmt.Sprintf("pipeline: state for strip %d of %q lost at server %d", span.Strip, req.Token, srv.Index()), Transient: true}
+		}
+		tLo, _ := rs.in.StripBounds(span.Strip)
+		data[i] = v[span.Lo-tLo/rs.in.ElemSize : span.Hi-tLo/rs.in.ElemSize]
+	}
+	return bandResp{Data: data}
+}

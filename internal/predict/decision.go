@@ -2,11 +2,35 @@ package predict
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"github.com/hpcio/das/internal/features"
 	"github.com/hpcio/das/internal/layout"
 	"github.com/hpcio/das/internal/sim"
 )
+
+// mulAdd128 returns a·b + c·d as a 128-bit value.
+func mulAdd128(a, b, c, d uint64) (hi, lo uint64) {
+	h1, l1 := bits.Mul64(a, b)
+	h2, l2 := bits.Mul64(c, d)
+	var carry uint64
+	lo, carry = bits.Add64(l1, l2, 0)
+	hi = h1 + h2 + carry
+	return hi, lo
+}
+
+// div128 returns (hi·2^64 + lo)/den truncated, saturating at MaxInt64.
+func div128(hi, lo, den uint64) int64 {
+	if den == 0 || hi >= den {
+		return math.MaxInt64
+	}
+	quo, _ := bits.Div64(hi, lo, den)
+	if quo > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(quo)
+}
 
 // Decision is the outcome of the DAS workflow's accept/reject step
 // (Fig. 3): whether to serve a request as active storage or as normal I/O.
@@ -92,14 +116,25 @@ func DecideTail(pat features.Pattern, p Params, lay layout.Layout, hitFrac float
 	if err != nil || latHigh <= 0 || p99 <= latHigh || d.Analysis.LocalByLayout {
 		return d, err
 	}
-	num, den := int64(p99), int64(latHigh)
+	num, den := uint64(p99), uint64(latHigh)
 	if num > 4*den {
 		num = 4 * den // cap the inflation at 4×
 	}
 	fetchBytes := int64(float64(d.Analysis.StripFetchBytes) * (1 - d.CacheHitFrac))
-	inflated := fetchBytes * num / den
-	d.OffloadNetBytes += inflated - fetchBytes
-	d.Offload = d.OffloadNetBytes < d.NormalNetBytes
+	// The verdict compares base + fetch·num/den against the normal-I/O
+	// bytes. Dividing first truncates up to den-1 bytes off the inflated
+	// term — exactly at the cap boundary that can flip accept/reject — so
+	// cross-multiply both sides by den instead and compare in 128 bits,
+	// which also keeps fetch·num from overflowing int64 for large files
+	// with a coarse latency threshold.
+	base := uint64(d.OffloadNetBytes - fetchBytes)
+	lhsHi, lhsLo := mulAdd128(uint64(fetchBytes), num, base, den)
+	rhsHi, rhsLo := bits.Mul64(uint64(d.NormalNetBytes), den)
+	d.Offload = lhsHi < rhsHi || (lhsHi == rhsHi && lhsLo < rhsLo)
+	// The reported byte total keeps the rounded-down form; only the
+	// verdict needs the exact compare.
+	infHi, infLo := bits.Mul64(uint64(fetchBytes), num)
+	d.OffloadNetBytes += div128(infHi, infLo, den) - fetchBytes
 	verdict := "offload still wins"
 	if !d.Offload {
 		verdict = "rejected: tail congestion tips the balance to normal I/O"

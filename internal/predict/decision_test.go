@@ -265,3 +265,84 @@ func TestDecideTailInflatesFetchTerm(t *testing.T) {
 		t.Errorf("tail rejected a fetch-free pattern: %+v", ld)
 	}
 }
+
+// Pin the ×4 inflation cap boundary exactly: at p99 == 4·LatencyHigh the
+// fetch term is inflated by exactly 4 (no truncation — the factor is an
+// integer), and one tick above the cap engages and must price and decide
+// identically.
+func TestDecideTailCapBoundaryExact(t *testing.T) {
+	pat := features.Pattern{Name: "hostile", Offsets: []features.Offset{
+		{Const: -24}, {Const: -16}, {Const: -8}, {Const: 8}, {Const: 16}, {Const: 24},
+	}}
+	p := testParams(8, 1024)
+	lay := layout.NewRoundRobin(4)
+	const latHigh = 500 * sim.Microsecond
+	const hitFrac = 0.9
+
+	base, err := DecideCached(pat, p, lay, hitFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := int64(float64(base.Analysis.StripFetchBytes) * (1 - hitFrac))
+	if fetch <= 0 {
+		t.Fatalf("fixture has no fetch bytes: %+v", base.Analysis)
+	}
+
+	at, err := DecideTail(pat, p, lay, hitFrac, 4*latHigh, latHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.OffloadNetBytes + 3*fetch; at.OffloadNetBytes != want {
+		t.Errorf("at p99 == 4·latHigh: OffloadNetBytes = %d, want exactly base+3·fetch = %d",
+			at.OffloadNetBytes, want)
+	}
+	if wantOffload := at.OffloadNetBytes < at.NormalNetBytes; at.Offload != wantOffload {
+		t.Errorf("verdict %v inconsistent with exact 4× pricing (%d vs %d)",
+			at.Offload, at.OffloadNetBytes, at.NormalNetBytes)
+	}
+
+	just, err := DecideTail(pat, p, lay, hitFrac, 4*latHigh+1, latHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if just.OffloadNetBytes != at.OffloadNetBytes || just.Offload != at.Offload {
+		t.Errorf("one tick above the cap diverges: %d/%v vs %d/%v at the boundary",
+			just.OffloadNetBytes, just.Offload, at.OffloadNetBytes, at.Offload)
+	}
+}
+
+// The inflated fetch term of a big file under a coarse (seconds-scale)
+// latency threshold overflows fetch·num in 64 bits; the cross-multiplied
+// compare must stay exact instead of wrapping negative and silently
+// re-accepting the offload.
+func TestDecideTailHugeFetchDoesNotOverflow(t *testing.T) {
+	// ±9 strips of reach: never server-aligned under D=8 round-robin.
+	pat := features.Pattern{Name: "hostile", Offsets: []features.Offset{
+		{Const: -9 * 131072}, {Const: 9 * 131072},
+	}}
+	p := Params{
+		ElemSize:     8,
+		StripSize:    1 << 20, // 1 MiB strips
+		FileSize:     1 << 40, // 1 TiB file
+		Width:        1 << 20,
+		OutputFactor: 1,
+	}
+	lay := layout.NewRoundRobin(8)
+	base, err := DecideCached(pat, p, lay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Offload {
+		t.Fatalf("fixture no longer marginal-accepts before inflation: %+v", base)
+	}
+	d, err := DecideTail(pat, p, lay, 0, 4*sim.Second, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Offload {
+		t.Errorf("4× inflation of a ~2 TiB fetch term must reject; a wrapped product keeps it accepted: %+v", d)
+	}
+	if d.OffloadNetBytes < base.OffloadNetBytes {
+		t.Errorf("inflated bytes went backwards (wrap): %d < %d", d.OffloadNetBytes, base.OffloadNetBytes)
+	}
+}

@@ -1,0 +1,270 @@
+package predict
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/hpcio/das/internal/layout"
+	"github.com/hpcio/das/internal/sim"
+)
+
+// PipelineStage describes one DAG node, in topological order, for
+// whole-pipeline pricing: its own dependence reach against its parents'
+// output (not the composed reach against the DAG input) and whether it is
+// the terminal reduce.
+type PipelineStage struct {
+	Name string
+	// Back and Fwd are the stage's own dependence reach in elements
+	// against its parent rasters.
+	Back, Fwd int64
+	// Reduce marks the terminal aggregation (no raster output).
+	Reduce bool
+}
+
+// PipelineSpec is the execution shape the pipeline planner settled on,
+// handed to the predictor for pricing. The planner owns the fusion rule;
+// the predictor prices the resulting schedule.
+type PipelineSpec struct {
+	// Stages in topological order.
+	Stages []PipelineStage
+	// PrefixLen is the number of leading stages fused into the first
+	// dispatch, which reads the input file with a deep halo instead of
+	// exchanging intermediate bands.
+	PrefixLen int
+	// PrefixBack and PrefixFwd are the composed (Minkowski-summed) reach
+	// of the fused prefix against the DAG input.
+	PrefixBack, PrefixFwd int64
+	// DAGBack and DAGFwd are the composed reach of the whole DAG against
+	// the input — the per-direction maxima over root-to-sink paths that
+	// the I/O lower bound is built from.
+	DAGBack, DAGFwd int64
+}
+
+// PipelineDecision prices a whole-DAG pushdown against running the same
+// DAG one kernel per pass.
+type PipelineDecision struct {
+	// Stages is the DAG size; FusedStages counts stages that needed no
+	// exchange round of their own (fused into the prefix, or zero-reach).
+	Stages, FusedStages int
+	// FetchBytes is the first dispatch's remote input-halo traffic after
+	// the cache-hit discount; ExchangeBytes the summed per-stage
+	// intermediate boundary bands; WritebackReplicaBytes the final
+	// output's replica maintenance.
+	FetchBytes, ExchangeBytes, WritebackReplicaBytes int64
+	// PipelineNetBytes is the pushdown's predicted interconnect traffic
+	// (fetch + exchange, tail-inflated, plus writeback replicas).
+	PipelineNetBytes int64
+	// PerPassNetBytes prices the per-pass offloaded alternative: each
+	// stage's own halo fetch plus full replica writeback of every
+	// intermediate raster.
+	PerPassNetBytes int64
+	// NormalNetBytes prices the traditional-storage alternative: every
+	// pass ships the raster to a compute node and back.
+	NormalNetBytes int64
+	// LowerBoundBytes is the composed-offset halo minimum for this DAG
+	// under this strip assignment — the floor achieved halo traffic is
+	// reported against.
+	LowerBoundBytes int64
+	// CacheHitFrac is the byte hit fraction the fetch term was discounted
+	// by; TailNum/TailDen the (capped) tail inflation applied to moving
+	// bytes, 1/1 when the tail is healthy.
+	CacheHitFrac     float64
+	TailNum, TailDen uint64
+	// Offload accepts the pushdown over traditional storage;
+	// BeatsPerPass additionally ranks it under the per-pass offload.
+	Offload, BeatsPerPass bool
+	Reason                string
+}
+
+// cutPositions returns the element index of every assignment boundary:
+// positions where consecutive strips have different primary servers.
+// Halo traffic — and its lower bound — crosses exactly these cuts.
+func cutPositions(lc layout.Locator, fileSize int64) []int64 {
+	var cuts []int64
+	n := lc.Strips(fileSize)
+	for s := int64(1); s < n; s++ {
+		if lc.Layout.Primary(s) != lc.Layout.Primary(s-1) {
+			lo, _ := lc.StripBounds(s, fileSize)
+			cuts = append(cuts, lo/lc.ElemSize)
+		}
+	}
+	return cuts
+}
+
+// bandBytesAcrossCuts returns the bytes of a (back, fwd)-reach band
+// crossing every cut, clamped exactly at the file edges: a cut at element
+// c moves min(back, c) elements leftward and min(fwd, total-c) rightward.
+func bandBytesAcrossCuts(cuts []int64, total, elemSize, back, fwd int64) int64 {
+	var bytes int64
+	for _, c := range cuts {
+		b, f := back, fwd
+		if b > c {
+			b = c
+		}
+		if f > total-c {
+			f = total - c
+		}
+		bytes += (b + f) * elemSize
+	}
+	return bytes
+}
+
+// PipelineLowerBound returns the composed-offset halo minimum for a DAG
+// of the given composed reach under the layout's strip assignment: every
+// assignment cut must move at least the dependence cone's width in each
+// direction, clamped at the file edges. Replica-prepaid halos (DAS
+// layouts) can beat this bound at run time — the bound prices what must
+// cross cuts during execution for an unreplicated placement.
+func PipelineLowerBound(p Params, lay layout.Layout, dagBack, dagFwd int64) (int64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	lc := layout.NewLocator(p.ElemSize, p.StripSize, lay)
+	cuts := cutPositions(lc, p.FileSize)
+	return bandBytesAcrossCuts(cuts, p.TotalElems(), p.ElemSize, dagBack, dagFwd), nil
+}
+
+// LocalHaloElems returns how many elements of halo each assignment run
+// already holds locally per side: grouped-replicated layouts replicate
+// Halo whole strips across group boundaries, every other layout none.
+func LocalHaloElems(lay layout.Layout, lc layout.Locator) int64 {
+	if gr, ok := lay.(layout.GroupedReplicated); ok {
+		return int64(gr.Halo) * lc.ElemsPerStrip()
+	}
+	return 0
+}
+
+// DecidePipeline prices a whole operator DAG for server-side pushdown and
+// decides it in one shot, instead of one accept/reject per kernel: the
+// fused prefix's input halo (discounted by the cache hit fraction), each
+// later stage's intermediate boundary bands, and the final writeback's
+// replica maintenance, against both the per-pass offload (which writes
+// every intermediate raster back with replicas) and traditional storage
+// (which ships every raster to a compute node and back). A congested
+// fetch tail inflates the moving bytes by p99/latHigh, capped at 4× and
+// compared cross-multiplied like DecideTail.
+func DecidePipeline(spec PipelineSpec, p Params, lay layout.Layout, hitFrac float64, p99, latHigh sim.Time) (PipelineDecision, error) {
+	if err := p.validate(); err != nil {
+		return PipelineDecision{}, err
+	}
+	if len(spec.Stages) == 0 {
+		return PipelineDecision{}, fmt.Errorf("predict: pipeline with no stages")
+	}
+	if spec.PrefixLen < 1 || spec.PrefixLen > len(spec.Stages) {
+		return PipelineDecision{}, fmt.Errorf("predict: fused prefix %d out of [1,%d]", spec.PrefixLen, len(spec.Stages))
+	}
+	if hitFrac < 0 {
+		hitFrac = 0
+	}
+	if hitFrac > 1 {
+		hitFrac = 1
+	}
+	lc := layout.NewLocator(p.ElemSize, p.StripSize, lay)
+	cuts := cutPositions(lc, p.FileSize)
+	total := p.TotalElems()
+	halo := LocalHaloElems(lay, lc)
+
+	d := PipelineDecision{Stages: len(spec.Stages), CacheHitFrac: hitFrac, TailNum: 1, TailDen: 1}
+
+	// First dispatch: the fused prefix's composed halo, minus what the
+	// layout already replicated locally, fetched at band granularity.
+	fb := spec.PrefixBack - halo
+	if fb < 0 {
+		fb = 0
+	}
+	ff := spec.PrefixFwd - halo
+	if ff < 0 {
+		ff = 0
+	}
+	rawFetch := bandBytesAcrossCuts(cuts, total, p.ElemSize, fb, ff)
+	d.FetchBytes = int64(float64(rawFetch) * (1 - hitFrac))
+
+	// Later rounds: each unfused stage pulls its own-reach band across
+	// every cut. Zero-reach stages (reduces, element-wise combines) never
+	// pull and count as fused.
+	d.FusedStages = spec.PrefixLen - 1
+	for i, st := range spec.Stages {
+		if i < spec.PrefixLen {
+			continue
+		}
+		if st.Back == 0 && st.Fwd == 0 {
+			d.FusedStages++
+			continue
+		}
+		d.ExchangeBytes += bandBytesAcrossCuts(cuts, total, p.ElemSize, st.Back, st.Fwd)
+	}
+
+	outBytes := int64(float64(p.FileSize) * p.OutputFactor)
+	d.WritebackReplicaBytes = int64(float64(ReplicaBytes(lc, p.FileSize)) * p.OutputFactor)
+
+	// Alternatives. Per-pass offload: every stage fetches its own halo
+	// beyond the local coverage and every raster-producing stage pays
+	// replica writeback of its output. Traditional storage: every pass
+	// ships the raster down and the result back (the reduce returns only
+	// an aggregate).
+	gridStages := 0
+	for _, st := range spec.Stages {
+		if st.Reduce {
+			continue
+		}
+		gridStages++
+		b := st.Back - halo
+		if b < 0 {
+			b = 0
+		}
+		f := st.Fwd - halo
+		if f < 0 {
+			f = 0
+		}
+		d.PerPassNetBytes += bandBytesAcrossCuts(cuts, total, p.ElemSize, b, f)
+		d.NormalNetBytes += p.FileSize + outBytes
+	}
+	d.PerPassNetBytes += int64(gridStages) * d.WritebackReplicaBytes
+	if spec.Stages[len(spec.Stages)-1].Reduce {
+		d.NormalNetBytes += p.FileSize // the reduce pass still reads the raster
+	}
+
+	lb, err := PipelineLowerBound(p, lay, spec.DAGBack, spec.DAGFwd)
+	if err != nil {
+		return PipelineDecision{}, err
+	}
+	d.LowerBoundBytes = lb
+
+	// Tail inflation on the moving (fetch + exchange) bytes, verdicts via
+	// exact cross-multiplication.
+	num, den := uint64(1), uint64(1)
+	if latHigh > 0 && p99 > latHigh {
+		num, den = uint64(p99), uint64(latHigh)
+		if num > 4*den {
+			num = 4 * den
+		}
+	}
+	d.TailNum, d.TailDen = num, den
+	moving := uint64(d.FetchBytes + d.ExchangeBytes)
+	fixed := uint64(d.WritebackReplicaBytes)
+	infHi, infLo := bits.Mul64(moving, num)
+	d.PipelineNetBytes = d.WritebackReplicaBytes + div128(infHi, infLo, den)
+
+	lhsHi, lhsLo := mulAdd128(moving, num, fixed, den)
+	normHi, normLo := bits.Mul64(uint64(d.NormalNetBytes), den)
+	perHi, perLo := bits.Mul64(uint64(d.PerPassNetBytes), den)
+	d.Offload = lhsHi < normHi || (lhsHi == normHi && lhsLo < normLo)
+	// A network-byte tie prefers the pushdown: per-pass additionally
+	// writes and re-reads every intermediate raster on disk, which the
+	// interconnect model does not price.
+	d.BeatsPerPass = lhsHi < perHi || (lhsHi == perHi && lhsLo <= perLo)
+
+	switch {
+	case !d.Offload:
+		d.Reason = fmt.Sprintf("rejected: pushdown would move %d bytes vs %d for normal I/O", d.PipelineNetBytes, d.NormalNetBytes)
+	case !d.BeatsPerPass:
+		d.Reason = fmt.Sprintf("pushdown moves %d bytes but per-pass offload moves %d; prefer per-pass", d.PipelineNetBytes, d.PerPassNetBytes)
+	default:
+		d.Reason = fmt.Sprintf("pushdown moves %d bytes vs %d per-pass and %d normal (%d-stage DAG, %d fused, lower bound %d)",
+			d.PipelineNetBytes, d.PerPassNetBytes, d.NormalNetBytes, d.Stages, d.FusedStages, d.LowerBoundBytes)
+	}
+	if num != den {
+		d.Reason += fmt.Sprintf(" — fetch p99 %v vs threshold %v inflates moving bytes %.2f×", p99, latHigh, float64(num)/float64(den))
+	}
+	return d, nil
+}
