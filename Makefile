@@ -1,16 +1,34 @@
-.PHONY: tier1 extended lint bench-smoke
+.PHONY: tier1 extended lint lint-fix-check bench-smoke
 
 # Tier-1 gate: must stay green on every PR.
 tier1:
 	go build ./...
 	go test ./...
 
-# Determinism/pooling analyzer suite (cmd/daslint) over the whole module.
+# Determinism/pooling analyzer suite (cmd/daslint), both ways it deploys:
+# standalone over the whole module (the only mode that runs the
+# interprocedural transfer/replies analyzers and the stale-directive
+# check), then through the `go vet -vettool` protocol, which additionally
+# covers _test.go files with the per-package analyzers.
 lint:
 	go run ./cmd/daslint ./...
+	go build -o "$$(go env GOTMPDIR 2>/dev/null || echo /tmp)/daslint-vettool" ./cmd/daslint
+	go vet -vettool="$$(go env GOTMPDIR 2>/dev/null || echo /tmp)/daslint-vettool" ./...
 
-# Extended gate: vet + daslint + race on top of tier-1.
-extended: tier1 lint
+# Machine-readable lint pass: asserts the module is finding-free via the
+# -json output (any JSON line on stdout is a finding). CI consumes this;
+# locally it is the quick "is my suppression correct" check.
+lint-fix-check:
+	@out="$$(go run ./cmd/daslint -json ./... 2>&1)"; \
+	if [ -n "$$out" ]; then \
+		echo "$$out"; \
+		echo "lint-fix-check: findings remain (fix them or annotate with //das:allow/-transfer -- reason)"; \
+		exit 1; \
+	fi; \
+	echo "lint-fix-check: clean"
+
+# Extended gate: vet + daslint (both modes) + race on top of tier-1.
+extended: tier1 lint lint-fix-check
 	go vet ./...
 	go test -race ./...
 

@@ -8,9 +8,17 @@
 //	go vet -vettool=$(which daslint) ./...   # as a vet tool
 //
 // Standalone mode loads packages through `go list -export`, so it needs
-// only the go toolchain. The binary also speaks the `go vet -vettool`
-// driver protocol (-V=full, -flags, and a *.cfg compilation unit), which
-// additionally covers _test.go files.
+// only the go toolchain, and runs the whole suite — including the
+// module-wide transfer and replies analyzers, which need every package of
+// the load at once. The binary also speaks the `go vet -vettool` driver
+// protocol (-V=full, -flags, and a *.cfg compilation unit), which
+// additionally covers _test.go files but sees one compilation unit at a
+// time and therefore runs only the per-package analyzers.
+//
+// -json prints findings as one JSON object per line on stdout (file,
+// line, col, analyzer, message). When GITHUB_ACTIONS=true, findings are
+// additionally emitted as ::error workflow annotations so CI attaches
+// them to the offending lines.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/hpcio/das/internal/cli"
@@ -33,6 +42,7 @@ func main() {
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for the go vet protocol)")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for the go vet protocol)")
 	list := flag.Bool("list", false, "print analyzer names and one-line docs, then exit")
+	jsonOut := flag.Bool("json", false, "print findings as JSON lines on stdout instead of text on stderr")
 	flag.Parse()
 
 	if *printflags {
@@ -56,7 +66,7 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(runStandalone(args))
+	os.Exit(runStandalone(args, *jsonOut))
 }
 
 func listAnalyzers(w io.Writer) {
@@ -65,25 +75,79 @@ func listAnalyzers(w io.Writer) {
 	}
 }
 
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	pkgs, err := lint.Load(".", patterns...)
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
-	exit := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.Check(pkg, lint.All())
-		if err != nil {
-			log.Print(err)
-			return 1
+	if len(pkgs) == 0 {
+		return 0
+	}
+	diags, err := lint.CheckModule(pkgs, lint.All())
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fset := pkgs[0].Fset
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if jsonOut {
+			enc.Encode(jsonDiag{
+				File:     relPath(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
 		}
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			exit = 1
+		if annotate {
+			// GitHub Actions workflow command: attaches the finding to the
+			// line in the PR diff view.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=daslint/%s::%s\n",
+				relPath(pos.Filename), pos.Line, pos.Column, d.Analyzer, escapeAnnotation(d.Message))
 		}
 	}
-	return exit
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// relPath makes filename relative to the working directory when possible;
+// GitHub annotations and -json consumers want repo-relative paths.
+func relPath(filename string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(wd, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return rel
+}
+
+// escapeAnnotation encodes the characters the workflow-command grammar
+// reserves in message data.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // printFlagsJSON tells go vet which flags this tool accepts, in the

@@ -31,7 +31,7 @@ func TestStandaloneCleanPackage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("invokes the go toolchain")
 	}
-	if code := runStandalone([]string{"../../internal/bufpool", "../../internal/grid"}); code != 0 {
+	if code := runStandalone([]string{"../../internal/bufpool", "../../internal/grid"}, false); code != 0 {
 		t.Fatalf("runStandalone = exit %d, want 0", code)
 	}
 }

@@ -44,7 +44,11 @@ const (
 )
 
 func classifyCall(pass *Pass, call *ast.CallExpr) poolRole {
-	fn := calleeFunc(pass.Info, call)
+	return classifyCallInfo(pass.Info, call)
+}
+
+func classifyCallInfo(info *types.Info, call *ast.CallExpr) poolRole {
+	fn := calleeFunc(info, call)
 	if fn == nil {
 		return roleNone
 	}

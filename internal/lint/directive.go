@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"os"
@@ -36,13 +37,20 @@ type directive struct {
 	line      int  // line the directive occupies
 	ownLine   bool // true when nothing but the comment is on its line
 	bad       string
+
+	// Usage marks for the stale-directive check, set during a module run:
+	// suppressed counts findings this allow directive silenced; resolved
+	// is set when the transfer analyzer located the escape this transfer
+	// directive covers.
+	suppressed int
+	resolved   bool
 }
 
 // collectDirectives scans every comment in files for das: directives.
 // Malformed ones are returned with bad set; the directive analyzer
 // reports them.
-func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
-	var out []directive
+func collectDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -56,7 +64,7 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
 	return out
 }
 
-func parseDirective(fset *token.FileSet, c *ast.Comment) (directive, bool) {
+func parseDirective(fset *token.FileSet, c *ast.Comment) (*directive, bool) {
 	text := c.Text
 	var kind string
 	switch {
@@ -67,10 +75,10 @@ func parseDirective(fset *token.FileSet, c *ast.Comment) (directive, bool) {
 		kind = "transfer"
 		text = text[len(transferPrefix):]
 	default:
-		return directive{}, false
+		return nil, false
 	}
 	pos := fset.Position(c.Pos())
-	d := directive{
+	d := &directive{
 		kind:    kind,
 		pos:     c.Pos(),
 		file:    pos.Filename,
@@ -151,8 +159,10 @@ func sourceLines(filename string) ([]string, error) {
 
 // filterSuppressed drops diagnostics covered by a well-formed allow
 // directive: same file, and either the directive shares the diagnostic's
-// line or stands alone on the line directly above it.
-func filterSuppressed(fset *token.FileSet, dirs []directive, diags []Diagnostic) []Diagnostic {
+// line or stands alone on the line directly above it. Each suppression is
+// counted on the directive, so a module run can tell which allows earn
+// their keep.
+func filterSuppressed(fset *token.FileSet, dirs []*directive, diags []Diagnostic) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
 	}
@@ -170,6 +180,7 @@ func filterSuppressed(fset *token.FileSet, dirs []directive, diags []Diagnostic)
 			for _, name := range dir.analyzers {
 				if name == d.Analyzer {
 					suppressed = true
+					dir.suppressed++
 				}
 			}
 		}
@@ -180,29 +191,89 @@ func filterSuppressed(fset *token.FileSet, dirs []directive, diags []Diagnostic)
 	return out
 }
 
+// covers reports whether the directive applies to the source position p:
+// same file, and either the same line or standing alone on the line
+// directly above it.
+func (dir *directive) covers(p token.Position) bool {
+	if dir.file != p.Filename {
+		return false
+	}
+	return dir.line == p.Line || (dir.ownLine && dir.line == p.Line-1)
+}
+
+// transferCovering returns the well-formed transfer directive covering
+// pos, or nil.
+func transferCovering(fset *token.FileSet, dirs []*directive, pos token.Pos) *directive {
+	pp := fset.Position(pos)
+	for _, dir := range dirs {
+		if dir.kind == "transfer" && dir.bad == "" && dir.covers(pp) {
+			return dir
+		}
+	}
+	return nil
+}
+
 // transferAt reports whether a well-formed transfer directive covers the
 // given position (same line, or alone on the line above).
 func (p *Pass) transferAt(pos token.Pos) bool {
-	pp := p.Fset.Position(pos)
-	for _, dir := range p.directives {
-		if dir.kind != "transfer" || dir.bad != "" || dir.file != pp.Filename {
+	return transferCovering(p.Fset, p.directives, pos) != nil
+}
+
+// staleDirectives reports well-formed directives that no longer do
+// anything, so suppressions cannot rot in place. It runs only in module
+// checks: a single-analyzer or single-package run legitimately leaves
+// most directives idle. An allow directive is stale when every analyzer
+// it names ran and none produced a finding for it to suppress; a transfer
+// directive is stale when the transfer analyzer ran and found no
+// pooled-buffer escape on its guarded line (transfer verification
+// failures are separate transfer findings).
+func staleDirectives(dirs []*directive, analyzers []*Analyzer, ranTransfer bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range dirs {
+		if dir.bad != "" {
 			continue
 		}
-		if dir.line == pp.Line || (dir.ownLine && dir.line == pp.Line-1) {
-			return true
+		switch dir.kind {
+		case "allow":
+			allRan := true
+			for _, name := range dir.analyzers {
+				if !hasAnalyzer(analyzers, name) {
+					allRan = false
+				}
+			}
+			if allRan && dir.suppressed == 0 {
+				out = append(out, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "directive",
+					Message: fmt.Sprintf("stale //das:allow directive: no %s finding on the guarded line",
+						strings.Join(dir.analyzers, "/")),
+				})
+			}
+		case "transfer":
+			if ranTransfer && !dir.resolved {
+				out = append(out, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "directive",
+					Message:  "stale //das:transfer directive: no pooled-buffer escape on the guarded line",
+				})
+			}
 		}
 	}
-	return false
+	return out
 }
 
 // Directive validates the das: directives themselves, so a reason-less or
 // misspelled exemption is an error rather than a silent no-op.
 var Directive = &Analyzer{
 	Name: "directive",
-	Doc: `report malformed //das:allow and //das:transfer directives
+	Doc: `report malformed and stale //das:allow and //das:transfer directives
 
 Every directive must carry ' -- reason'; allow directives must name known
-analyzers. Findings of this analyzer cannot themselves be suppressed.`,
+analyzers. In module runs (standalone daslint, not the per-package vet
+protocol) a well-formed directive that no longer does anything is also
+reported: an allow that suppressed no finding of the analyzers it names,
+or a transfer whose guarded line carries no pooled-buffer escape. Findings
+of this analyzer cannot themselves be suppressed.`,
 	Run: func(pass *Pass) error {
 		for _, dir := range pass.directives {
 			if dir.bad != "" {

@@ -17,8 +17,22 @@
 //   - bufpool: a pooled buffer must reach its Put on every return path,
 //     or escape through an explicitly annotated transfer.
 //
-// A fifth analyzer, directive, validates the //das:allow and
-// //das:transfer suppression/transfer comments the other four honor.
+// Two module-wide analyzers follow those contracts across call chains,
+// which the per-function checks cannot:
+//
+//   - transfer: every //das:transfer annotation is a checked obligation —
+//     the annotated escape is followed through the module's ownership
+//     flow graph (returns, parameters, struct fields, message payloads)
+//     and reported when no path in any new owner ever releases the
+//     buffer.
+//   - replies: a handler that receives a simnet request must send exactly
+//     one reply on every path; a dropped reply parks the caller forever
+//     in simulated time, a deadlock no race detector sees.
+//
+// A final analyzer, directive, validates the //das:allow and
+// //das:transfer suppression/transfer comments the others honor, and (in
+// module runs) reports stale directives whose guarded construct no longer
+// needs them.
 //
 // The package deliberately mirrors the shapes of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, analysistest-style
@@ -45,10 +59,19 @@ const ModulePath = "github.com/hpcio/das"
 
 // An Analyzer describes one invariant check. The first line of Doc is the
 // one-line summary printed by `daslint -list`.
+//
+// Run is the per-package form: it sees one type-checked package at a
+// time, which is all the `go vet -vettool` protocol can provide (vet
+// hands the driver one compilation unit, without dependency source).
+// RunModule is the interprocedural form: it runs once over every package
+// of a load, so it can follow ownership hand-offs and reply obligations
+// across call chains. An analyzer defines one or the other; Check skips
+// module analyzers and CheckModule runs both kinds.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Summary returns the first line of the analyzer's documentation.
@@ -59,9 +82,11 @@ func (a *Analyzer) Summary() string {
 	return a.Doc
 }
 
-// All lists every analyzer in the suite, in the order they run.
+// All lists every analyzer in the suite, in the order they run. Transfer
+// and Replies are module analyzers: per-package drivers (the vet protocol)
+// skip them.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, Detrand, Goroutines, Bufpool, Directive}
+	return []*Analyzer{Simclock, Detrand, Goroutines, Bufpool, Transfer, Replies, Directive}
 }
 
 // A Pass carries one parsed, type-checked package into an analyzer's Run
@@ -73,7 +98,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	directives []directive
+	directives []*directive
 	report     func(Diagnostic)
 }
 
@@ -116,11 +141,16 @@ func NewTypesInfo() *types.Info {
 // Check runs the given analyzers over pkg and returns the surviving
 // diagnostics sorted by position: suppression directives have been
 // applied, and any malformed directives appear as findings of the
-// directive analyzer.
+// directive analyzer. Module analyzers (Run == nil) are skipped; only
+// CheckModule can run them, because they need every package of the load
+// at once.
 func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	dirs := collectDirectives(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:   a,
 			Fset:       pkg.Fset,
@@ -135,8 +165,117 @@ func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	diags = filterSuppressed(pkg.Fset, dirs, diags)
+	sortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// A ModulePass carries a whole load — every package of the module — into
+// a module analyzer's RunModule. The packages share one FileSet, which is
+// what lets cross-package positions and directives line up.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	mod        *moduleIndex
+	directives []*directive
+	report     func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos, as Pass.Reportf does.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// transferAt reports whether a well-formed transfer directive covers pos,
+// and marks the directive consulted (the stale-directive check keys on
+// it).
+func (p *ModulePass) transferAt(pos token.Pos) bool {
+	return transferCovering(p.Fset, p.directives, pos) != nil
+}
+
+// CheckModule runs the suite over a whole load: per-package analyzers
+// over each package, module analyzers once across all of them. On top of
+// Check's directive handling it reports stale directives — a //das:allow
+// that suppressed nothing, or a //das:transfer covering no escape the
+// transfer analyzer can resolve — so suppressions cannot outlive the code
+// they excused.
+func CheckModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	var allDirs []*directive
+	perPkg := make(map[*Package][]*directive, len(pkgs))
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg.Fset, pkg.Files)
+		perPkg[pkg] = dirs
+		allDirs = append(allDirs, dirs...)
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				directives: perPkg[pkg],
+				report:     report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Types.Path(), a.Name, err)
+			}
+		}
+	}
+
+	mod := &moduleIndex{pkgs: pkgs}
+	ranModule := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer:   a,
+			Fset:       fset,
+			Pkgs:       pkgs,
+			mod:        mod,
+			directives: allDirs,
+			report:     report,
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("module analyzer %s: %w", a.Name, err)
+		}
+		ranModule[a.Name] = true
+	}
+
+	diags = filterSuppressed(fset, allDirs, diags)
+	if hasAnalyzer(analyzers, "directive") {
+		diags = append(diags, staleDirectives(allDirs, analyzers, ranModule["transfer"])...)
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func hasAnalyzer(analyzers []*Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -145,7 +284,6 @@ func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
 // isTestFile reports whether the file at pos is a _test.go file. All

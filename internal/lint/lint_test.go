@@ -76,6 +76,31 @@ func TestDirective(t *testing.T) {
 	linttest.Run(t, lint.Directive, "directive", lint.ModulePath+"/internal/fakedir")
 }
 
+func TestTransferModule(t *testing.T) {
+	// The transfer chains only exist module-wide: prod's hand-offs resolve
+	// (or leak) through relay, sink, and cons. Directive rides along so the
+	// stale-transfer check is exercised in the same run.
+	linttest.RunModule(t,
+		[]*lint.Analyzer{lint.Transfer, lint.Directive},
+		"xferchain",
+		[][2]string{
+			{"sink", "example.com/xferchain/sink"},
+			{"relay", "example.com/xferchain/relay"},
+			{"prod", "example.com/xferchain/prod"},
+			{"cons", "example.com/xferchain/cons"},
+		})
+}
+
+func TestRepliesModule(t *testing.T) {
+	linttest.RunModule(t,
+		[]*lint.Analyzer{lint.Replies, lint.Directive},
+		"replies",
+		[][2]string{
+			{"helper", "example.com/replies/helper"},
+			{"handlers", "example.com/replies/handlers"},
+		})
+}
+
 func countDiagnostics(t *testing.T, a *lint.Analyzer, dir, pkgpath string, want int) {
 	t.Helper()
 	diags := linttest.Diagnostics(t, a, dir, pkgpath)

@@ -1,0 +1,15 @@
+// Package helper is the cross-package leg of the replies fixture: its
+// reply summary must travel across the package boundary for handlers that
+// delegate here to count as discharged.
+package helper
+
+import (
+	"github.com/hpcio/das/internal/metrics"
+	"github.com/hpcio/das/internal/sim"
+	"github.com/hpcio/das/internal/simnet"
+)
+
+// Ack always answers the request it is handed.
+func Ack(net *simnet.Network, p *sim.Proc, msg simnet.Message) {
+	net.Respond(p, msg, "ack", 1, metrics.ServerToClient)
+}

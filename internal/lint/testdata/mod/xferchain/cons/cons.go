@@ -1,0 +1,34 @@
+// Package cons is the far end of every satisfied chain in the xferchain
+// fixture: it releases what prod hands off, directly or through relay.
+package cons
+
+import (
+	"example.com/xferchain/prod"
+	"example.com/xferchain/relay"
+	"example.com/xferchain/sink"
+)
+
+// UseProduce consumes the returned-buffer hand-off.
+func UseProduce() {
+	b := prod.Produce()
+	sink.Drain(b)
+}
+
+// UseChain consumes the hand-off that rode through relay.Forward.
+func UseChain() {
+	out := prod.Chain()
+	sink.Drain(out)
+}
+
+// UseMsg consumes the message-payload hand-off: reading Msg.Data lands on
+// the same field node SendMsg stored into.
+func UseMsg(m prod.Msg) {
+	sink.Drain(m.Data)
+}
+
+// Shuffle exercises a second-hop re-transfer: a buffer it owns goes
+// through Forward and is drained from the result.
+func Shuffle(b []byte) {
+	out := relay.Forward(b)
+	sink.Drain(out)
+}

@@ -1,0 +1,103 @@
+// Package prod acquires pooled buffers and hands them off in every shape
+// the transfer analyzer resolves: returns, call arguments, struct-field
+// stores, message payloads, and chains through a relay.
+package prod
+
+import (
+	"example.com/xferchain/relay"
+	"example.com/xferchain/sink"
+)
+
+// Msg is a message whose payload a consumer releases.
+type Msg struct {
+	Data []byte
+}
+
+// Lost is a message nobody drains.
+type Lost struct {
+	Data []byte
+}
+
+// Post stands in for a mailbox send: the struct-field node is the
+// rendezvous, so the body needs no real transport.
+func Post(m Msg) {}
+
+// PostLost is Post for the undrained message type.
+func PostLost(m Lost) {}
+
+// Produce returns a fresh buffer; cons releases it.
+func Produce() []byte {
+	//das:transfer -- caller owns the returned buffer
+	return sink.Buffers.Get(8)
+}
+
+// LeakReturn returns a fresh buffer that no caller ever releases.
+func LeakReturn() []byte {
+	//das:transfer -- caller owns the returned buffer
+	return sink.Buffers.Get(8) // want "transferred buffer is never released by its new owner"
+}
+
+// FeedDrain hands the buffer to a releasing function.
+func FeedDrain() {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- Drain releases it
+	sink.Drain(b)
+}
+
+// FeedKeep hands the buffer to a function that never releases it.
+func FeedKeep() {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- Keep takes ownership
+	sink.Keep(b) // want "transferred buffer is never released by its new owner"
+}
+
+// Stash parks the buffer in a struct whose Close releases it.
+func Stash(box *sink.Box) {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- Box.Close releases Data
+	box.Data = b
+}
+
+// StashHole parks the buffer in a struct with no release path.
+func StashHole(h *sink.Hole) {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- Hole keeps Data
+	h.Data = b // want "transferred buffer is never released by its new owner"
+}
+
+// SendMsg rides the buffer on a message; cons drains Msg.Data.
+func SendMsg() {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- the receiver drains Msg.Data
+	Post(Msg{Data: b})
+}
+
+// SendLost rides the buffer on a message no one drains.
+func SendLost() {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- the receiver drains Lost.Data
+	PostLost(Lost{Data: b}) // want "transferred buffer is never released by its new owner"
+}
+
+// Chain re-transfers through relay.Forward; cons releases the result.
+func Chain() []byte {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- ownership rides through Forward to the caller
+	return relay.Forward(b)
+}
+
+// ChainLost hands the buffer to a relay that loses it.
+func ChainLost() {
+	b := sink.Buffers.Get(8)
+	//das:transfer -- Hoard takes ownership
+	relay.Hoard(b) // want "transferred buffer is never released by its new owner"
+}
+
+// StaleNote carries a transfer directive on a line with no pooled-buffer
+// escape at all; the directive analyzer reports it as stale.
+func StaleNote() {
+	n := 0
+	//das:transfer -- nothing escapes here // want "stale //das:transfer directive: no pooled-buffer escape"
+	n++
+	_ = n
+}

@@ -1,0 +1,16 @@
+// Package relay re-transfers buffers it does not own: ownership passes
+// through it to whatever its caller does with the result.
+package relay
+
+// Forward hands the buffer back to its caller; the re-transfer resolves
+// because cons releases what it gets from Forward.
+func Forward(b []byte) []byte {
+	//das:transfer -- ownership continues to Forward's caller
+	return b
+}
+
+// Hoard accepts a buffer and loses it: a hand-off into Hoard never
+// reaches a release.
+func Hoard(b []byte) {
+	_ = cap(b)
+}

@@ -1,0 +1,36 @@
+// Package sink is the releasing side of the xferchain fixture: the pool
+// itself, consumers that discharge buffers, and ones that do not.
+package sink
+
+import "github.com/hpcio/das/internal/bufpool"
+
+// Buffers is the fixture's pool; every chain starts at Buffers.Get and is
+// satisfied only by reaching a Buffers.Put somewhere in the module.
+var Buffers bufpool.Pool[byte]
+
+// Drain releases the buffer it is handed: a parameter hand-off to Drain
+// discharges the transfer.
+func Drain(b []byte) {
+	Buffers.Put(b)
+}
+
+// Keep holds the buffer forever: a hand-off to Keep is a leak.
+func Keep(b []byte) {
+	_ = len(b)
+}
+
+// Box is a struct owner with a release path: buffers parked in Data are
+// discharged by Close.
+type Box struct {
+	Data []byte
+}
+
+func (b *Box) Close() {
+	Buffers.Put(b.Data)
+	b.Data = nil
+}
+
+// Hole is a struct owner with no release path anywhere in the module.
+type Hole struct {
+	Data []byte
+}

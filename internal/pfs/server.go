@@ -472,6 +472,10 @@ func (s *Server) migrate(p *sim.Proc, req migrateReq) error {
 	if err != nil {
 		return err
 	}
+	// The strip copy is pool-backed; writeStrip is synchronous and the
+	// receiving server stores its own copy, so the buffer is dead on every
+	// exit from the push loop.
+	defer ReleaseBuffer(data)
 	for _, target := range req.Targets {
 		if target == s.srv {
 			continue
